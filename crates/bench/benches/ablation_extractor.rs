@@ -1,0 +1,90 @@
+//! Ablation bench: the capacitance-extraction pipeline — full
+//! extraction vs. linear-model evaluation (the design decision that
+//! makes the optimisation loop fast), plus the circuit-simulator step
+//! cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsv3d_circuit::{DriverModel, TsvLink};
+use tsv3d_codec::{CouplingInvert, GrayCodec};
+use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry, TsvRcNetlist};
+use tsv3d_stats::gen::UniformSource;
+use tsv3d_stats::{BitStream, SwitchingStats};
+
+fn report() {
+    eprintln!("\n=== Extractor ablation (4x4, r=1um d=4um) ===");
+    let array = TsvArray::new(4, 4, TsvGeometry::itrs_2018_min()).expect("valid array");
+    let ex = Extractor::new(array);
+    let model = LinearCapModel::fit(&ex).expect("fit");
+    let sets: Vec<Vec<f64>> = vec![
+        vec![0.5; 16],
+        (0..16).map(|i| i as f64 / 15.0).collect(),
+        (0..16).map(|i| if i % 2 == 0 { 0.2 } else { 0.8 }).collect(),
+    ];
+    let nrmse = model.nrmse(&ex, &sets).expect("valid sets");
+    eprintln!("  linear-model NRMSE vs. full extraction: {:.3} %", nrmse * 100.0);
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let array4 = TsvArray::new(4, 4, TsvGeometry::itrs_2018_min()).expect("valid array");
+    let array6 = TsvArray::new(6, 6, TsvGeometry::itrs_2018_min()).expect("valid array");
+    let ex4 = Extractor::new(array4.clone());
+    let ex6 = Extractor::new(array6);
+    let model4 = LinearCapModel::fit(&ex4).expect("fit");
+    let probs4 = vec![0.5; 16];
+    let probs6 = vec![0.5; 36];
+    let eps4 = vec![0.0; 16];
+
+    let mut group = c.benchmark_group("extractor");
+    group.bench_function("full_extract_4x4", |b| {
+        b.iter(|| black_box(ex4.extract(&probs4).expect("valid")))
+    });
+    group.bench_function("full_extract_6x6", |b| {
+        b.iter(|| black_box(ex6.extract(&probs6).expect("valid")))
+    });
+    group.bench_function("linear_eval_4x4", |b| {
+        b.iter(|| black_box(model4.capacitance(&eps4)))
+    });
+    group.bench_function("extractor_build_4x4", |b| {
+        b.iter(|| black_box(Extractor::new(array4.clone())))
+    });
+    group.finish();
+
+    // Circuit-simulator throughput: cycles per second on a 3×3 ladder.
+    let array3 = TsvArray::new(3, 3, TsvGeometry::itrs_2018_min()).expect("valid array");
+    let cap = Extractor::new(array3.clone()).extract(&[0.5; 9]).expect("valid");
+    let link = TsvLink::new(
+        TsvRcNetlist::from_extraction(&array3, cap),
+        DriverModel::ptm_22nm_strength6(),
+    )
+    .expect("valid driver");
+    let stream =
+        BitStream::from_words(9, (0..200u64).map(|t| (t * 37) & 0x1FF).collect()).expect("valid");
+    let mut group = c.benchmark_group("circuit");
+    group.sample_size(10);
+    group.bench_function("simulate_3x3_200cycles", |b| {
+        b.iter(|| black_box(link.simulate(&stream, 3.0e9).expect("widths match")))
+    });
+    group.finish();
+
+    // Codec and statistics throughput on a realistic stream length.
+    let data16 = UniformSource::new(16).expect("width ok").generate(1, 10_000).expect("gen");
+    let data7 = UniformSource::new(7).expect("width ok").generate(1, 10_000).expect("gen");
+    let gray = GrayCodec::new(16).expect("width ok");
+    let ci = CouplingInvert::new(7).expect("width ok");
+    let mut group = c.benchmark_group("throughput_10k_words");
+    group.bench_function("gray_encode_16b", |b| {
+        b.iter(|| black_box(gray.encode(&data16).expect("encode")))
+    });
+    group.bench_function("coupling_invert_encode_7b", |b| {
+        b.iter(|| black_box(ci.encode(&data7).expect("encode")))
+    });
+    group.bench_function("switching_stats_16b", |b| {
+        b.iter(|| black_box(SwitchingStats::from_stream(&data16)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation bench: the optimiser choices DESIGN.md calls out —
+//! exhaustive vs. simulated annealing vs. greedy 2-opt, on the same
+//! 3×3 problem, measuring both runtime (Criterion) and solution quality
+//! (printed once).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsv3d_core::{optimize, AssignmentProblem};
+use tsv3d_experiments::common;
+use tsv3d_model::TsvGeometry;
+use tsv3d_stats::gen::SequentialSource;
+
+fn make_problem(n_side: usize) -> AssignmentProblem {
+    let n = n_side * n_side;
+    let stream = SequentialSource::new(n, 0.02)
+        .expect("valid width")
+        .generate(77, 8_000)
+        .expect("generation succeeds");
+    common::problem(
+        &stream,
+        common::cap_model(n_side, n_side, TsvGeometry::wide_2018()),
+    )
+}
+
+fn report_quality() {
+    eprintln!("\n=== Optimiser ablation (3x3 sequential stream) ===");
+    let problem = make_problem(3);
+    let exact = optimize::branch_and_bound(&problem, &Default::default())
+        .expect("budget ok");
+    assert!(exact.proven_optimal, "B&B must prove optimality on 3x3");
+    let exact = exact.result;
+    let annealed = optimize::anneal(&problem, &common::anneal_options()).expect("budget ok");
+    let quick = optimize::anneal(&problem, &common::anneal_options_quick()).expect("budget ok");
+    let greedy = optimize::greedy_two_opt(&problem);
+    let gap = |p: f64| (p / exact.power - 1.0) * 100.0;
+    eprintln!("  branch & bound  : {:.6e} (proven optimal reference)", exact.power);
+    eprintln!("  anneal (full)   : {:.6e} (+{:.3} %)", annealed.power, gap(annealed.power));
+    eprintln!("  anneal (quick)  : {:.6e} (+{:.3} %)", quick.power, gap(quick.power));
+    eprintln!("  greedy 2-opt    : {:.6e} (+{:.3} %)", greedy.power, gap(greedy.power));
+}
+
+fn bench(c: &mut Criterion) {
+    report_quality();
+    let p3 = make_problem(3);
+    let p4 = make_problem(4);
+
+    let mut group = c.benchmark_group("optimizers");
+    group.sample_size(10);
+    group.bench_function("branch_and_bound_3x3", |b| {
+        b.iter(|| black_box(optimize::branch_and_bound(&p3, &Default::default()).expect("ok")))
+    });
+    group.bench_function("anneal_quick_3x3", |b| {
+        b.iter(|| black_box(optimize::anneal(&p3, &common::anneal_options_quick()).expect("ok")))
+    });
+    group.bench_function("anneal_quick_4x4", |b| {
+        b.iter(|| black_box(optimize::anneal(&p4, &common::anneal_options_quick()).expect("ok")))
+    });
+    group.bench_function("greedy_two_opt_4x4", |b| {
+        b.iter(|| black_box(optimize::greedy_two_opt(&p4)))
+    });
+    group.bench_function("power_eval_4x4", |b| {
+        let a = tsv3d_core::SignedPerm::identity(16);
+        b.iter(|| black_box(p4.power(&a)))
+    });
+    group.bench_function("swap_delta_4x4", |b| {
+        let a = tsv3d_core::SignedPerm::identity(16);
+        b.iter(|| black_box(p4.swap_lines_delta(&a, 0, 9)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

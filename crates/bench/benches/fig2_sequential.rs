@@ -1,0 +1,34 @@
+//! Bench + regeneration of the paper's Fig. 2 (sequential streams).
+//!
+//! Prints the figure's data series once, then benchmarks the per-point
+//! computation (statistics → annealing → worst-case baseline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsv3d_experiments::fig2::{self, Fig2Array};
+
+fn regenerate() {
+    eprintln!("\n=== Fig. 2 (regenerated, quick settings) ===");
+    for array in Fig2Array::all() {
+        eprintln!("{}:", array.label());
+        for p in fig2::sweep(array, 6_000, true) {
+            eprintln!(
+                "  branch p = {:>7.4}:  optimal {:5.1} %   spiral {:5.1} %",
+                p.branch_probability, p.reduction_optimal, p.reduction_spiral
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("point_4x4_bp0.01", |b| {
+        b.iter(|| black_box(fig2::point(Fig2Array::Wide4x4, 0.01, 3_000, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

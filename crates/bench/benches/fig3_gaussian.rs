@@ -1,0 +1,34 @@
+//! Bench + regeneration of the paper's Fig. 3 (Gaussian DSP streams).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsv3d_experiments::fig3;
+
+fn regenerate() {
+    eprintln!("\n=== Fig. 3 (regenerated, quick settings) ===");
+    for &rho in &fig3::RHOS {
+        eprintln!("rho = {rho:+.1}:");
+        for p in fig3::sweep(rho, 6_000, true) {
+            eprintln!(
+                "  sigma = {:>6.0}:  optimal {:5.1} %   sawtooth {:5.1} %   spiral {:5.1} %",
+                p.sigma, p.reduction_optimal, p.reduction_sawtooth, p.reduction_spiral
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("point_sigma1000_rho0", |b| {
+        b.iter(|| black_box(fig3::point(1000.0, 0.0, 3_000, true)))
+    });
+    group.bench_function("point_sigma1000_rho-0.6", |b| {
+        b.iter(|| black_box(fig3::point(1000.0, -0.6, 3_000, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Bench + regeneration of the paper's Fig. 4 (image-sensor streams).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsv3d_experiments::fig4::{self, Fig4Scenario};
+use tsv3d_model::TsvGeometry;
+use tsv3d_stats::gen::ImageSensor;
+
+fn regenerate() {
+    eprintln!("\n=== Fig. 4 (regenerated, quick settings) ===");
+    let sensor = ImageSensor::new(48, 32);
+    for p in fig4::sweep(&sensor, true) {
+        eprintln!(
+            "  {:<18} r={:.0}um d={:.0}um:  optimal {:5.1} %   spiral {:5.1} %",
+            p.scenario.label(),
+            p.geometry.radius * 1e6,
+            p.geometry.pitch * 1e6,
+            p.reduction_optimal,
+            p.reduction_spiral
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let sensor = ImageSensor::new(48, 32);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("point_rgb_mux_3x3", |b| {
+        b.iter(|| {
+            black_box(fig4::point(
+                Fig4Scenario::RgbMux,
+                TsvGeometry::itrs_2018_min(),
+                &sensor,
+                true,
+            ))
+        })
+    });
+    group.bench_function("point_rgb_parallel_4x8", |b| {
+        b.iter(|| {
+            black_box(fig4::point(
+                Fig4Scenario::RgbParallel,
+                TsvGeometry::itrs_2018_min(),
+                &sensor,
+                true,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench + regeneration of the paper's Fig. 5 (MEMS sensor streams).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsv3d_experiments::fig5::{self, Fig5Scenario};
+use tsv3d_stats::gen::SensorKind;
+
+fn regenerate() {
+    eprintln!("\n=== Fig. 5 (regenerated, quick settings) ===");
+    for p in fig5::sweep(1_500, true) {
+        eprintln!(
+            "  {:<10}  optimal {:5.1} %   sawtooth {:5.1} %   spiral {:5.1} %",
+            p.scenario.label(),
+            p.reduction_optimal,
+            p.reduction_sawtooth,
+            p.reduction_spiral
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("point_mag_xyz", |b| {
+        b.iter(|| {
+            black_box(fig5::point(
+                Fig5Scenario::Xyz(SensorKind::Magnetometer),
+                1_000,
+                true,
+            ))
+        })
+    });
+    group.bench_function("point_acc_rms", |b| {
+        b.iter(|| {
+            black_box(fig5::point(
+                Fig5Scenario::Rms(SensorKind::Accelerometer),
+                1_000,
+                true,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

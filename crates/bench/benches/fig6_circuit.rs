@@ -1,0 +1,38 @@
+//! Bench + regeneration of the paper's Fig. 6 (circuit-level power with
+//! coding).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsv3d_experiments::fig6::{self, Fig6Stream};
+
+fn regenerate() {
+    eprintln!("\n=== Fig. 6 (regenerated, quick settings) ===");
+    for p in fig6::sweep(250, true) {
+        eprintln!(
+            "  {:<18}  plain {:7.3} mW   +opt {:7.3} mW   ({:5.1} %)",
+            p.stream.label(),
+            p.power_plain_mw,
+            p.power_assigned_mw,
+            p.reduction()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+
+    // The transient-simulation kernel on a realistic stream.
+    let stream = Fig6Stream::CouplingInvertRandom.stream(150, 1);
+    group.bench_function("simulate_3x3_600cycles", |b| {
+        b.iter(|| black_box(fig6::simulate_power_mw(&stream, 3, 3, 7.0)))
+    });
+    group.bench_function("point_coupling_invert", |b| {
+        b.iter(|| black_box(fig6::point(Fig6Stream::CouplingInvertRandom, 100, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Error type for the circuit simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or simulating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The MNA matrix is singular (floating node or zero conductance).
+    SingularMatrix {
+        /// Pivot column at which elimination failed.
+        column: usize,
+    },
+    /// The stream width does not match the link's via count.
+    WidthMismatch {
+        /// Link vias.
+        link: usize,
+        /// Stream width.
+        stream: usize,
+    },
+    /// A parameter (frequency, resistance, …) must be positive.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::SingularMatrix { column } => {
+                write!(f, "singular MNA matrix at pivot column {column} (floating node?)")
+            }
+            CircuitError::WidthMismatch { link, stream } => write!(
+                f,
+                "stream width {stream} does not match the link's {link} vias"
+            ),
+            CircuitError::NonPositiveParameter { name } => {
+                write!(f, "parameter `{name}` must be positive")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(CircuitError::SingularMatrix { column: 3 }.to_string().contains("column 3"));
+        assert!(CircuitError::WidthMismatch { link: 9, stream: 8 }
+            .to_string()
+            .contains("9 vias"));
+    }
+}

@@ -1,0 +1,517 @@
+//! A driven TSV link: n-section π ladder + CMOS drivers, simulated
+//! cycle-by-cycle for a bit stream.
+
+use crate::mna::Netlist;
+use crate::{CircuitError, DriverModel};
+use tsv3d_model::TsvRcNetlist;
+use tsv3d_stats::BitStream;
+
+/// A complete TSV link ready for transient simulation: every via is
+/// expanded into an `sections`-section RLC π ladder (matching the
+/// paper's "full 3π-RLC circuits"), the extracted coupling/ground
+/// capacitances are distributed along the ladder levels, and each via is
+/// fed by a [`DriverModel`].
+///
+/// # Examples
+///
+/// Opposite switching on a coupled pair costs more energy than aligned
+/// switching — the physical effect the whole paper rests on:
+///
+/// ```
+/// use tsv3d_circuit::{DriverModel, TsvLink};
+/// use tsv3d_model::{Extractor, TsvArray, TsvGeometry, TsvRcNetlist};
+/// use tsv3d_stats::BitStream;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let array = TsvArray::new(1, 2, TsvGeometry::wide_2018())?;
+/// let cap = Extractor::new(array.clone()).extract(&[0.5; 2])?;
+/// let link = TsvLink::new(
+///     TsvRcNetlist::from_extraction(&array, cap),
+///     DriverModel::ptm_22nm_strength6(),
+/// )?;
+/// let aligned = BitStream::from_words(2, vec![0b00, 0b11, 0b00, 0b11, 0b00])?;
+/// let opposed = BitStream::from_words(2, vec![0b01, 0b10, 0b01, 0b10, 0b01])?;
+/// let e_aligned = link.simulate(&aligned, 3.0e9)?.dynamic_energy();
+/// let e_opposed = link.simulate(&opposed, 3.0e9)?.dynamic_energy();
+/// assert!(e_opposed > e_aligned);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TsvLink {
+    netlist: TsvRcNetlist,
+    driver: DriverModel,
+    sections: usize,
+    steps_per_cycle: usize,
+}
+
+impl TsvLink {
+    /// Creates a link with 3 π sections (like the paper's Spectre decks)
+    /// and 24 integration steps per clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NonPositiveParameter`] for degenerate driver
+    /// parameters.
+    pub fn new(netlist: TsvRcNetlist, driver: DriverModel) -> Result<Self, CircuitError> {
+        if driver.resistance <= 0.0 {
+            return Err(CircuitError::NonPositiveParameter { name: "resistance" });
+        }
+        if driver.vdd <= 0.0 {
+            return Err(CircuitError::NonPositiveParameter { name: "vdd" });
+        }
+        Ok(Self {
+            netlist,
+            driver,
+            sections: 3,
+            steps_per_cycle: 24,
+        })
+    }
+
+    /// Overrides the number of π sections per via.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sections` is zero.
+    pub fn with_sections(mut self, sections: usize) -> Self {
+        assert!(sections > 0, "at least one π section is required");
+        self.sections = sections;
+        self
+    }
+
+    /// Overrides the integration steps per clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn with_steps_per_cycle(mut self, steps: usize) -> Self {
+        assert!(steps > 0, "at least one step per cycle is required");
+        self.steps_per_cycle = steps;
+        self
+    }
+
+    /// Number of vias in the link.
+    pub fn len(&self) -> usize {
+        self.netlist.len()
+    }
+
+    /// `true` if the link has no vias.
+    pub fn is_empty(&self) -> bool {
+        self.netlist.is_empty()
+    }
+
+    /// The driver model.
+    pub fn driver(&self) -> &DriverModel {
+        &self.driver
+    }
+
+    /// Node id of ladder level `level` (0 = driver end) of via `i`.
+    fn node(&self, i: usize, level: usize) -> usize {
+        i * (self.sections + 1) + level + 1
+    }
+
+    /// Builds the MNA network of the link: the RLC ladders, distributed
+    /// coupling/ground capacitances, driver parasitics and one
+    /// switchable drive per via. Returns the netlist and the drive
+    /// indices (one per via, in via order).
+    fn build_network(&self) -> (Netlist, Vec<usize>) {
+        let n = self.netlist.len();
+        let levels = self.sections + 1;
+        let mut net = Netlist::new(n * levels);
+
+        // Via ladders: series resistance and inductance split across
+        // sections (the full RLC ladder of the paper's Spectre decks).
+        let cap = self.netlist.capacitance();
+        for i in 0..n {
+            let r_sec = self.netlist.series_resistance(i) / self.sections as f64;
+            let l_sec = self.netlist.series_inductance(i) / self.sections as f64;
+            for s in 0..self.sections {
+                net.rl_branch(self.node(i, s), self.node(i, s + 1), r_sec, l_sec);
+            }
+            // Ground capacitance spread along the ladder.
+            for level in 0..levels {
+                net.capacitor(self.node(i, level), 0, cap[(i, i)] / levels as f64);
+            }
+            // Driver output and receiver load caps.
+            net.capacitor(self.node(i, 0), 0, self.driver.output_cap);
+            net.capacitor(self.node(i, self.sections), 0, self.driver.load_cap);
+        }
+        // Coupling capacitances, level by level.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for level in 0..levels {
+                    net.capacitor(
+                        self.node(i, level),
+                        self.node(j, level),
+                        cap[(i, j)] / levels as f64,
+                    );
+                }
+            }
+        }
+        // Drivers (rail voltage switched per cycle).
+        let mut drives = Vec::with_capacity(n);
+        for i in 0..n {
+            drives.push(net.drive(self.node(i, 0), 1.0 / self.driver.resistance, 0.0));
+        }
+        (net, drives)
+    }
+
+    /// Measures the 50 %-crossing propagation delay of a rising
+    /// transition on `victim` while the given `aggressors` fall
+    /// simultaneously (the worst-case Miller scenario when they hold the
+    /// victim's neighbours; pass an empty slice for the intrinsic
+    /// delay).
+    ///
+    /// The network first settles with the victim low and the aggressors
+    /// high, then all rails switch at t = 0; the returned time is when
+    /// the victim's far-end node crosses `V_dd / 2`, in seconds. If the
+    /// crossing never happens within the (generous) internal step
+    /// budget, the elapsed budget time is returned — treat values near
+    /// `2·10⁶` steps × h as "did not settle".
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WidthMismatch`] if `victim` or an aggressor index
+    /// is out of range, and any singular-matrix error from degenerate
+    /// netlists.
+    pub fn transition_delay(
+        &self,
+        victim: usize,
+        aggressors: &[usize],
+    ) -> Result<f64, CircuitError> {
+        let n = self.netlist.len();
+        if victim >= n || aggressors.iter().any(|&a| a >= n) {
+            return Err(CircuitError::WidthMismatch {
+                link: n,
+                stream: victim.max(aggressors.iter().copied().max().unwrap_or(0)) + 1,
+            });
+        }
+        let (net, drives) = self.build_network();
+        // Fine time base: resolve the RC time constants comfortably.
+        let tau = self.driver.resistance
+            * (self.netlist.capacitance().row_sum(victim) + self.driver.load_cap);
+        let h = (tau / 200.0).max(1e-15);
+        let mut sim = net.transient(h)?;
+        let vdd = self.driver.vdd;
+        // Settle: victim low, aggressors high.
+        for (i, &d) in drives.iter().enumerate() {
+            let high = aggressors.contains(&i);
+            sim.set_rail(d, if high { vdd } else { 0.0 });
+        }
+        for _ in 0..4_000 {
+            sim.step();
+        }
+        // Switch: victim rises, aggressors fall.
+        for (i, &d) in drives.iter().enumerate() {
+            if i == victim {
+                sim.set_rail(d, vdd);
+            } else if aggressors.contains(&i) {
+                sim.set_rail(d, 0.0);
+            }
+        }
+        let far = self.node(victim, self.sections);
+        let mut t = 0.0;
+        for _ in 0..2_000_000 {
+            sim.step();
+            t += h;
+            if sim.voltage(far) >= vdd / 2.0 {
+                return Ok(t);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Simulates the transmission of `stream` at clock frequency
+    /// `clock` (Hz) and returns the supply-energy bookkeeping.
+    ///
+    /// Each cycle switches the drivers to the word's bit values and
+    /// integrates the network for one period; the dynamic energy is the
+    /// signed integral of the current drawn from the `V_dd` rail through
+    /// all pull-up drivers, and leakage is added analytically.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WidthMismatch`] if the stream width differs from
+    /// the via count, [`CircuitError::NonPositiveParameter`] for a
+    /// non-positive clock, or a singular-matrix error for degenerate
+    /// netlists.
+    pub fn simulate(&self, stream: &BitStream, clock: f64) -> Result<EnergyReport, CircuitError> {
+        let n = self.netlist.len();
+        if stream.width() != n {
+            return Err(CircuitError::WidthMismatch {
+                link: n,
+                stream: stream.width(),
+            });
+        }
+        if clock <= 0.0 {
+            return Err(CircuitError::NonPositiveParameter { name: "clock" });
+        }
+
+        let (net, drives) = self.build_network();
+
+        let period = 1.0 / clock;
+        let h = period / self.steps_per_cycle as f64;
+        let mut sim = net.transient(h)?;
+
+        let vdd = self.driver.vdd;
+        let mut dynamic_energy = 0.0;
+        for word in stream.iter() {
+            // Switch the rails to this word's levels.
+            let mut up = Vec::with_capacity(n);
+            for (i, &d) in drives.iter().enumerate() {
+                let high = (word >> i) & 1 == 1;
+                sim.set_rail(d, if high { vdd } else { 0.0 });
+                if high {
+                    up.push(d);
+                }
+            }
+            for _ in 0..self.steps_per_cycle {
+                sim.step();
+                for &d in &up {
+                    dynamic_energy += sim.drive_current(d) * vdd * h;
+                }
+            }
+        }
+        let total_time = stream.len() as f64 * period;
+        let leakage_energy = n as f64 * self.driver.leakage * vdd * total_time;
+        Ok(EnergyReport {
+            dynamic_energy,
+            leakage_energy,
+            cycles: stream.len(),
+            clock,
+        })
+    }
+}
+
+/// Supply-energy bookkeeping of one simulated stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    dynamic_energy: f64,
+    leakage_energy: f64,
+    cycles: usize,
+    clock: f64,
+}
+
+impl EnergyReport {
+    /// Energy drawn from `V_dd` through the switching drivers, J.
+    pub fn dynamic_energy(&self) -> f64 {
+        self.dynamic_energy
+    }
+
+    /// Analytic leakage energy over the simulated interval, J.
+    pub fn leakage_energy(&self) -> f64 {
+        self.leakage_energy
+    }
+
+    /// Total energy (dynamic + leakage), J.
+    pub fn total_energy(&self) -> f64 {
+        self.dynamic_energy + self.leakage_energy
+    }
+
+    /// Number of simulated clock cycles.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Mean power over the simulated interval, W.
+    pub fn mean_power(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total_energy() * self.clock / self.cycles as f64
+    }
+
+    /// Mean power scaled to an effective transmission of `target_bits`
+    /// per cycle when the link actually moves `effective_bits` per cycle
+    /// — the normalisation of the paper's Fig. 6 (32 b per cycle,
+    /// redundant bits excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `effective_bits` is not positive.
+    pub fn power_scaled_to(&self, effective_bits: f64, target_bits: f64) -> f64 {
+        assert!(effective_bits > 0.0, "effective bits must be positive");
+        self.mean_power() * target_bits / effective_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv3d_model::{Extractor, TsvArray, TsvGeometry};
+
+    fn link(rows: usize, cols: usize) -> TsvLink {
+        let array = TsvArray::new(rows, cols, TsvGeometry::itrs_2018_min()).expect("array");
+        let n = array.len();
+        let cap = Extractor::new(array.clone())
+            .extract(&vec![0.5; n])
+            .expect("extract");
+        TsvLink::new(
+            TsvRcNetlist::from_extraction(&array, cap),
+            DriverModel::ptm_22nm_strength6(),
+        )
+        .expect("link")
+    }
+
+    fn stream(width: usize, words: &[u64]) -> BitStream {
+        BitStream::from_words(width, words.to_vec()).expect("stream")
+    }
+
+    #[test]
+    fn constant_stream_draws_only_leakage_and_first_charge() {
+        let link = link(1, 2);
+        let all_ones = stream(2, &[0b11; 50]);
+        let report = link.simulate(&all_ones, 3.0e9).unwrap();
+        // After the initial charge, no dynamic energy: dynamic over 50
+        // cycles must be close to a single full charge.
+        let single = link.simulate(&stream(2, &[0b11]), 3.0e9).unwrap();
+        assert!(report.dynamic_energy() < 1.5 * single.dynamic_energy());
+        assert!(report.leakage_energy() > 0.0);
+    }
+
+    #[test]
+    fn toggling_energy_scales_with_toggle_count() {
+        let link = link(1, 2);
+        let fast: Vec<u64> = (0..101).map(|t| if t % 2 == 0 { 0 } else { 0b11 }).collect();
+        let slow: Vec<u64> = (0..101).map(|t| if (t / 2) % 2 == 0 { 0 } else { 0b11 }).collect();
+        let e_fast = link.simulate(&stream(2, &fast), 3.0e9).unwrap().dynamic_energy();
+        let e_slow = link.simulate(&stream(2, &slow), 3.0e9).unwrap().dynamic_energy();
+        let ratio = e_fast / e_slow;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn charge_per_toggle_matches_capacitance() {
+        // Energy per 0→1 transition of an isolated-ish line ≈ C_tot·V².
+        let array = TsvArray::new(1, 1, TsvGeometry::itrs_2018_min()).unwrap();
+        let cap = Extractor::new(array.clone()).extract(&[0.5]).unwrap();
+        let c_total = cap[(0, 0)];
+        let driver = DriverModel::ptm_22nm_strength6();
+        let c_parasitic = driver.output_cap + driver.load_cap;
+        let link = TsvLink::new(TsvRcNetlist::from_extraction(&array, cap), driver).unwrap();
+        let words: Vec<u64> = (0..201).map(|t| (t % 2) as u64).collect();
+        let report = link.simulate(&stream(1, &words), 1.0e9).unwrap();
+        // 100 rising edges, each drawing (C_tot + C_drv)·V² from the rail.
+        let expected = 100.0 * (c_total + c_parasitic) * 1.0;
+        let got = report.dynamic_energy();
+        assert!(
+            (got - expected).abs() / expected < 0.1,
+            "E = {got:.4e}, expected {expected:.4e}"
+        );
+    }
+
+    #[test]
+    fn opposed_switching_costs_more_than_aligned() {
+        let link = link(1, 2);
+        let aligned: Vec<u64> = (0..100).map(|t| if t % 2 == 0 { 0b00 } else { 0b11 }).collect();
+        let opposed: Vec<u64> = (0..100).map(|t| if t % 2 == 0 { 0b01 } else { 0b10 }).collect();
+        let e_a = link.simulate(&stream(2, &aligned), 3.0e9).unwrap().dynamic_energy();
+        let e_o = link.simulate(&stream(2, &opposed), 3.0e9).unwrap().dynamic_energy();
+        assert!(e_o > 1.1 * e_a, "opposed {e_o:.3e} vs aligned {e_a:.3e}");
+    }
+
+    #[test]
+    fn width_and_clock_validated() {
+        let link = link(1, 2);
+        assert!(matches!(
+            link.simulate(&stream(3, &[0]), 3.0e9),
+            Err(CircuitError::WidthMismatch { link: 2, stream: 3 })
+        ));
+        assert!(matches!(
+            link.simulate(&stream(2, &[0]), 0.0),
+            Err(CircuitError::NonPositiveParameter { name: "clock" })
+        ));
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        let link = link(1, 2);
+        let r = link.simulate(&stream(2, &[0, 3, 0, 3]), 2.0e9).unwrap();
+        assert_eq!(r.cycles(), 4);
+        assert!(
+            (r.total_energy() - r.dynamic_energy() - r.leakage_energy()).abs()
+                < 1e-12 * r.total_energy()
+        );
+        assert!(r.mean_power() > 0.0);
+        // Scaling to 32 b from 2 b multiplies by 16.
+        let p = r.power_scaled_to(2.0, 32.0);
+        assert!((p - r.mean_power() * 16.0).abs() < 1e-12 * p.abs());
+    }
+
+    #[test]
+    fn more_sections_changes_little() {
+        // The ladder discretisation must be converged enough that 2 vs 4
+        // sections agree on the energy within a few percent.
+        let array = TsvArray::new(1, 2, TsvGeometry::itrs_2018_min()).unwrap();
+        let cap = Extractor::new(array.clone()).extract(&[0.5; 2]).unwrap();
+        let words: Vec<u64> = (0..80).map(|t| if t % 2 == 0 { 0b01 } else { 0b10 }).collect();
+        let mk = |sections| {
+            TsvLink::new(
+                TsvRcNetlist::from_extraction(&array, cap.clone()),
+                DriverModel::ptm_22nm_strength6(),
+            )
+            .unwrap()
+            .with_sections(sections)
+            .simulate(&stream(2, &words), 3.0e9)
+            .unwrap()
+            .dynamic_energy()
+        };
+        let e2 = mk(2);
+        let e4 = mk(4);
+        assert!((e2 - e4).abs() / e4 < 0.05, "e2 = {e2:.3e}, e4 = {e4:.3e}");
+    }
+}
+
+#[cfg(test)]
+mod delay_tests {
+    use super::*;
+    use tsv3d_model::{Extractor, TsvArray, TsvGeometry};
+
+    fn link_3x3() -> TsvLink {
+        let array = TsvArray::new(3, 3, TsvGeometry::itrs_2018_min()).expect("array");
+        let cap = Extractor::new(array.clone()).extract(&[0.5; 9]).expect("extract");
+        TsvLink::new(
+            TsvRcNetlist::from_extraction(&array, cap),
+            DriverModel::ptm_22nm_strength6(),
+        )
+        .expect("link")
+    }
+
+    #[test]
+    fn intrinsic_delay_is_picosecond_scale() {
+        // R_drv ≈ 1.5 kΩ into ~50 fF ⇒ ~50–200 ps to the 50 % point.
+        let d = link_3x3().transition_delay(4, &[]).unwrap();
+        assert!(d > 5e-12 && d < 1e-9, "delay = {d:.3e} s");
+    }
+
+    #[test]
+    fn opposing_aggressors_slow_the_victim() {
+        // The Miller effect: neighbours falling while the victim rises
+        // must lengthen the victim's transition.
+        let link = link_3x3();
+        let alone = link.transition_delay(4, &[]).unwrap();
+        let crowded = link
+            .transition_delay(4, &[0, 1, 2, 3, 5, 6, 7, 8])
+            .unwrap();
+        assert!(
+            crowded > 1.3 * alone,
+            "crowded {crowded:.3e} vs alone {alone:.3e}"
+        );
+    }
+
+    #[test]
+    fn corner_victim_is_faster_than_middle_victim() {
+        // Fewer aggressors and less capacitance at the corner.
+        let link = link_3x3();
+        let middle = link.transition_delay(4, &[0, 1, 2, 3, 5, 6, 7, 8]).unwrap();
+        let corner = link.transition_delay(0, &[1, 3, 4]).unwrap();
+        assert!(corner < middle, "corner {corner:.3e} vs middle {middle:.3e}");
+    }
+
+    #[test]
+    fn invalid_indices_rejected() {
+        let link = link_3x3();
+        assert!(link.transition_delay(9, &[]).is_err());
+        assert!(link.transition_delay(0, &[9]).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Classic bus-invert coding (Stan & Burleson) — the self-switching
+//! baseline among the low-power codes.
+
+use crate::CodecError;
+use tsv3d_stats::BitStream;
+
+/// Bus-invert encoder: if more than half of the data lines would toggle,
+/// the complemented word is sent instead and a flag line (the new MSB of
+/// the output) is raised.
+///
+/// Output width is `width + 1`; the flag is bit `width`.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_codec::BusInvert;
+/// use tsv3d_stats::BitStream;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let bi = BusInvert::new(4)?;
+/// let data = BitStream::from_words(4, vec![0b0000, 0b1111, 0b1110])?;
+/// let enc = bi.encode(&data)?;
+/// // 0000 → 1111 toggles 4 of 4 lines ⇒ invert (send 0000, flag set).
+/// assert_eq!(enc.word(1), 0b1_0000);
+/// assert_eq!(bi.decode(&enc)?, data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusInvert {
+    width: usize,
+}
+
+impl BusInvert {
+    /// Creates a bus-invert codec for `width`-bit payloads (the coded
+    /// stream is one bit wider).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidWidth`] unless `1 <= width <= 63`.
+    pub fn new(width: usize) -> Result<Self, CodecError> {
+        if width == 0 || width > 63 {
+            return Err(CodecError::InvalidWidth { width, max: 63 });
+        }
+        Ok(Self { width })
+    }
+
+    /// Payload width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Coded width in bits (payload + flag).
+    pub fn coded_width(&self) -> usize {
+        self.width + 1
+    }
+
+    fn mask(&self) -> u64 {
+        (1u64 << self.width) - 1
+    }
+
+    /// Encodes a stream; the output is one bit wider (flag = MSB).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamWidthMismatch`] if the stream width differs.
+    pub fn encode(&self, stream: &BitStream) -> Result<BitStream, CodecError> {
+        if stream.width() != self.width {
+            return Err(CodecError::StreamWidthMismatch {
+                codec: self.width,
+                stream: stream.width(),
+            });
+        }
+        let mut words = Vec::with_capacity(stream.len());
+        let mut prev_out = 0u64; // bus state (payload bits only)
+        for x in stream.iter() {
+            let toggles = (x ^ prev_out).count_ones() as usize;
+            let (out, flag) = if 2 * toggles > self.width {
+                (!x & self.mask(), 1u64)
+            } else {
+                (x, 0u64)
+            };
+            prev_out = out;
+            words.push(out | flag << self.width);
+        }
+        Ok(BitStream::from_words(self.coded_width(), words)?)
+    }
+
+    /// Decodes a coded stream back to the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamWidthMismatch`] if the stream width differs
+    /// from the coded width.
+    pub fn decode(&self, stream: &BitStream) -> Result<BitStream, CodecError> {
+        if stream.width() != self.coded_width() {
+            return Err(CodecError::StreamWidthMismatch {
+                codec: self.coded_width(),
+                stream: stream.width(),
+            });
+        }
+        let mut words = Vec::with_capacity(stream.len());
+        for y in stream.iter() {
+            let payload = y & self.mask();
+            let flag = (y >> self.width) & 1;
+            words.push(if flag == 1 {
+                !payload & self.mask()
+            } else {
+                payload
+            });
+        }
+        Ok(BitStream::from_words(self.width, words)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv3d_stats::gen::UniformSource;
+    use tsv3d_stats::SwitchingStats;
+
+    #[test]
+    fn round_trip_random_data() {
+        let bi = BusInvert::new(8).unwrap();
+        let data = UniformSource::new(8).unwrap().generate(5, 2000).unwrap();
+        assert_eq!(bi.decode(&bi.encode(&data).unwrap()).unwrap(), data);
+    }
+
+    #[test]
+    fn bounds_toggles_to_half_the_bus() {
+        let bi = BusInvert::new(8).unwrap();
+        let data = UniformSource::new(8).unwrap().generate(6, 2000).unwrap();
+        let enc = bi.encode(&data).unwrap();
+        let mut prev = 0u64;
+        for y in enc.iter() {
+            let toggles = ((y ^ prev) & 0xFF).count_ones();
+            assert!(toggles <= 4, "payload toggles {toggles} > width/2");
+            prev = y & 0xFF;
+        }
+    }
+
+    #[test]
+    fn reduces_mean_self_switching_of_random_data() {
+        let bi = BusInvert::new(8).unwrap();
+        let data = UniformSource::new(8).unwrap().generate(7, 5000).unwrap();
+        let raw: f64 = (0..8)
+            .map(|i| SwitchingStats::from_stream(&data).self_switching(i))
+            .sum();
+        let enc = bi.encode(&data).unwrap();
+        let st = SwitchingStats::from_stream(&enc);
+        let coded: f64 = (0..8).map(|i| st.self_switching(i)).sum();
+        // Payload switching (8 lines) must drop below the raw switching.
+        assert!(coded < raw, "coded {coded:.3} !< raw {raw:.3}");
+    }
+
+    #[test]
+    fn width_validation() {
+        assert!(BusInvert::new(0).is_err());
+        assert!(BusInvert::new(64).is_err());
+        assert!(BusInvert::new(63).is_ok());
+    }
+}

@@ -1,0 +1,234 @@
+//! Coupling-driven bus-invert coding for 2-D metal links (the paper's
+//! Ref. \[24\], Palesi et al.) — the network-on-chip code of Sec. 7.
+
+use crate::CodecError;
+use tsv3d_stats::BitStream;
+
+/// Coupling-invert encoder: like bus-invert, but the inversion decision
+/// minimises the *coupling* cost on a planar wire bundle rather than the
+/// toggle count.
+///
+/// For adjacent metal wires the dominant energy term is
+/// `Σ_i (Δb_i − Δb_{i+1})²` (opposite transitions on neighbouring wires
+/// cost the most, aligned transitions are free), plus the self-switching
+/// term `Σ_i Δb_i²` with relative weight `1/λ`. The encoder evaluates
+/// both candidates (plain and complemented, including the flag wire on
+/// top of the bundle) against the previous bus state and transmits the
+/// cheaper one.
+///
+/// Output width is `width + 1`; the flag is bit `width` — physically the
+/// wire next to bit `width − 1`.
+///
+/// This code is "derived for the physical structure of metal-wires, and
+/// thus intrinsically not suitable for TSVs" (Sec. 7): exactly the
+/// mismatch the bit-to-TSV assignment then exploits.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_codec::CouplingInvert;
+/// use tsv3d_stats::BitStream;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ci = CouplingInvert::new(7)?;
+/// let data = BitStream::from_words(7, vec![0x55, 0x2A, 0x7F, 0x00])?;
+/// let enc = ci.encode(&data)?;
+/// assert_eq!(ci.decode(&enc)?, data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CouplingInvert {
+    width: usize,
+    /// Coupling-to-self capacitance ratio `λ` of the metal bus.
+    lambda: f64,
+}
+
+impl CouplingInvert {
+    /// Creates a coupling-invert codec with the typical deep-submicron
+    /// coupling ratio `λ = 4`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidWidth`] unless `1 <= width <= 63`.
+    pub fn new(width: usize) -> Result<Self, CodecError> {
+        Self::with_lambda(width, 4.0)
+    }
+
+    /// Creates a codec with an explicit coupling ratio.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidWidth`] unless `1 <= width <= 63`.
+    pub fn with_lambda(width: usize, lambda: f64) -> Result<Self, CodecError> {
+        if width == 0 || width > 63 {
+            return Err(CodecError::InvalidWidth { width, max: 63 });
+        }
+        Ok(Self { width, lambda })
+    }
+
+    /// Payload width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Coded width in bits (payload + flag).
+    pub fn coded_width(&self) -> usize {
+        self.width + 1
+    }
+
+    fn mask(&self) -> u64 {
+        (1u64 << self.width) - 1
+    }
+
+    /// Metal-bus transition cost of driving the bundle from `prev` to
+    /// `next` (both including the flag as the top wire).
+    fn cost(&self, prev: u64, next: u64) -> f64 {
+        let n = self.coded_width();
+        let delta = |i: usize| -> f64 {
+            let p = (prev >> i) & 1;
+            let c = (next >> i) & 1;
+            c as f64 - p as f64
+        };
+        let mut self_term = 0.0;
+        for i in 0..n {
+            self_term += delta(i) * delta(i);
+        }
+        let mut coupling = 0.0;
+        for i in 0..n - 1 {
+            let d = delta(i) - delta(i + 1);
+            coupling += d * d;
+        }
+        self_term + self.lambda * coupling
+    }
+
+    /// Encodes a stream; output is one bit wider (flag = MSB).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamWidthMismatch`] if the stream width differs.
+    pub fn encode(&self, stream: &BitStream) -> Result<BitStream, CodecError> {
+        if stream.width() != self.width {
+            return Err(CodecError::StreamWidthMismatch {
+                codec: self.width,
+                stream: stream.width(),
+            });
+        }
+        let mut words = Vec::with_capacity(stream.len());
+        let mut prev = 0u64;
+        for x in stream.iter() {
+            let plain = x;
+            let inverted = (!x & self.mask()) | 1u64 << self.width;
+            let out = if self.cost(prev, inverted) < self.cost(prev, plain) {
+                inverted
+            } else {
+                plain
+            };
+            prev = out;
+            words.push(out);
+        }
+        Ok(BitStream::from_words(self.coded_width(), words)?)
+    }
+
+    /// Decodes a coded stream back to the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamWidthMismatch`] if the stream width differs
+    /// from the coded width.
+    pub fn decode(&self, stream: &BitStream) -> Result<BitStream, CodecError> {
+        if stream.width() != self.coded_width() {
+            return Err(CodecError::StreamWidthMismatch {
+                codec: self.coded_width(),
+                stream: stream.width(),
+            });
+        }
+        let mut words = Vec::with_capacity(stream.len());
+        for y in stream.iter() {
+            let payload = y & self.mask();
+            let flag = (y >> self.width) & 1;
+            words.push(if flag == 1 {
+                !payload & self.mask()
+            } else {
+                payload
+            });
+        }
+        Ok(BitStream::from_words(self.width, words)?)
+    }
+
+    /// Total metal-bus cost of a coded stream — the quantity this code
+    /// minimises (useful to compare codings on their home turf).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamWidthMismatch`] if the stream width differs
+    /// from the coded width.
+    pub fn stream_cost(&self, stream: &BitStream) -> Result<f64, CodecError> {
+        if stream.width() != self.coded_width() {
+            return Err(CodecError::StreamWidthMismatch {
+                codec: self.coded_width(),
+                stream: stream.width(),
+            });
+        }
+        let mut total = 0.0;
+        let mut prev = 0u64;
+        for y in stream.iter() {
+            total += self.cost(prev, y);
+            prev = y;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv3d_stats::gen::UniformSource;
+
+    #[test]
+    fn round_trip_random_data() {
+        let ci = CouplingInvert::new(7).unwrap();
+        let data = UniformSource::new(7).unwrap().generate(9, 3000).unwrap();
+        assert_eq!(ci.decode(&ci.encode(&data).unwrap()).unwrap(), data);
+    }
+
+    #[test]
+    fn coded_stream_has_lower_metal_cost_than_plain() {
+        let ci = CouplingInvert::new(7).unwrap();
+        let data = UniformSource::new(7).unwrap().generate(4, 3000).unwrap();
+        let coded = ci.encode(&data).unwrap();
+        // The "plain" reference: same payload, flag always 0.
+        let plain = BitStream::from_words(8, data.iter().collect()).unwrap();
+        let cost_coded = ci.stream_cost(&coded).unwrap();
+        let cost_plain = ci.stream_cost(&plain).unwrap();
+        assert!(
+            cost_coded < cost_plain,
+            "coded {cost_coded:.0} !< plain {cost_plain:.0}"
+        );
+    }
+
+    #[test]
+    fn decision_prefers_plain_on_ties() {
+        // Identical costs must keep the uninverted word (strict <).
+        let ci = CouplingInvert::new(3).unwrap();
+        let enc = ci.encode(&BitStream::from_words(3, vec![0]).unwrap()).unwrap();
+        assert_eq!(enc.word(0), 0);
+    }
+
+    #[test]
+    fn cost_model_matches_hand_calculation() {
+        let ci = CouplingInvert::with_lambda(3, 2.0).unwrap();
+        // prev = 0000, next = 0101 (4 wires incl. flag):
+        // deltas = [1, 0, 1, 0]; self = 2;
+        // coupling = (1-0)² + (0-1)² + (1-0)² = 3.
+        assert_eq!(ci.cost(0b0000, 0b0101), 2.0 + 2.0 * 3.0);
+        // Aligned transitions are free: 0000 → 1111.
+        assert_eq!(ci.cost(0b0000, 0b1111), 4.0);
+    }
+
+    #[test]
+    fn width_validation() {
+        assert!(CouplingInvert::new(0).is_err());
+        assert!(CouplingInvert::new(64).is_err());
+    }
+}

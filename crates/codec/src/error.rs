@@ -1,0 +1,73 @@
+//! Error type for codec construction and stream processing.
+
+use std::error::Error;
+use std::fmt;
+use tsv3d_stats::StatsError;
+
+/// Errors raised by the codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The codec width must be between 1 and the supported maximum.
+    InvalidWidth {
+        /// The requested width.
+        width: usize,
+        /// The maximum supported by this codec.
+        max: usize,
+    },
+    /// The input stream width does not match the codec width.
+    StreamWidthMismatch {
+        /// Codec width.
+        codec: usize,
+        /// Stream width.
+        stream: usize,
+    },
+    /// The channel count of a multiplexed correlator must be non-zero.
+    ZeroChannels,
+    /// An underlying stream operation failed.
+    Stream(StatsError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidWidth { width, max } => {
+                write!(f, "codec width {width} is outside the supported range 1..={max}")
+            }
+            CodecError::StreamWidthMismatch { codec, stream } => write!(
+                f,
+                "stream width {stream} does not match the codec width {codec}"
+            ),
+            CodecError::ZeroChannels => write!(f, "channel count must be at least one"),
+            CodecError::Stream(e) => write!(f, "stream operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CodecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodecError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CodecError {
+    fn from(e: StatsError) -> Self {
+        CodecError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CodecError::InvalidWidth { width: 0, max: 63 };
+        assert!(e.to_string().contains("width 0"));
+        let e = CodecError::from(StatsError::NoStreams);
+        assert!(e.to_string().contains("stream operation failed"));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,216 @@
+//! Fibonacci-numeral-system crosstalk-avoidance coding — the class of
+//! codes the paper's Ref. \[15\] (Cui et al.) builds on.
+//!
+//! Values are written in the Zeckendorf form of the Fibonacci numeral
+//! system: every codeword is free of adjacent `11` patterns, which
+//! eliminates the worst same-direction-pair crowding and, empirically,
+//! cuts the worst-case adjacent-opposite transitions on a wire bundle.
+//! The price is rate: `m` code bits carry only `F(m+2)` values, so an
+//! 8-bit payload needs 12 lines (50 % overhead) — exactly the TSV-count
+//! inflation the paper's introduction holds against crosstalk-avoidance
+//! codes when they are used in 3-D.
+
+use crate::CodecError;
+use tsv3d_stats::BitStream;
+
+/// A Fibonacci (Zeckendorf) crosstalk-avoidance codec.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_codec::FibonacciCac;
+/// use tsv3d_stats::BitStream;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cac = FibonacciCac::new(8)?;
+/// assert_eq!(cac.coded_width(), 12);
+/// let data = BitStream::from_words(8, vec![0, 1, 37, 255])?;
+/// let coded = cac.encode(&data)?;
+/// // No codeword contains adjacent ones.
+/// for w in coded.iter() {
+///     assert_eq!(w & (w >> 1), 0);
+/// }
+/// assert_eq!(cac.decode(&coded)?, data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FibonacciCac {
+    data_width: usize,
+    code_width: usize,
+    /// Fibonacci weights of the code bits: `fib[i]` is the weight of
+    /// bit `i` (1, 2, 3, 5, 8, …).
+    fib: Vec<u64>,
+}
+
+impl FibonacciCac {
+    /// Creates a codec for `data_width`-bit payloads, choosing the
+    /// smallest code width whose Zeckendorf capacity covers the payload
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidWidth`] unless `1 <= data_width <= 48`
+    /// (wider payloads would need more than 64 code bits).
+    pub fn new(data_width: usize) -> Result<Self, CodecError> {
+        if data_width == 0 || data_width > 48 {
+            return Err(CodecError::InvalidWidth {
+                width: data_width,
+                max: 48,
+            });
+        }
+        let needed = 1u128 << data_width;
+        // Weights 1, 2, 3, 5, 8, … (Zeckendorf digits); capacity of m
+        // digits is fib_weight(m+1) = F(m+2).
+        let mut fib: Vec<u64> = vec![1, 2];
+        loop {
+            let m = fib.len();
+            let capacity = fib[m - 1] as u128 + fib[m - 2] as u128; // next weight
+            if capacity >= needed {
+                break;
+            }
+            fib.push(fib[m - 1] + fib[m - 2]);
+        }
+        let code_width = fib.len();
+        Ok(Self {
+            data_width,
+            code_width,
+            fib,
+        })
+    }
+
+    /// Payload width in bits.
+    pub fn data_width(&self) -> usize {
+        self.data_width
+    }
+
+    /// Code width in bits (lines used on the bundle).
+    pub fn coded_width(&self) -> usize {
+        self.code_width
+    }
+
+    /// Encodes one payload word into its Zeckendorf representation
+    /// (bit `i` of the result weighs `fib[i]`; no adjacent ones).
+    ///
+    /// `value` must be below `2^data_width` (values beyond the code's
+    /// capacity cannot round-trip); [`encode`](FibonacciCac::encode)
+    /// guarantees this via the stream width.
+    pub fn encode_word(&self, value: u64) -> u64 {
+        let mut remaining = value;
+        let mut word = 0u64;
+        for i in (0..self.code_width).rev() {
+            if self.fib[i] <= remaining {
+                word |= 1u64 << i;
+                remaining -= self.fib[i];
+            }
+        }
+        debug_assert_eq!(remaining, 0, "capacity covers the payload range");
+        word
+    }
+
+    /// Decodes one codeword (weighted digit sum).
+    pub fn decode_word(&self, word: u64) -> u64 {
+        (0..self.code_width)
+            .filter(|&i| (word >> i) & 1 == 1)
+            .map(|i| self.fib[i])
+            .sum()
+    }
+
+    /// Encodes a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamWidthMismatch`] if the stream width differs.
+    pub fn encode(&self, stream: &BitStream) -> Result<BitStream, CodecError> {
+        if stream.width() != self.data_width {
+            return Err(CodecError::StreamWidthMismatch {
+                codec: self.data_width,
+                stream: stream.width(),
+            });
+        }
+        let words = stream.iter().map(|w| self.encode_word(w)).collect();
+        Ok(BitStream::from_words(self.code_width, words)?)
+    }
+
+    /// Decodes a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamWidthMismatch`] if the stream width differs
+    /// from the code width.
+    pub fn decode(&self, stream: &BitStream) -> Result<BitStream, CodecError> {
+        if stream.width() != self.code_width {
+            return Err(CodecError::StreamWidthMismatch {
+                codec: self.code_width,
+                stream: stream.width(),
+            });
+        }
+        let words = stream.iter().map(|w| self.decode_word(w)).collect();
+        Ok(BitStream::from_words(self.data_width, words)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv3d_stats::gen::UniformSource;
+
+    #[test]
+    fn eight_bit_payload_needs_twelve_lines() {
+        // F(14) = 377 ≥ 256 > F(13) = 233 ⇒ 12 Zeckendorf digits.
+        let cac = FibonacciCac::new(8).unwrap();
+        assert_eq!(cac.coded_width(), 12);
+    }
+
+    #[test]
+    fn all_codewords_are_adjacent_one_free() {
+        let cac = FibonacciCac::new(10).unwrap();
+        for v in 0u64..1024 {
+            let w = cac.encode_word(v);
+            assert_eq!(w & (w >> 1), 0, "value {v} encodes to {w:b}");
+        }
+    }
+
+    #[test]
+    fn round_trip_exhaustive_small() {
+        let cac = FibonacciCac::new(9).unwrap();
+        for v in 0u64..512 {
+            assert_eq!(cac.decode_word(cac.encode_word(v)), v);
+        }
+    }
+
+    #[test]
+    fn encoding_is_monotone() {
+        // Zeckendorf value order matches numeric order of the greedy
+        // encoding when read as weighted digits.
+        let cac = FibonacciCac::new(8).unwrap();
+        for v in 0u64..255 {
+            assert!(cac.decode_word(cac.encode_word(v)) < cac.decode_word(cac.encode_word(v + 1)));
+        }
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let cac = FibonacciCac::new(8).unwrap();
+        let data = UniformSource::new(8).unwrap().generate(3, 2000).unwrap();
+        assert_eq!(cac.decode(&cac.encode(&data).unwrap()).unwrap(), data);
+    }
+
+    #[test]
+    fn width_checks() {
+        assert!(FibonacciCac::new(0).is_err());
+        assert!(FibonacciCac::new(49).is_err());
+        let cac = FibonacciCac::new(8).unwrap();
+        let bad = BitStream::from_words(9, vec![0]).unwrap();
+        assert!(cac.encode(&bad).is_err());
+        let bad = BitStream::from_words(11, vec![0]).unwrap();
+        assert!(cac.decode(&bad).is_err());
+    }
+
+    #[test]
+    fn overhead_grows_with_payload() {
+        // The rate loss of the Fibonacci base: ~44 % more lines at 16 b.
+        let w16 = FibonacciCac::new(16).unwrap().coded_width();
+        assert!(w16 >= 22 && w16 <= 24, "16-bit payload uses {w16} lines");
+    }
+}

@@ -1,0 +1,211 @@
+//! Binary ↔ Gray conversion with the paper's XNOR (negated) variant.
+
+use crate::CodecError;
+use tsv3d_stats::BitStream;
+
+/// A binary-to-Gray encoder/decoder.
+///
+/// The encoder output is `Y[n] = X[n] ⊕ X[n+1]` (paper Sec. 6), i.e.
+/// `y = x ^ (x >> 1)`. For mean-free normal data the MSBs of the Gray
+/// code are almost always 0 — good for switching, bad for the TSV MOS
+/// effect. The paper's fix is the *negated* Gray code: swap the XOR
+/// gates for XNOR gates, producing the bitwise complement (1-heavy, same
+/// switching activity) at identical hardware cost. Enable it with
+/// [`negated`](GrayCodec::negated).
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_codec::GrayCodec;
+/// use tsv3d_stats::BitStream;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let gray = GrayCodec::new(4)?;
+/// let data = BitStream::from_words(4, vec![0, 1, 2, 3])?;
+/// let enc = gray.encode(&data)?;
+/// assert_eq!(enc.words(), &[0b0000, 0b0001, 0b0011, 0b0010]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrayCodec {
+    width: usize,
+    negated: bool,
+}
+
+impl GrayCodec {
+    /// Creates a Gray codec for `width`-bit words.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidWidth`] unless `1 <= width <= 64`.
+    pub fn new(width: usize) -> Result<Self, CodecError> {
+        if width == 0 || width > 64 {
+            return Err(CodecError::InvalidWidth { width, max: 64 });
+        }
+        Ok(Self {
+            width,
+            negated: false,
+        })
+    }
+
+    /// Switches to the negated (XNOR) variant.
+    pub fn negated(mut self) -> Self {
+        self.negated = true;
+        self
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether this is the negated (XNOR) variant.
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Encodes one word.
+    pub fn encode_word(&self, x: u64) -> u64 {
+        let g = (x ^ (x >> 1)) & self.mask();
+        if self.negated {
+            !g & self.mask()
+        } else {
+            g
+        }
+    }
+
+    /// Decodes one word.
+    pub fn decode_word(&self, y: u64) -> u64 {
+        let mut g = if self.negated { !y & self.mask() } else { y };
+        // Prefix-XOR to undo the Gray transform.
+        let mut shift = 1;
+        while shift < self.width {
+            g ^= g >> shift;
+            shift <<= 1;
+        }
+        g & self.mask()
+    }
+
+    /// Encodes a whole stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamWidthMismatch`] if the stream width differs.
+    pub fn encode(&self, stream: &BitStream) -> Result<BitStream, CodecError> {
+        self.check_width(stream)?;
+        let words = stream.iter().map(|w| self.encode_word(w)).collect();
+        Ok(BitStream::from_words(self.width, words)?)
+    }
+
+    /// Decodes a whole stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::StreamWidthMismatch`] if the stream width differs.
+    pub fn decode(&self, stream: &BitStream) -> Result<BitStream, CodecError> {
+        self.check_width(stream)?;
+        let words = stream.iter().map(|w| self.decode_word(w)).collect();
+        Ok(BitStream::from_words(self.width, words)?)
+    }
+
+    fn check_width(&self, stream: &BitStream) -> Result<(), CodecError> {
+        if stream.width() != self.width {
+            return Err(CodecError::StreamWidthMismatch {
+                codec: self.width,
+                stream: stream.width(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv3d_stats::SwitchingStats;
+
+    #[test]
+    fn gray_code_changes_one_bit_per_increment() {
+        let g = GrayCodec::new(8).unwrap();
+        for x in 0u64..255 {
+            let a = g.encode_word(x);
+            let b = g.encode_word(x + 1);
+            assert_eq!((a ^ b).count_ones(), 1, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn round_trip_all_16bit_boundaries() {
+        let g = GrayCodec::new(16).unwrap();
+        for &x in &[0u64, 1, 2, 0x7FFF, 0x8000, 0xFFFE, 0xFFFF] {
+            assert_eq!(g.decode_word(g.encode_word(x)), x);
+        }
+    }
+
+    #[test]
+    fn negated_variant_is_bitwise_complement() {
+        let g = GrayCodec::new(8).unwrap();
+        let gn = GrayCodec::new(8).unwrap().negated();
+        for x in 0u64..=255 {
+            assert_eq!(gn.encode_word(x), !g.encode_word(x) & 0xFF);
+            assert_eq!(gn.decode_word(gn.encode_word(x)), x);
+        }
+    }
+
+    #[test]
+    fn negated_variant_has_same_switching_but_more_ones() {
+        // Paper Sec. 6: XNOR swap "increases, instead of decreases, the
+        // 1-bit probabilities, while leaving the switching activities
+        // unaffected".
+        let data = BitStream::from_words(8, (0u64..200).map(|t| (t * 7) % 64).collect()).unwrap();
+        let plain = GrayCodec::new(8).unwrap().encode(&data).unwrap();
+        let neg = GrayCodec::new(8).unwrap().negated().encode(&data).unwrap();
+        let sp = SwitchingStats::from_stream(&plain);
+        let sn = SwitchingStats::from_stream(&neg);
+        for i in 0..8 {
+            assert!((sp.self_switching(i) - sn.self_switching(i)).abs() < 1e-12);
+            assert!(
+                sn.bit_probability(i) >= sp.bit_probability(i),
+                "bit {i}: {} vs {}",
+                sn.bit_probability(i),
+                sp.bit_probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let g = GrayCodec::new(12).unwrap();
+        let data = BitStream::from_words(12, (0..500u64).map(|t| (t * 37) & 0xFFF).collect()).unwrap();
+        assert_eq!(g.decode(&g.encode(&data).unwrap()).unwrap(), data);
+    }
+
+    #[test]
+    fn width_checked() {
+        assert!(GrayCodec::new(0).is_err());
+        assert!(GrayCodec::new(65).is_err());
+        let g = GrayCodec::new(8).unwrap();
+        let s = BitStream::from_words(9, vec![0]).unwrap();
+        assert!(matches!(
+            g.encode(&s),
+            Err(CodecError::StreamWidthMismatch { codec: 8, stream: 9 })
+        ));
+    }
+
+    #[test]
+    fn width_64_round_trip() {
+        let g = GrayCodec::new(64).unwrap();
+        for &x in &[0u64, u64::MAX, 0x8000_0000_0000_0000, 12345678901234567] {
+            assert_eq!(g.decode_word(g.encode_word(x)), x);
+        }
+    }
+}

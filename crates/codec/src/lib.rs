@@ -1,0 +1,62 @@
+//! Low-power bus codings and their combination with the bit-to-TSV
+//! assignment (paper Secs. 6 and 7).
+//!
+//! Classical low-power codes were designed for planar metal wires; on
+//! TSVs they can even *increase* power because they drive the 1-bit
+//! probabilities down and thereby (through the MOS effect) the
+//! capacitances up. The paper's remedy is to fold the optimal
+//! assignment's inversions into the coder — swapping XOR for XNOR gates
+//! costs nothing and flips the code's 0-heavy outputs into 1-heavy ones.
+//!
+//! Implemented codecs:
+//!
+//! * [`GrayCodec`] — binary↔Gray conversion, with the paper's *negated*
+//!   variant (XNOR instead of XOR, Sec. 6);
+//! * [`Correlator`] — the XOR decorrelator of Sec. 7 that restores
+//!   temporal/spatial correlation for multiplexed streams (per-channel
+//!   differencing, hidable in the sensor's A/D converter), also with a
+//!   negated variant;
+//! * [`BusInvert`] — classic bus-invert coding (Hamming criterion);
+//! * [`CouplingInvert`] — coupling-driven bus-invert for 2-D metal
+//!   links (Ref. \[24\]), deciding on the *adjacent-wire coupling* cost —
+//!   the code of Sec. 7's network-on-chip experiment;
+//! * [`FibonacciCac`] — a Fibonacci-numeral-system crosstalk-avoidance
+//!   code (the family of Ref. \[15\]), used to quantify the intro's
+//!   claim that SI codes inflate the TSV count and power;
+//! * [`invert_mask`] / [`apply_mask`] — fixed per-line inversions, the
+//!   mechanism by which an assignment's inversions are realised inside
+//!   any coder.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsv3d_codec::GrayCodec;
+//! use tsv3d_stats::BitStream;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = BitStream::from_words(8, vec![3, 4, 5, 6, 7, 8])?;
+//! let gray = GrayCodec::new(8)?;
+//! let encoded = gray.encode(&data)?;
+//! assert_eq!(gray.decode(&encoded)?, data);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod businvert;
+mod correlator;
+mod fibonacci;
+mod couplinginvert;
+mod error;
+mod gray;
+mod mask;
+
+pub use businvert::BusInvert;
+pub use correlator::Correlator;
+pub use couplinginvert::CouplingInvert;
+pub use error::CodecError;
+pub use fibonacci::FibonacciCac;
+pub use gray::GrayCodec;
+pub use mask::{apply_mask, invert_mask};

@@ -1,0 +1,91 @@
+//! Fixed per-line inversion masks — how an assignment's inversions are
+//! realised in (or next to) a coder.
+
+use crate::CodecError;
+use tsv3d_stats::BitStream;
+
+/// Builds the inversion mask of an assignment's *line-side* inversions:
+/// bit `j` of the mask is set iff the bit transmitted on line `j` is
+/// inverted.
+///
+/// Apply it to a line-ordered stream with [`apply_mask`]. In hardware
+/// this is free: inverting buffers replace non-inverting ones, or XOR
+/// gates inside a coder become XNOR gates (paper Sec. 6).
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_codec::invert_mask;
+///
+/// // Lines 0 and 2 carry inverted bits.
+/// let mask = invert_mask(&[true, false, true]);
+/// assert_eq!(mask, 0b101);
+/// ```
+pub fn invert_mask(line_inverted: &[bool]) -> u64 {
+    let mut mask = 0u64;
+    for (j, &inv) in line_inverted.iter().enumerate() {
+        if inv {
+            mask |= 1u64 << j;
+        }
+    }
+    mask
+}
+
+/// XORs every word of the stream with `mask` (fixed inversions).
+///
+/// Applying the same mask twice restores the original stream.
+///
+/// # Errors
+///
+/// [`CodecError::Stream`] if the mask has bits outside the stream width.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_codec::apply_mask;
+/// use tsv3d_stats::BitStream;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s = BitStream::from_words(4, vec![0b0000, 0b1111])?;
+/// let t = apply_mask(&s, 0b0011)?;
+/// assert_eq!(t.words(), &[0b0011, 0b1100]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn apply_mask(stream: &BitStream, mask: u64) -> Result<BitStream, CodecError> {
+    let words = stream.iter().map(|w| w ^ mask).collect();
+    Ok(BitStream::from_words(stream.width(), words)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_round_trips() {
+        let s = BitStream::from_words(5, vec![1, 2, 3, 31]).unwrap();
+        let m = invert_mask(&[true, false, true, false, true]);
+        let once = apply_mask(&s, m).unwrap();
+        assert_ne!(once, s);
+        assert_eq!(apply_mask(&once, m).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_mask_is_identity() {
+        let s = BitStream::from_words(5, vec![7, 8]).unwrap();
+        assert_eq!(apply_mask(&s, 0).unwrap(), s);
+    }
+
+    #[test]
+    fn oversized_mask_rejected() {
+        let s = BitStream::from_words(3, vec![0]).unwrap();
+        assert!(apply_mask(&s, 0b1000).is_err());
+    }
+
+    #[test]
+    fn mask_bits_match_flags() {
+        assert_eq!(invert_mask(&[]), 0);
+        assert_eq!(invert_mask(&[false; 8]), 0);
+        assert_eq!(invert_mask(&[true; 4]), 0b1111);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests: every codec must round-trip arbitrary streams
+//! and preserve the structural guarantees the paper relies on.
+
+use proptest::prelude::*;
+use tsv3d_codec::{apply_mask, BusInvert, Correlator, CouplingInvert, GrayCodec};
+use tsv3d_stats::{BitStream, SwitchingStats};
+
+fn stream(width: usize) -> impl Strategy<Value = BitStream> {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    prop::collection::vec(any::<u64>().prop_map(move |w| w & mask), 1..120)
+        .prop_map(move |words| BitStream::from_words(width, words).expect("masked words fit"))
+}
+
+proptest! {
+    #[test]
+    fn gray_round_trips(s in stream(16)) {
+        let g = GrayCodec::new(16).expect("valid width");
+        prop_assert_eq!(g.decode(&g.encode(&s).expect("encode")).expect("decode"), s);
+    }
+
+    #[test]
+    fn negated_gray_round_trips(s in stream(11)) {
+        let g = GrayCodec::new(11).expect("valid width").negated();
+        prop_assert_eq!(g.decode(&g.encode(&s).expect("encode")).expect("decode"), s);
+    }
+
+    #[test]
+    fn gray_adjacent_codes_differ_in_one_bit(x in 0u64..0xFFFF) {
+        let g = GrayCodec::new(16).expect("valid width");
+        let a = g.encode_word(x);
+        let b = g.encode_word((x + 1) & 0xFFFF);
+        // Wrap-around 0xFFFF→0 also differs in exactly one bit.
+        prop_assert_eq!((a ^ b).count_ones(), 1);
+    }
+
+    #[test]
+    fn correlator_round_trips(s in stream(12), channels in 1usize..5) {
+        let c = Correlator::new(12, channels).expect("valid params");
+        prop_assert_eq!(c.decode(&c.encode(&s).expect("encode")).expect("decode"), s.clone());
+        let cn = Correlator::new(12, channels).expect("valid params").negated();
+        prop_assert_eq!(cn.decode(&cn.encode(&s).expect("encode")).expect("decode"), s);
+    }
+
+    #[test]
+    fn bus_invert_round_trips_and_bounds_toggles(s in stream(9)) {
+        let bi = BusInvert::new(9).expect("valid width");
+        let coded = bi.encode(&s).expect("encode");
+        prop_assert_eq!(bi.decode(&coded).expect("decode"), s);
+        // Payload toggles never exceed half the payload width.
+        let mut prev = 0u64;
+        for y in coded.iter() {
+            let toggles = ((y ^ prev) & 0x1FF).count_ones();
+            prop_assert!(toggles <= 5, "{toggles} toggles");
+            prev = y & 0x1FF;
+        }
+    }
+
+    #[test]
+    fn coupling_invert_round_trips(s in stream(7)) {
+        let ci = CouplingInvert::new(7).expect("valid width");
+        prop_assert_eq!(ci.decode(&ci.encode(&s).expect("encode")).expect("decode"), s);
+    }
+
+    #[test]
+    fn coupling_invert_never_raises_the_metal_cost(s in stream(7)) {
+        // The decision rule takes the cheaper candidate each cycle, so
+        // the coded stream's cost never exceeds the flag-0 passthrough.
+        let ci = CouplingInvert::new(7).expect("valid width");
+        let coded = ci.encode(&s).expect("encode");
+        let passthrough = BitStream::from_words(8, s.iter().collect()).expect("fits");
+        let c_coded = ci.stream_cost(&coded).expect("widths match");
+        let c_plain = ci.stream_cost(&passthrough).expect("widths match");
+        prop_assert!(c_coded <= c_plain + 1e-9);
+    }
+
+    #[test]
+    fn masks_preserve_switching_statistics(s in stream(10), mask in 0u64..0x400) {
+        // A fixed inversion mask must never change any switching
+        // activity — only the 1-probabilities (paper Sec. 6).
+        let masked = apply_mask(&s, mask).expect("mask fits");
+        let a = SwitchingStats::from_stream(&s);
+        let b = SwitchingStats::from_stream(&masked);
+        for i in 0..10 {
+            prop_assert!((a.self_switching(i) - b.self_switching(i)).abs() < 1e-12);
+            let flipped = (mask >> i) & 1 == 1;
+            let expect = if flipped { 1.0 - a.bit_probability(i) } else { a.bit_probability(i) };
+            prop_assert!((b.bit_probability(i) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mask_is_involutive(s in stream(14), mask in 0u64..0x4000) {
+        let twice = apply_mask(&apply_mask(&s, mask).expect("fits"), mask).expect("fits");
+        prop_assert_eq!(twice, s);
+    }
+}

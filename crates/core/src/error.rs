@@ -1,0 +1,66 @@
+//! Error type for assignment-problem construction and optimisation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or optimising an assignment problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Switching statistics and capacitance model have different sizes.
+    DimensionMismatch {
+        /// Number of bits in the statistics.
+        bits: usize,
+        /// Number of lines in the capacitance model.
+        lines: usize,
+    },
+    /// A per-bit flag vector has the wrong length.
+    FlagCountMismatch {
+        /// Provided flags.
+        got: usize,
+        /// Expected (number of bits).
+        expected: usize,
+    },
+    /// The exhaustive search would take too long for this size.
+    TooLargeForExhaustive {
+        /// Problem size.
+        n: usize,
+        /// Largest supported size.
+        max: usize,
+    },
+    /// An optimiser needs at least one sample/iteration.
+    EmptyBudget,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { bits, lines } => write!(
+                f,
+                "switching statistics cover {bits} bits but the capacitance model has {lines} lines"
+            ),
+            CoreError::FlagCountMismatch { got, expected } => {
+                write!(f, "got {got} per-bit flags for {expected} bits")
+            }
+            CoreError::TooLargeForExhaustive { n, max } => write!(
+                f,
+                "exhaustive search supports at most {max} bits, got {n} (use simulated annealing)"
+            ),
+            CoreError::EmptyBudget => write!(f, "optimiser budget must be at least one"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_sizes() {
+        let e = CoreError::DimensionMismatch { bits: 9, lines: 16 };
+        assert!(e.to_string().contains("9 bits"));
+        let e = CoreError::TooLargeForExhaustive { n: 20, max: 8 };
+        assert!(e.to_string().contains("at most 8"));
+    }
+}

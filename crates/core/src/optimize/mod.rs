@@ -1,0 +1,789 @@
+//! Optimisers for the power-optimal assignment (paper Eq. 10).
+//!
+//! The paper determines `Aπ̂ = arg min ⟨T', C'⟩` with "any of the several
+//! optimization tools available" and uses simulated annealing as the
+//! example; bundle sizes are small (tens of TSVs), so runtimes are
+//! negligible. This module provides:
+//!
+//! * [`exhaustive`] — exact search over all signed permutations, for
+//!   small bundles and for validating the heuristics;
+//! * [`anneal`] — simulated annealing with swap and inversion-flip moves
+//!   (the paper's choice);
+//! * [`greedy_two_opt`] — deterministic best-improvement local search,
+//!   a cheap and surprisingly strong baseline;
+//! * [`worst_case`] — the *maximising* counterpart used as the
+//!   "worst-case random assignment" reference of Fig. 2;
+//! * [`random_mean`] — the mean power over uniformly random (uninverted)
+//!   assignments, the baseline of Figs. 4 and 5;
+//! * [`branch_and_bound`] — an exact solver with admissible lower
+//!   bounds, extending provably optimal solutions to full 3×3 bundles
+//!   with inversions (an ablation subject in DESIGN.md).
+
+mod bnb;
+
+pub use bnb::{branch_and_bound, BnbOptions, BnbOutcome};
+
+use crate::{AssignmentProblem, CoreError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsv3d_matrix::SignedPerm;
+
+/// An optimisation outcome: the assignment and its normalised power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeResult {
+    /// The best assignment found.
+    pub assignment: SignedPerm,
+    /// Its normalised power `⟨T', C'⟩`.
+    pub power: f64,
+}
+
+/// Parameters of the simulated-annealing search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealOptions {
+    /// Moves per restart.
+    pub iterations: usize,
+    /// Independent restarts (the best result wins).
+    pub restarts: usize,
+    /// RNG seed (searches are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        Self {
+            iterations: 20_000,
+            restarts: 3,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Exhaustive search over every permutation and every feasible inversion
+/// subset — exact, but exponential.
+///
+/// # Errors
+///
+/// [`CoreError::TooLargeForExhaustive`] when `n! · 2^k` (with `k`
+/// invertible bits) would exceed ≈3×10⁷ evaluations; use [`anneal`]
+/// instead.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_core::{optimize, AssignmentProblem};
+/// use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+/// use tsv3d_stats::{BitStream, SwitchingStats};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cap = LinearCapModel::fit(&Extractor::new(
+///     TsvArray::new(2, 2, TsvGeometry::wide_2018())?,
+/// ))?;
+/// let s = BitStream::from_words(4, vec![0b0001, 0b1110, 0b0001, 0b1110])?;
+/// let problem = AssignmentProblem::new(SwitchingStats::from_stream(&s), cap)?;
+/// let best = optimize::exhaustive(&problem)?;
+/// assert!(best.power <= problem.identity_power());
+/// # Ok(())
+/// # }
+/// ```
+pub fn exhaustive(problem: &AssignmentProblem) -> Result<OptimizeResult, CoreError> {
+    let n = problem.n();
+    let free_bits: Vec<usize> = (0..n).filter(|&b| problem.pin_of(b).is_none()).collect();
+    let free_lines = problem.free_lines();
+    let f = free_bits.len();
+    let k = problem.invertible().iter().filter(|&&b| b).count();
+    let perms: f64 = (1..=f).map(|i| i as f64).product();
+    if perms * (k as f64).exp2() > 3.0e7 {
+        return Err(CoreError::TooLargeForExhaustive { n, max: 8 });
+    }
+
+    let invertible_bits: Vec<usize> = (0..n).filter(|&i| problem.is_invertible(i)).collect();
+    let mut best: Option<OptimizeResult> = None;
+
+    // Heap's algorithm over the free bits' slot order; slot `s` places
+    // `order[s]` on `free_lines[s]`, pinned bits stay put.
+    let mut order: Vec<usize> = free_bits.clone();
+    let mut counters = vec![0usize; f.max(1)];
+    let evaluate = |order: &[usize], best: &mut Option<OptimizeResult>| {
+        let mut line_of_bit = vec![usize::MAX; n];
+        for (bit, pin) in (0..n).map(|b| (b, problem.pin_of(b))) {
+            if let Some(line) = pin {
+                line_of_bit[bit] = line;
+            }
+        }
+        for (slot, &bit) in order.iter().enumerate() {
+            line_of_bit[bit] = free_lines[slot];
+        }
+        for mask in 0u64..(1u64 << invertible_bits.len()) {
+            let mut inverted = vec![false; n];
+            for (pos, &bit) in invertible_bits.iter().enumerate() {
+                inverted[bit] = (mask >> pos) & 1 == 1;
+            }
+            let a = SignedPerm::from_parts(line_of_bit.clone(), inverted)
+                .expect("generated permutation is valid");
+            let p = problem.power(&a);
+            if best.as_ref().is_none_or(|b| p < b.power) {
+                *best = Some(OptimizeResult {
+                    assignment: a,
+                    power: p,
+                });
+            }
+        }
+    };
+
+    evaluate(&order, &mut best);
+    let mut i = 0;
+    while i < f {
+        if counters[i] < i {
+            if i % 2 == 0 {
+                order.swap(0, i);
+            } else {
+                order.swap(counters[i], i);
+            }
+            evaluate(&order, &mut best);
+            counters[i] += 1;
+            i = 0;
+        } else {
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+    Ok(best.expect("at least the base assignment was evaluated"))
+}
+
+/// Simulated annealing over signed permutations (the paper's optimiser).
+///
+/// Moves are line swaps and inversion flips of invertible bits; the
+/// temperature follows a geometric schedule calibrated from an initial
+/// random probe of the power landscape. The returned assignment always
+/// satisfies the problem's inversion constraints.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyBudget`] if `iterations` or `restarts` is zero.
+pub fn anneal(
+    problem: &AssignmentProblem,
+    options: &AnnealOptions,
+) -> Result<OptimizeResult, CoreError> {
+    if options.iterations == 0 || options.restarts == 0 {
+        return Err(CoreError::EmptyBudget);
+    }
+    let n = problem.n();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+
+    // Probe the landscape to calibrate the temperature scale.
+    let mut probe_min = f64::INFINITY;
+    let mut probe_max = f64::NEG_INFINITY;
+    for _ in 0..32.max(n) {
+        let a = random_feasible(problem, &mut rng);
+        let p = problem.power(&a);
+        probe_min = probe_min.min(p);
+        probe_max = probe_max.max(p);
+    }
+    let spread = (probe_max - probe_min).max(probe_max.abs() * 1e-6 + f64::MIN_POSITIVE);
+    let t_start = 0.5 * spread;
+    let t_end = 1e-5 * spread;
+    let cooling = (t_end / t_start).powf(1.0 / options.iterations as f64);
+
+    let flip_candidates: Vec<usize> = (0..n).filter(|&i| problem.is_invertible(i)).collect();
+    let free_lines = problem.free_lines();
+    if free_lines.len() < 2 && flip_candidates.is_empty() {
+        // Everything is pinned and nothing may be inverted: the base
+        // assignment is the only feasible point.
+        let a = problem.base_assignment();
+        let power = problem.power(&a);
+        return Ok(OptimizeResult { assignment: a, power });
+    }
+
+    let mut best: Option<OptimizeResult> = None;
+    for _ in 0..options.restarts {
+        let mut current = random_feasible(problem, &mut rng);
+        let mut current_power = problem.power(&current);
+        // Record the starting state so a best always exists even in the
+        // (pathological) case that every proposal is rejected.
+        if best.as_ref().is_none_or(|b| current_power < b.power) {
+            best = Some(OptimizeResult {
+                assignment: current.clone(),
+                power: current_power,
+            });
+        }
+        let mut temperature = t_start;
+        let mut accepts_since_resync = 0u32;
+        for _ in 0..options.iterations {
+            // Propose a move and price it incrementally (O(n)).
+            let flip = !flip_candidates.is_empty()
+                && (free_lines.len() < 2 || rng.gen_bool(0.3));
+            let (swap_a, swap_b, flip_bit, delta);
+            if flip {
+                let bit = flip_candidates[rng.gen_range(0..flip_candidates.len())];
+                delta = problem.flip_bit_delta(&current, bit);
+                flip_bit = Some(bit);
+                swap_a = 0;
+                swap_b = 0;
+            } else {
+                flip_bit = None;
+                swap_a = free_lines[rng.gen_range(0..free_lines.len())];
+                swap_b = free_lines[rng.gen_range(0..free_lines.len())];
+                delta = problem.swap_lines_delta(&current, swap_a, swap_b);
+            }
+            if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                match flip_bit {
+                    Some(bit) => current.flip_bit(bit),
+                    None => current.swap_lines(swap_a, swap_b),
+                }
+                current_power += delta;
+                // Periodically recompute to cancel floating-point drift
+                // from the accumulated deltas.
+                accepts_since_resync += 1;
+                if accepts_since_resync >= 1024 {
+                    current_power = problem.power(&current);
+                    accepts_since_resync = 0;
+                }
+                if best.as_ref().is_none_or(|b| current_power < b.power) {
+                    best = Some(OptimizeResult {
+                        assignment: current.clone(),
+                        power: current_power,
+                    });
+                }
+            }
+            temperature *= cooling;
+        }
+    }
+    let mut best = best.expect("incumbent recorded at every restart start");
+    // Report the exact power of the winning assignment (the tracked
+    // value may carry accumulated-delta rounding).
+    best.power = problem.power(&best.assignment);
+    Ok(best)
+}
+
+/// Simulated annealing over an *arbitrary* objective — the tool for
+/// multi-objective studies such as the power/crosstalk trade-off
+/// (`power + λ · crosstalk_activity`).
+///
+/// Full objective evaluation per move (no incremental pricing), so use
+/// a smaller iteration budget than [`anneal`]. The returned assignment
+/// satisfies the problem's inversion constraints.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyBudget`] if `iterations` or `restarts` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_core::{optimize, AssignmentProblem};
+/// use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+/// use tsv3d_stats::{BitStream, SwitchingStats};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cap = LinearCapModel::fit(&Extractor::new(
+///     TsvArray::new(2, 2, TsvGeometry::wide_2018())?,
+/// ))?;
+/// let s = BitStream::from_words(4, vec![0b0001, 0b1110, 0b0011, 0b1100])?;
+/// let problem = AssignmentProblem::new(SwitchingStats::from_stream(&s), cap)?;
+/// // Jointly minimise power and crosstalk activity.
+/// let best = optimize::anneal_objective(
+///     &problem,
+///     |a| problem.power(a) + 0.5 * problem.crosstalk_activity(a),
+///     &optimize::AnnealOptions::default(),
+/// )?;
+/// assert!(problem.is_feasible(&best.assignment));
+/// # Ok(())
+/// # }
+/// ```
+pub fn anneal_objective(
+    problem: &AssignmentProblem,
+    objective: impl Fn(&SignedPerm) -> f64,
+    options: &AnnealOptions,
+) -> Result<OptimizeResult, CoreError> {
+    if options.iterations == 0 || options.restarts == 0 {
+        return Err(CoreError::EmptyBudget);
+    }
+    let n = problem.n();
+    let mut rng = StdRng::seed_from_u64(options.seed ^ 0x0B_1EC7);
+
+    let mut probe_min = f64::INFINITY;
+    let mut probe_max = f64::NEG_INFINITY;
+    for _ in 0..32.max(n) {
+        let v = objective(&random_feasible(problem, &mut rng));
+        probe_min = probe_min.min(v);
+        probe_max = probe_max.max(v);
+    }
+    let spread = (probe_max - probe_min).max(probe_max.abs() * 1e-6 + f64::MIN_POSITIVE);
+    let t_start = 0.5 * spread;
+    let cooling = (1e-5f64).powf(1.0 / options.iterations as f64);
+    let flip_candidates: Vec<usize> = (0..n).filter(|&i| problem.is_invertible(i)).collect();
+
+    let mut best: Option<OptimizeResult> = None;
+    for _ in 0..options.restarts {
+        let mut current = random_feasible(problem, &mut rng);
+        let mut current_value = objective(&current);
+        if best.as_ref().is_none_or(|b| current_value < b.power) {
+            best = Some(OptimizeResult {
+                assignment: current.clone(),
+                power: current_value,
+            });
+        }
+        let mut temperature = t_start;
+        for _ in 0..options.iterations {
+            let flip = !flip_candidates.is_empty() && rng.gen_bool(0.3);
+            let (swap_a, swap_b, flip_bit);
+            if flip {
+                let bit = flip_candidates[rng.gen_range(0..flip_candidates.len())];
+                current.flip_bit(bit);
+                flip_bit = Some(bit);
+                swap_a = 0;
+                swap_b = 0;
+            } else {
+                flip_bit = None;
+                swap_a = rng.gen_range(0..n);
+                swap_b = rng.gen_range(0..n);
+                current.swap_lines(swap_a, swap_b);
+            }
+            let candidate = objective(&current);
+            let delta = candidate - current_value;
+            if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                current_value = candidate;
+                if best.as_ref().is_none_or(|b| current_value < b.power) {
+                    best = Some(OptimizeResult {
+                        assignment: current.clone(),
+                        power: current_value,
+                    });
+                }
+            } else {
+                match flip_bit {
+                    Some(bit) => current.flip_bit(bit),
+                    None => current.swap_lines(swap_a, swap_b),
+                }
+            }
+            temperature *= cooling;
+        }
+    }
+    Ok(best.expect("incumbent recorded at every restart start"))
+}
+
+/// Deterministic greedy + 2-opt local search: repeatedly applies the
+/// single best swap or feasible flip until no move improves the power.
+///
+/// Converges to a local optimum; on the small bundles of the paper it is
+/// usually within a percent of the annealed result and is fully
+/// reproducible without a seed.
+pub fn greedy_two_opt(problem: &AssignmentProblem) -> OptimizeResult {
+    let n = problem.n();
+    let mut current = problem.base_assignment();
+    let mut current_power = problem.power(&current);
+    let free_lines = problem.free_lines();
+    loop {
+        let mut best_move: Option<(f64, Option<usize>, (usize, usize))> = None;
+        // Swaps (among unpinned lines only).
+        for (ai, &a) in free_lines.iter().enumerate() {
+            for &b in &free_lines[ai + 1..] {
+                current.swap_lines(a, b);
+                let p = problem.power(&current);
+                current.swap_lines(a, b);
+                if p < current_power && best_move.as_ref().is_none_or(|m| p < m.0) {
+                    best_move = Some((p, None, (a, b)));
+                }
+            }
+        }
+        // Flips.
+        for bit in (0..n).filter(|&i| problem.is_invertible(i)) {
+            current.flip_bit(bit);
+            let p = problem.power(&current);
+            current.flip_bit(bit);
+            if p < current_power && best_move.as_ref().is_none_or(|m| p < m.0) {
+                best_move = Some((p, Some(bit), (0, 0)));
+            }
+        }
+        match best_move {
+            Some((p, Some(bit), _)) => {
+                current.flip_bit(bit);
+                current_power = p;
+            }
+            Some((p, None, (a, b))) => {
+                current.swap_lines(a, b);
+                current_power = p;
+            }
+            None => break,
+        }
+    }
+    OptimizeResult {
+        assignment: current,
+        power: current_power,
+    }
+}
+
+/// Simulated annealing towards the *highest* power, without inversions —
+/// the "worst-case random assignment" reference of Fig. 2.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyBudget`] if `iterations` or `restarts` is zero.
+pub fn worst_case(
+    problem: &AssignmentProblem,
+    options: &AnnealOptions,
+) -> Result<OptimizeResult, CoreError> {
+    if options.iterations == 0 || options.restarts == 0 {
+        return Err(CoreError::EmptyBudget);
+    }
+    let n = problem.n();
+    let mut rng = StdRng::seed_from_u64(options.seed ^ 0xBAD_C0DE);
+    let mut probe_min = f64::INFINITY;
+    let mut probe_max = f64::NEG_INFINITY;
+    for _ in 0..32.max(n) {
+        let p = problem.power(&random_unsigned_feasible(problem, &mut rng));
+        probe_min = probe_min.min(p);
+        probe_max = probe_max.max(p);
+    }
+    let spread = (probe_max - probe_min).max(probe_max.abs() * 1e-6 + f64::MIN_POSITIVE);
+    let t_start = 0.5 * spread;
+    let cooling = (1e-5f64).powf(1.0 / options.iterations as f64);
+    let free_lines = problem.free_lines();
+    if free_lines.len() < 2 {
+        let a = problem.base_assignment();
+        let power = problem.power(&a);
+        return Ok(OptimizeResult { assignment: a, power });
+    }
+
+    let mut best: Option<OptimizeResult> = None;
+    for _ in 0..options.restarts {
+        let mut current = random_unsigned_feasible(problem, &mut rng);
+        let mut current_power = problem.power(&current);
+        if best.as_ref().is_none_or(|m| current_power > m.power) {
+            best = Some(OptimizeResult {
+                assignment: current.clone(),
+                power: current_power,
+            });
+        }
+        let mut temperature = t_start;
+        for _ in 0..options.iterations {
+            let a = free_lines[rng.gen_range(0..free_lines.len())];
+            let b = free_lines[rng.gen_range(0..free_lines.len())];
+            current.swap_lines(a, b);
+            let p = problem.power(&current);
+            let delta = current_power - p; // maximising
+            if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                current_power = p;
+                if best.as_ref().is_none_or(|m| current_power > m.power) {
+                    best = Some(OptimizeResult {
+                        assignment: current.clone(),
+                        power: current_power,
+                    });
+                }
+            } else {
+                current.swap_lines(a, b);
+            }
+            temperature *= cooling;
+        }
+    }
+    Ok(best.expect("at least one restart ran"))
+}
+
+/// Mean power over `samples` uniformly random permutations *without*
+/// inversions — the "random assignment" baseline of Figs. 4 and 5.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyBudget`] if `samples` is zero.
+pub fn random_mean(
+    problem: &AssignmentProblem,
+    samples: usize,
+    seed: u64,
+) -> Result<f64, CoreError> {
+    if samples == 0 {
+        return Err(CoreError::EmptyBudget);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: f64 = (0..samples)
+        .map(|_| problem.power(&random_unsigned_feasible(problem, &mut rng)))
+        .sum();
+    Ok(total / samples as f64)
+}
+
+/// Uniformly random pin-respecting permutation without inversions.
+fn random_unsigned_feasible(problem: &AssignmentProblem, rng: &mut StdRng) -> SignedPerm {
+    let n = problem.n();
+    let mut free_lines = problem.free_lines();
+    for i in (1..free_lines.len()).rev() {
+        free_lines.swap(i, rng.gen_range(0..=i));
+    }
+    let mut free_lines = free_lines.into_iter();
+    let line_of_bit: Vec<usize> = (0..n)
+        .map(|bit| {
+            problem
+                .pin_of(bit)
+                .unwrap_or_else(|| free_lines.next().expect("free lines match free bits"))
+        })
+        .collect();
+    SignedPerm::from_parts(line_of_bit, vec![false; n]).expect("valid permutation")
+}
+
+/// Uniformly random *feasible* signed permutation: pinned bits stay on
+/// their lines, the rest are shuffled over the free lines, inversions
+/// only on invertible bits.
+fn random_feasible(problem: &AssignmentProblem, rng: &mut StdRng) -> SignedPerm {
+    let n = problem.n();
+    let mut free_lines = problem.free_lines();
+    for i in (1..free_lines.len()).rev() {
+        free_lines.swap(i, rng.gen_range(0..=i));
+    }
+    let mut free_lines = free_lines.into_iter();
+    let line_of_bit: Vec<usize> = (0..n)
+        .map(|bit| {
+            problem
+                .pin_of(bit)
+                .unwrap_or_else(|| free_lines.next().expect("free lines match free bits"))
+        })
+        .collect();
+    let inverted: Vec<bool> = (0..n)
+        .map(|i| problem.is_invertible(i) && rng.gen_bool(0.5))
+        .collect();
+    SignedPerm::from_parts(line_of_bit, inverted).expect("shuffled permutation is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+    use tsv3d_stats::gen::{GaussianSource, SequentialSource};
+    use tsv3d_stats::SwitchingStats;
+
+    fn gaussian_problem(rows: usize, cols: usize) -> AssignmentProblem {
+        let n = rows * cols;
+        let cap = LinearCapModel::fit(&Extractor::new(
+            TsvArray::new(rows, cols, TsvGeometry::wide_2018()).expect("array"),
+        ))
+        .expect("fit");
+        let sigma = (1u64 << (n - 2)) as f64;
+        let stream = GaussianSource::new(n, sigma)
+            .with_correlation(0.4)
+            .generate(7, 6000)
+            .expect("stream");
+        AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap).expect("problem")
+    }
+
+    #[test]
+    fn exhaustive_beats_or_matches_every_heuristic() {
+        let p = gaussian_problem(2, 2);
+        let exact = exhaustive(&p).unwrap();
+        let annealed = anneal(&p, &AnnealOptions::default()).unwrap();
+        let greedy = greedy_two_opt(&p);
+        assert!(exact.power <= annealed.power + 1e-12 * exact.power.abs());
+        assert!(exact.power <= greedy.power + 1e-12 * exact.power.abs());
+    }
+
+    #[test]
+    fn anneal_finds_the_exact_optimum_on_small_problems() {
+        let p = gaussian_problem(2, 3);
+        let exact = exhaustive(&p).unwrap();
+        let annealed = anneal(
+            &p,
+            &AnnealOptions {
+                iterations: 30_000,
+                restarts: 4,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let rel = (annealed.power - exact.power) / exact.power.abs();
+        assert!(rel < 1e-6, "anneal is {rel:.3e} above the optimum");
+    }
+
+    #[test]
+    fn optimum_improves_on_random_baseline() {
+        let p = gaussian_problem(3, 3);
+        let best = anneal(&p, &AnnealOptions::default()).unwrap();
+        let mean = random_mean(&p, 300, 11).unwrap();
+        assert!(
+            best.power < mean,
+            "optimised {:.4e} !< random {:.4e}",
+            best.power,
+            mean
+        );
+    }
+
+    #[test]
+    fn worst_case_exceeds_random_mean() {
+        let p = gaussian_problem(3, 3);
+        let worst = worst_case(&p, &AnnealOptions::default()).unwrap();
+        let mean = random_mean(&p, 300, 11).unwrap();
+        assert!(worst.power > mean);
+    }
+
+    #[test]
+    fn results_respect_inversion_constraints() {
+        let cap = LinearCapModel::fit(&Extractor::new(
+            TsvArray::new(2, 2, TsvGeometry::wide_2018()).unwrap(),
+        ))
+        .unwrap();
+        let stream = SequentialSource::new(4, 0.1).unwrap().generate(3, 2000).unwrap();
+        let p = AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap)
+            .unwrap()
+            .with_invertible(vec![false, false, true, false])
+            .unwrap();
+        let annealed = anneal(&p, &AnnealOptions::default()).unwrap();
+        assert!(p.is_feasible(&annealed.assignment));
+        let exact = exhaustive(&p).unwrap();
+        assert!(p.is_feasible(&exact.assignment));
+        let greedy = greedy_two_opt(&p);
+        assert!(p.is_feasible(&greedy.assignment));
+    }
+
+    #[test]
+    fn exhaustive_rejects_large_problems() {
+        let p = gaussian_problem(4, 4);
+        assert!(matches!(
+            exhaustive(&p),
+            Err(CoreError::TooLargeForExhaustive { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_budgets_rejected() {
+        let p = gaussian_problem(2, 2);
+        let opts = AnnealOptions {
+            iterations: 0,
+            ..AnnealOptions::default()
+        };
+        assert!(matches!(anneal(&p, &opts), Err(CoreError::EmptyBudget)));
+        assert!(matches!(worst_case(&p, &opts), Err(CoreError::EmptyBudget)));
+        assert!(matches!(random_mean(&p, 0, 1), Err(CoreError::EmptyBudget)));
+    }
+
+    #[test]
+    fn anneal_is_deterministic_per_seed() {
+        let p = gaussian_problem(2, 3);
+        let opts = AnnealOptions::default();
+        let a = anneal(&p, &opts).unwrap();
+        let b = anneal(&p, &opts).unwrap();
+        assert_eq!(a.power, b.power);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn greedy_never_worse_than_identity() {
+        let p = gaussian_problem(3, 3);
+        assert!(greedy_two_opt(&p).power <= p.identity_power());
+    }
+}
+
+#[cfg(test)]
+mod pin_tests {
+    use super::*;
+    use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+    use tsv3d_stats::gen::GaussianSource;
+    use tsv3d_stats::SwitchingStats;
+
+    fn pinned_problem() -> AssignmentProblem {
+        let cap = LinearCapModel::fit(&Extractor::new(
+            TsvArray::new(2, 3, TsvGeometry::wide_2018()).expect("array"),
+        ))
+        .expect("fit");
+        let stream = GaussianSource::new(6, 12.0)
+            .with_correlation(0.4)
+            .generate(3, 6_000)
+            .expect("stream");
+        // Pin bit 5 (the "supply" line) to via 0 and bit 0 to via 4.
+        AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap)
+            .expect("problem")
+            .with_pinned(vec![Some(4), None, None, None, None, Some(0)])
+            .expect("valid pins")
+    }
+
+    #[test]
+    fn every_optimizer_respects_pins() {
+        let p = pinned_problem();
+        let opts = AnnealOptions {
+            iterations: 4_000,
+            restarts: 2,
+            seed: 3,
+        };
+        let annealed = anneal(&p, &opts).unwrap();
+        let greedy = greedy_two_opt(&p);
+        let exact = exhaustive(&p).unwrap();
+        let bnb = branch_and_bound(&p, &Default::default()).unwrap();
+        let worst = worst_case(&p, &opts).unwrap();
+        for (name, a) in [
+            ("anneal", &annealed.assignment),
+            ("greedy", &greedy.assignment),
+            ("exhaustive", &exact.assignment),
+            ("bnb", &bnb.result.assignment),
+            ("worst", &worst.assignment),
+        ] {
+            assert!(p.is_feasible(a), "{name} violated a pin: {a:?}");
+            assert_eq!(a.line_of_bit(5), 0, "{name}");
+            assert_eq!(a.line_of_bit(0), 4, "{name}");
+        }
+        // Exact methods agree.
+        assert!(bnb.proven_optimal);
+        assert!((bnb.result.power - exact.power).abs() < 1e-12 * exact.power.abs());
+        // Heuristics can't beat the exact optimum.
+        assert!(exact.power <= annealed.power * (1.0 + 1e-9));
+        assert!(exact.power <= greedy.power * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn pinned_optimum_is_no_better_than_unpinned() {
+        let p = pinned_problem();
+        let unpinned = AssignmentProblem::new(p.stats().clone(), p.cap_model().clone()).unwrap();
+        let pinned_best = exhaustive(&p).unwrap().power;
+        let free_best = exhaustive(&unpinned).unwrap().power;
+        assert!(free_best <= pinned_best * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn random_mean_respects_pins() {
+        // All samples feasible ⇒ the mean over a pinned problem differs
+        // from the unpinned mean in general; at minimum it must be
+        // finite and bracketed by min/max over feasible assignments.
+        let p = pinned_problem();
+        let mean = random_mean(&p, 200, 9).unwrap();
+        let best = exhaustive(&p).unwrap().power;
+        let worst = worst_case(
+            &p,
+            &AnnealOptions {
+                iterations: 4_000,
+                restarts: 2,
+                seed: 2,
+            },
+        )
+        .unwrap()
+        .power;
+        assert!(best <= mean && mean <= worst * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn fully_pinned_problem_returns_the_base_assignment() {
+        let cap = LinearCapModel::fit(&Extractor::new(
+            TsvArray::new(2, 2, TsvGeometry::wide_2018()).unwrap(),
+        ))
+        .unwrap();
+        let stream = GaussianSource::new(4, 3.0).generate(1, 500).unwrap();
+        let p = AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap)
+            .unwrap()
+            .with_pinned(vec![Some(3), Some(2), Some(1), Some(0)])
+            .unwrap()
+            .with_invertible(vec![false; 4])
+            .unwrap();
+        let opts = AnnealOptions {
+            iterations: 100,
+            restarts: 1,
+            seed: 1,
+        };
+        let a = anneal(&p, &opts).unwrap();
+        assert_eq!(a.assignment, p.base_assignment());
+    }
+
+    #[test]
+    fn invalid_pins_rejected() {
+        let p = pinned_problem();
+        let again = AssignmentProblem::new(p.stats().clone(), p.cap_model().clone()).unwrap();
+        assert!(again.clone().with_pinned(vec![None; 5]).is_err()); // wrong length
+        assert!(again
+            .clone()
+            .with_pinned(vec![Some(9), None, None, None, None, None])
+            .is_err()); // out of range
+        assert!(again
+            .with_pinned(vec![Some(1), Some(1), None, None, None, None])
+            .is_err()); // duplicate
+    }
+}

@@ -1,0 +1,328 @@
+//! Systematic (data-independent) bit-to-TSV assignments for DSP signals
+//! — the paper's Sec. 4 and Fig. 1.
+//!
+//! When no sample stream is available at design time, the basic
+//! characteristics of DSP data suffice:
+//!
+//! * **Spiral** — for *temporally correlated, equally distributed*
+//!   signals (e.g. addresses): spatial bit correlations vanish, so power
+//!   reduces to `Σ_i Ts'_ii · C_T,i` (Eq. 12). The bits with the highest
+//!   self-switching must sit on the TSVs with the lowest total
+//!   capacitance — corners first, then edges, then the middle, which
+//!   traces the spiral of Fig. 1.a.
+//! * **Sawtooth** — for *mean-free normally distributed, temporally
+//!   uncorrelated* signals: every self-switching probability is 1/2, so
+//!   only the coupling term `Σ Tc'_ij · C_ij` can be optimised (Eq. 13).
+//!   Highly correlated bit pairs (the MSBs, through sign extension) must
+//!   occupy strongly coupled TSV pairs — the MSB goes to a corner, the
+//!   next bit to its adjacent edge via, and each following bit to the
+//!   free via with the largest accumulated coupling to the already
+//!   placed ones (Fig. 1.b).
+//!
+//! Neither assignment uses inversions (DSP bit correlations are
+//! positive, Sec. 4), so both always satisfy inversion constraints.
+
+use crate::AssignmentProblem;
+use tsv3d_matrix::SignedPerm;
+
+/// The Spiral assignment (Fig. 1.a): highest-self-switching bits onto
+/// lowest-total-capacitance TSVs.
+///
+/// Stable lines (enable/redundant/supply, self-switching 0) automatically
+/// behave as the paper prescribes — they are treated like MSBs and end up
+/// on the highest-capacitance (middle) positions.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_core::{systematic, AssignmentProblem};
+/// use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+/// use tsv3d_stats::gen::SequentialSource;
+/// use tsv3d_stats::SwitchingStats;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cap = LinearCapModel::fit(&Extractor::new(
+///     TsvArray::new(3, 3, TsvGeometry::wide_2018())?,
+/// ))?;
+/// let s = SequentialSource::new(9, 0.01)?.generate(1, 5000)?;
+/// let problem = AssignmentProblem::new(SwitchingStats::from_stream(&s), cap)?;
+/// let spiral = systematic::spiral(&problem);
+/// assert!(problem.power(&spiral) <= problem.identity_power());
+/// # Ok(())
+/// # }
+/// ```
+pub fn spiral(problem: &AssignmentProblem) -> SignedPerm {
+    let n = problem.n();
+    // Lines by total capacitance, ascending (corners first).
+    let totals = problem.cap_model().c_r().row_sums();
+    let mut lines: Vec<usize> = (0..n).collect();
+    lines.sort_by(|&a, &b| totals[a].total_cmp(&totals[b]));
+    // Bits by self-switching, descending (LSB-like bits first).
+    let mut bits: Vec<usize> = (0..n).collect();
+    bits.sort_by(|&a, &b| {
+        problem
+            .stats()
+            .self_switching(b)
+            .total_cmp(&problem.stats().self_switching(a))
+    });
+    let mut line_of_bit = vec![0usize; n];
+    for (rank, &bit) in bits.iter().enumerate() {
+        line_of_bit[bit] = lines[rank];
+    }
+    SignedPerm::from_parts(line_of_bit, vec![false; n]).expect("constructed mapping is valid")
+}
+
+/// The Sawtooth assignment (Fig. 1.b): most strongly correlated bits
+/// onto the most strongly coupled TSVs, grown greedily from the largest
+/// coupling capacitance.
+///
+/// Bits are ranked by their total spatial coupling `Σ_j E{Δb_i Δb_j}`
+/// (for mean-free normal data this is the MSB-to-LSB order the paper
+/// uses); vias are picked greedily by accumulated coupling to the
+/// already-placed set.
+pub fn sawtooth(problem: &AssignmentProblem) -> SignedPerm {
+    let n = problem.n();
+    let c_r = problem.cap_model().c_r();
+    let stats = problem.stats();
+
+    // Bit ranking, mirroring the greedy via placement: start from the
+    // most strongly coupled bit pair, then repeatedly append the bit with
+    // the biggest accumulated coupling to the already-ranked set. The
+    // first slot (the corner via) receives the endpoint with the *less*
+    // total coupling — for mean-free normal data that is the sign bit,
+    // reproducing Fig. 1.b's MSB-in-the-corner start.
+    let coupling_weight: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| stats.coupling_switching(i, j))
+                .sum()
+        })
+        .collect();
+    let mut bits: Vec<usize> = Vec::with_capacity(n);
+    let mut bit_placed = vec![false; n];
+    if n == 1 {
+        bits.push(0);
+        bit_placed[0] = true;
+    } else {
+        let mut best_pair = (0usize, 1usize);
+        let mut best_val = f64::NEG_INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if stats.coupling_switching(i, j) > best_val {
+                    best_val = stats.coupling_switching(i, j);
+                    best_pair = (i, j);
+                }
+            }
+        }
+        let (first, second) = if coupling_weight[best_pair.0] <= coupling_weight[best_pair.1] {
+            best_pair
+        } else {
+            (best_pair.1, best_pair.0)
+        };
+        bits.push(first);
+        bits.push(second);
+        bit_placed[first] = true;
+        bit_placed[second] = true;
+        while bits.len() < n {
+            let next = (0..n)
+                .filter(|&i| !bit_placed[i])
+                .max_by(|&a, &b| {
+                    let acc_a: f64 = bits.iter().map(|&q| stats.coupling_switching(a, q)).sum();
+                    let acc_b: f64 = bits.iter().map(|&q| stats.coupling_switching(b, q)).sum();
+                    acc_a.total_cmp(&acc_b)
+                })
+                .expect("an unranked bit remains");
+            bits.push(next);
+            bit_placed[next] = true;
+        }
+    }
+
+    // Line ranking: start at the endpoint pair of the largest coupling
+    // capacitance, then grow by accumulated coupling.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    if n == 1 {
+        order.push(0);
+        placed[0] = true;
+    } else {
+        let mut best_pair = (0usize, 1usize);
+        let mut best_val = f64::NEG_INFINITY;
+        for j in 0..n {
+            for k in (j + 1)..n {
+                if c_r[(j, k)] > best_val {
+                    best_val = c_r[(j, k)];
+                    best_pair = (j, k);
+                }
+            }
+        }
+        // Of the two endpoints, place first the one with larger total
+        // capacitance coupling potential (the corner of the pair has the
+        // *smaller* row sum, so it receives the MSB — matching Fig. 1.b
+        // where the MSB sits in the corner).
+        let totals = c_r.row_sums();
+        let (first, second) = if totals[best_pair.0] <= totals[best_pair.1] {
+            best_pair
+        } else {
+            (best_pair.1, best_pair.0)
+        };
+        order.push(first);
+        order.push(second);
+        placed[first] = true;
+        placed[second] = true;
+    }
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&j| !placed[j])
+            .max_by(|&a, &b| {
+                let acc_a: f64 = order.iter().map(|&q| c_r[(a, q)]).sum();
+                let acc_b: f64 = order.iter().map(|&q| c_r[(b, q)]).sum();
+                acc_a.total_cmp(&acc_b)
+            })
+            .expect("an unplaced via remains");
+        order.push(next);
+        placed[next] = true;
+    }
+
+    let mut line_of_bit = vec![0usize; n];
+    for (rank, &bit) in bits.iter().enumerate() {
+        line_of_bit[bit] = order[rank];
+    }
+    SignedPerm::from_parts(line_of_bit, vec![false; n]).expect("constructed mapping is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::{self, AnnealOptions};
+    use tsv3d_model::{Extractor, LinearCapModel, PositionClass, TsvArray, TsvGeometry};
+    use tsv3d_stats::gen::{GaussianSource, SequentialSource};
+    use tsv3d_stats::SwitchingStats;
+
+    fn array(rows: usize, cols: usize) -> TsvArray {
+        TsvArray::new(rows, cols, TsvGeometry::wide_2018()).expect("array")
+    }
+
+    fn cap(rows: usize, cols: usize) -> LinearCapModel {
+        LinearCapModel::fit(&Extractor::new(array(rows, cols))).expect("fit")
+    }
+
+    #[test]
+    fn spiral_puts_lsb_of_counter_on_a_corner() {
+        let a = array(4, 4);
+        let s = SequentialSource::new(16, 0.001).unwrap().generate(2, 20_000).unwrap();
+        let problem =
+            AssignmentProblem::new(SwitchingStats::from_stream(&s), cap(4, 4)).unwrap();
+        let sp = spiral(&problem);
+        // Bit 0 has the highest self-switching and must land on a corner.
+        assert_eq!(a.class(sp.line_of_bit(0)), PositionClass::Corner);
+        // The MSB (lowest switching) must land in the middle.
+        assert_eq!(a.class(sp.line_of_bit(15)), PositionClass::Middle);
+        // No inversions.
+        assert!(sp.inversions().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn spiral_is_near_optimal_for_sequential_streams() {
+        // Paper Fig. 2: "the power consumptions for both assignments,
+        // optimal and Spiral, are almost equal".
+        let s = SequentialSource::new(9, 0.01).unwrap().generate(5, 30_000).unwrap();
+        let problem =
+            AssignmentProblem::new(SwitchingStats::from_stream(&s), cap(3, 3)).unwrap();
+        let sp_power = problem.power(&spiral(&problem));
+        let best = optimize::anneal(&problem, &AnnealOptions::default()).unwrap();
+        let gap = (sp_power - best.power) / best.power;
+        assert!(gap < 0.05, "spiral is {:.1}% above optimal", gap * 100.0);
+    }
+
+    #[test]
+    fn sawtooth_places_strongest_pair_on_corner_and_adjacent_edge() {
+        // Fig. 1.b: the most strongly correlated bit pair (the top MSBs)
+        // occupies the biggest coupling capacitance in the array — a
+        // corner via and one of its direct adjacent edge vias.
+        let a = array(4, 4);
+        let s = GaussianSource::new(16, 3000.0).generate(3, 30_000).unwrap();
+        let stats = SwitchingStats::from_stream(&s);
+        // Find the strongest-coupled bit pair of the data.
+        let mut best = (0usize, 1usize);
+        let mut best_val = f64::NEG_INFINITY;
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                if stats.coupling_switching(i, j) > best_val {
+                    best_val = stats.coupling_switching(i, j);
+                    best = (i, j);
+                }
+            }
+        }
+        let problem = AssignmentProblem::new(stats, cap(4, 4)).unwrap();
+        let st = sawtooth(&problem);
+        let (la, lb) = (st.line_of_bit(best.0), st.line_of_bit(best.1));
+        let classes = [a.class(la), a.class(lb)];
+        assert!(classes.contains(&PositionClass::Corner), "{classes:?}");
+        assert!(classes.contains(&PositionClass::Edge), "{classes:?}");
+        assert!(a.distance(la, lb) <= a.geometry().pitch * 1.01);
+        // And the sign bit must sit on one of the two strongest slots.
+        let sign_line = st.line_of_bit(15);
+        assert_ne!(a.class(sign_line), PositionClass::Middle);
+    }
+
+    #[test]
+    fn sawtooth_is_near_optimal_for_uncorrelated_gaussian() {
+        // Paper Fig. 3.a: Sawtooth is optimal for mean-free, temporally
+        // uncorrelated normal data.
+        let s = GaussianSource::new(9, 40.0).generate(9, 30_000).unwrap();
+        let problem =
+            AssignmentProblem::new(SwitchingStats::from_stream(&s), cap(3, 3)).unwrap();
+        let st_power = problem.power(&sawtooth(&problem));
+        let best = optimize::anneal(&problem, &AnnealOptions::default()).unwrap();
+        let gap = (st_power - best.power) / best.power;
+        assert!(gap < 0.06, "sawtooth is {:.1}% above optimal", gap * 100.0);
+    }
+
+    #[test]
+    fn sawtooth_beats_spiral_on_uncorrelated_gaussian() {
+        let s = GaussianSource::new(16, 4000.0).generate(4, 30_000).unwrap();
+        let problem =
+            AssignmentProblem::new(SwitchingStats::from_stream(&s), cap(4, 4)).unwrap();
+        let st = problem.power(&sawtooth(&problem));
+        let sp = problem.power(&spiral(&problem));
+        assert!(st < sp, "sawtooth {st:.4e} !< spiral {sp:.4e}");
+    }
+
+    #[test]
+    fn spiral_beats_sawtooth_on_sequential_streams() {
+        let s = SequentialSource::new(16, 0.02).unwrap().generate(8, 30_000).unwrap();
+        let problem =
+            AssignmentProblem::new(SwitchingStats::from_stream(&s), cap(4, 4)).unwrap();
+        let st = problem.power(&sawtooth(&problem));
+        let sp = problem.power(&spiral(&problem));
+        assert!(sp < st, "spiral {sp:.4e} !< sawtooth {st:.4e}");
+    }
+
+    #[test]
+    fn systematic_assignments_are_valid_permutations() {
+        let s = GaussianSource::new(9, 100.0).generate(1, 1000).unwrap();
+        let problem =
+            AssignmentProblem::new(SwitchingStats::from_stream(&s), cap(3, 3)).unwrap();
+        for a in [spiral(&problem), sawtooth(&problem)] {
+            let mut seen = vec![false; 9];
+            for bit in 0..9 {
+                let line = a.line_of_bit(bit);
+                assert!(!seen[line]);
+                seen[line] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_problem_is_trivial() {
+        let cap1 = LinearCapModel::fit(&Extractor::new(
+            TsvArray::new(1, 1, TsvGeometry::wide_2018()).unwrap(),
+        ))
+        .unwrap();
+        let s = SequentialSource::new(1, 0.5).unwrap().generate(1, 100).unwrap();
+        let problem = AssignmentProblem::new(SwitchingStats::from_stream(&s), cap1).unwrap();
+        assert_eq!(spiral(&problem).line_of_bit(0), 0);
+        assert_eq!(sawtooth(&problem).line_of_bit(0), 0);
+    }
+}

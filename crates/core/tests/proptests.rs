@@ -1,0 +1,176 @@
+//! Property-based tests of the power model's algebraic invariants.
+
+use proptest::prelude::*;
+use tsv3d_core::{AssignmentProblem, SignedPerm};
+use tsv3d_matrix::Matrix;
+use tsv3d_model::LinearCapModel;
+use tsv3d_stats::SwitchingStats;
+
+/// Strategy: a synthetic, internally consistent 4-bit assignment problem.
+fn problem() -> impl Strategy<Value = AssignmentProblem> {
+    (
+        prop::collection::vec(0.0f64..=1.0, 4),       // ts
+        prop::collection::vec(-1.0f64..=1.0, 6),      // raw couplings
+        prop::collection::vec(0.0f64..=1.0, 4),       // probabilities
+        prop::collection::vec(1.0f64..10.0, 10),      // C_R entries (upper tri + diag)
+        prop::collection::vec(0.0f64..0.3, 10),       // |ΔC| entries
+    )
+        .prop_map(|(ts, raw_tc, probs, c_r_raw, dc_raw)| {
+            // Couplings bounded by Cauchy–Schwarz to stay physical.
+            let mut tc = Matrix::zeros(4);
+            let mut k = 0;
+            for i in 0..4 {
+                tc[(i, i)] = ts[i];
+                for j in (i + 1)..4 {
+                    let bound = (ts[i] * ts[j]).sqrt();
+                    tc[(i, j)] = raw_tc[k] * bound;
+                    tc[(j, i)] = tc[(i, j)];
+                    k += 1;
+                }
+            }
+            let stats = SwitchingStats::from_parts(ts, tc, probs);
+            // Symmetric positive C_R; ΔC negative (MOS effect) and small
+            // enough that capacitances stay positive over ε ∈ [−1/2, 1/2].
+            let mut c_r = Matrix::zeros(4);
+            let mut delta_c = Matrix::zeros(4);
+            let mut k = 0;
+            for i in 0..4 {
+                for j in i..4 {
+                    c_r[(i, j)] = c_r_raw[k] + 1.0;
+                    c_r[(j, i)] = c_r[(i, j)];
+                    delta_c[(i, j)] = -dc_raw[k] * c_r[(i, j)];
+                    delta_c[(j, i)] = delta_c[(i, j)];
+                    k += 1;
+                }
+            }
+            let cap = LinearCapModel::from_parts(c_r, delta_c);
+            AssignmentProblem::new(stats, cap).expect("consistent sizes")
+        })
+}
+
+fn signed_perm(n: usize) -> impl Strategy<Value = SignedPerm> {
+    (
+        prop::collection::vec(any::<u32>(), n),
+        prop::collection::vec(any::<bool>(), n),
+    )
+        .prop_map(move |(keys, inv)| {
+            let mut lines: Vec<usize> = (0..n).collect();
+            lines.sort_by_key(|&i| keys[i]);
+            SignedPerm::from_parts(lines, inv).expect("valid permutation")
+        })
+}
+
+proptest! {
+    #[test]
+    fn fast_power_always_matches_matrix_form(p in problem(), a in signed_perm(4)) {
+        let fast = p.power(&a);
+        let explicit = p.power_matrix_form(&a);
+        prop_assert!(
+            (fast - explicit).abs() < 1e-9 * explicit.abs().max(1e-12),
+            "fast {fast:.6e} vs explicit {explicit:.6e}"
+        );
+    }
+
+    #[test]
+    fn power_is_never_negative_for_physical_problems(p in problem(), a in signed_perm(4)) {
+        // Switching weights are Cauchy–Schwarz bounded and capacitances
+        // positive, so ⟨T', C'⟩ ≥ 0 for every assignment.
+        prop_assert!(p.power(&a) >= -1e-9, "negative power {}", p.power(&a));
+    }
+
+    #[test]
+    fn double_inversion_is_identity(p in problem(), a in signed_perm(4), bit in 0usize..4) {
+        let before = p.power(&a);
+        let mut b = a.clone();
+        b.flip_bit(bit);
+        b.flip_bit(bit);
+        prop_assert_eq!(p.power(&b), before);
+    }
+
+    #[test]
+    fn swap_then_swap_back_is_identity(p in problem(), a in signed_perm(4), x in 0usize..4, y in 0usize..4) {
+        let before = p.power(&a);
+        let mut b = a.clone();
+        b.swap_lines(x, y);
+        b.swap_lines(x, y);
+        prop_assert_eq!(p.power(&b), before);
+    }
+
+    #[test]
+    fn optimum_lower_bounds_every_assignment(p in problem(), a in signed_perm(4)) {
+        let exact = tsv3d_core::optimize::exhaustive(&p).expect("4-bit problem fits");
+        prop_assert!(exact.power <= p.power(&a) + 1e-9 * p.power(&a).abs().max(1e-12));
+    }
+
+    #[test]
+    fn branch_and_bound_agrees_with_exhaustive(p in problem()) {
+        let exact = tsv3d_core::optimize::exhaustive(&p).expect("fits");
+        let bnb = tsv3d_core::optimize::branch_and_bound(&p, &Default::default())
+            .expect("budget ok");
+        prop_assert!(bnb.proven_optimal);
+        prop_assert!(
+            (bnb.result.power - exact.power).abs() < 1e-9 * exact.power.abs().max(1e-12),
+            "bnb {:.6e} vs exhaustive {:.6e}",
+            bnb.result.power,
+            exact.power
+        );
+    }
+
+    #[test]
+    fn inverting_a_balanced_uncoupled_bit_changes_nothing(
+        mut p_parts in (
+            prop::collection::vec(0.0f64..=1.0, 4),
+            prop::collection::vec(1.0f64..10.0, 10),
+        ),
+    ) {
+        // Build a problem where bit 0 has probability 1/2 and no
+        // coupling to anything: its inversion must be a no-op.
+        let (ts, c_r_raw) = &mut p_parts;
+        let tc = Matrix::from_diag(ts);
+        let probs = vec![0.5, 0.3, 0.7, 0.5];
+        let stats = SwitchingStats::from_parts(ts.clone(), tc, probs);
+        let mut c_r = Matrix::zeros(4);
+        let mut k = 0;
+        for i in 0..4 {
+            for j in i..4 {
+                c_r[(i, j)] = c_r_raw[k] + 1.0;
+                c_r[(j, i)] = c_r[(i, j)];
+                k += 1;
+            }
+        }
+        let cap = LinearCapModel::from_parts(c_r.clone(), c_r.scale(-0.1));
+        let p = AssignmentProblem::new(stats, cap).expect("sizes");
+        let id = SignedPerm::identity(4);
+        let mut inv = SignedPerm::identity(4);
+        inv.flip_bit(0);
+        prop_assert!((p.power(&id) - p.power(&inv)).abs() < 1e-9 * p.power(&id).abs().max(1e-12));
+    }
+}
+
+proptest! {
+    #[test]
+    fn swap_delta_matches_full_recompute(p in problem(), a in signed_perm(4), x in 0usize..4, y in 0usize..4) {
+        let before = p.power(&a);
+        let delta = p.swap_lines_delta(&a, x, y);
+        let mut b = a.clone();
+        b.swap_lines(x, y);
+        let after = p.power(&b);
+        prop_assert!(
+            (before + delta - after).abs() < 1e-9 * after.abs().max(1e-12),
+            "before {before:.6e} + delta {delta:.6e} != after {after:.6e}"
+        );
+    }
+
+    #[test]
+    fn flip_delta_matches_full_recompute(p in problem(), a in signed_perm(4), bit in 0usize..4) {
+        let before = p.power(&a);
+        let delta = p.flip_bit_delta(&a, bit);
+        let mut b = a.clone();
+        b.flip_bit(bit);
+        let after = p.power(&b);
+        prop_assert!(
+            (before + delta - after).abs() < 1e-9 * after.abs().max(1e-12),
+            "before {before:.6e} + delta {delta:.6e} != after {after:.6e}"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates the paper's Fig. 2: power reduction of the optimal and
+//! Spiral assignments for sequential streams vs. branch probability.
+//!
+//! Usage: `cargo run --release -p tsv3d-experiments --bin fig2_sequential [--quick]`
+
+use tsv3d_experiments::fig2::{self, Fig2Array};
+use tsv3d_experiments::table::{self, TextTable};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cycles = if quick { 8_000 } else { 30_000 };
+    println!("Fig. 2 — sequential data streams ({} cycles, reference: worst-case random assignment)\n", cycles);
+    for array in Fig2Array::all() {
+        let mut table = TextTable::new(
+            array.label(),
+            &["P_red optimal [%]", "P_red Spiral [%]"],
+        );
+        for p in fig2::sweep(array, cycles, quick) {
+            table.row(
+                &format!("branch p = {:>7.4}", p.branch_probability),
+                &[p.reduction_optimal, p.reduction_spiral],
+            );
+        }
+        println!("{}", table.render());
+        let csv_name = format!("fig2_{}", array.label().split_whitespace().next().unwrap_or("array"));
+        if let Ok(Some(path)) = table::write_csv_if_requested(&table, &csv_name) {
+            println!("(csv written to {})", path.display());
+        }
+    }
+    println!("Paper shape: optimal ≈ Spiral across the sweep; the reduction shrinks as the");
+    println!("branch probability approaches 1 (uncorrelated data leaves nothing to exploit).");
+}

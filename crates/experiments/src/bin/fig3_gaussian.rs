@@ -1,0 +1,40 @@
+//! Regenerates the paper's Fig. 3: power reduction for Gaussian 16-bit
+//! pattern sets over a 4×4 array, vs. standard deviation, for five
+//! temporal-correlation settings (3.a: ρ = 0; 3.b–3.e: ρ ≠ 0).
+//!
+//! Usage: `cargo run --release -p tsv3d-experiments --bin fig3_gaussian [--quick]`
+
+use tsv3d_experiments::fig3::{self, RHOS};
+use tsv3d_experiments::table::{self, TextTable};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cycles = if quick { 10_000 } else { 30_000 };
+    println!(
+        "Fig. 3 — Gaussian 16 b patterns, 4x4 array r=2um d=8um ({} cycles, reference: mean random assignment)\n",
+        cycles
+    );
+    for (k, &rho) in RHOS.iter().enumerate() {
+        let panel = match k {
+            0 => "3.a".to_string(),
+            _ => format!("3.{}", (b'a' + k as u8) as char),
+        };
+        let mut table = TextTable::new(
+            &format!("Fig. {panel}  (rho = {rho:+.1})"),
+            &["P_red optimal [%]", "P_red Sawtooth [%]", "P_red Spiral [%]"],
+        );
+        for p in fig3::sweep(rho, cycles, quick) {
+            table.row(
+                &format!("sigma = {:>7.0}", p.sigma),
+                &[p.reduction_optimal, p.reduction_sawtooth, p.reduction_spiral],
+            );
+        }
+        println!("{}", table.render());
+        if let Ok(Some(path)) = table::write_csv_if_requested(&table, &format!("fig3_{panel}")) {
+            println!("(csv written to {})", path.display());
+        }
+    }
+    println!("Paper shape: Sawtooth ≈ optimal for rho <= 0 (biggest gains for negative rho);");
+    println!("for positive rho neither systematic mapping reaches the optimum, but both beat");
+    println!("poor assignments; gains shrink as sigma approaches full scale.");
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's Fig. 4: power reduction for image-sensor
+//! (3D vision-SoC) streams, with stable lines and geometry variants.
+//!
+//! Usage: `cargo run --release -p tsv3d-experiments --bin fig4_image_sensor [--quick]`
+
+use tsv3d_experiments::fig4;
+use tsv3d_experiments::table::{self, TextTable};
+use tsv3d_stats::gen::ImageSensor;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sensor = if quick {
+        ImageSensor::new(48, 32)
+    } else {
+        ImageSensor::new(96, 64)
+    };
+    println!(
+        "Fig. 4 — image sensor streams, {}x{} px, scenes: landscape/portrait/urban",
+        sensor.width(),
+        sensor.height()
+    );
+    println!("(reference: mean random assignment; \"+xS\" = x stable lines)\n");
+    let mut table = TextTable::new(
+        "scenario / geometry",
+        &["P_red optimal [%]", "P_red Spiral [%]"],
+    );
+    for p in fig4::sweep(&sensor, quick) {
+        let geom = format!(
+            "r={:.0}um d={:.0}um",
+            p.geometry.radius * 1e6,
+            p.geometry.pitch * 1e6
+        );
+        table.row(
+            &format!("{:<16} {geom}", p.scenario.label()),
+            &[p.reduction_optimal, p.reduction_spiral],
+        );
+    }
+    println!("{}", table.render());
+    if let Ok(Some(path)) = table::write_csv_if_requested(&table, "fig4_image_sensor") {
+        println!("(csv written to {})", path.display());
+    }
+    println!("Paper shape: Spiral nearly optimal without stable lines (11-13 % reduction, ~5 %");
+    println!("for the multiplexed colours); with stable lines the optimal assignment gains a");
+    println!("few extra percentage points by exploiting inversions and stable-line coupling.");
+}

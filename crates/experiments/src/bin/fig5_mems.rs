@@ -1,0 +1,35 @@
+//! Regenerates the paper's Fig. 5: power reduction for MEMS sensor
+//! streams (magnetometer, accelerometer, gyroscope; RMS vs. XYZ
+//! interleaved; all sensors multiplexed) over a 4×4 array.
+//!
+//! Usage: `cargo run --release -p tsv3d-experiments --bin fig5_mems [--quick]`
+
+use tsv3d_experiments::fig5;
+use tsv3d_experiments::table::{self, TextTable};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 2_000 } else { 3_900 };
+    println!(
+        "Fig. 5 — MEMS sensor streams, 16 b, 4x4 array r=2um d=8um ({} samples/axis,",
+        samples
+    );
+    println!("reference: mean random assignment)\n");
+    let mut table = TextTable::new(
+        "scenario",
+        &["P_red optimal [%]", "P_red Sawtooth [%]", "P_red Spiral [%]"],
+    );
+    for p in fig5::sweep(samples, quick) {
+        table.row(
+            &p.scenario.label(),
+            &[p.reduction_optimal, p.reduction_sawtooth, p.reduction_spiral],
+        );
+    }
+    println!("{}", table.render());
+    if let Ok(Some(path)) = table::write_csv_if_requested(&table, "fig5_mems") {
+        println!("(csv written to {})", path.display());
+    }
+    println!("Paper shape: interleaved (XYZ) streams — Sawtooth only slightly below optimal;");
+    println!("RMS streams (unsigned, temporally correlated) — Spiral clearly beats Sawtooth");
+    println!("but tops out lower than the interleaved case.");
+}

@@ -1,0 +1,38 @@
+//! Crosstalk-avoidance coding vs. the bit-to-TSV assignment on 8-bit
+//! random data (paper Sec. 1 context): the Fibonacci CAC improves
+//! signal integrity at +50 % TSVs with no power win; the assignment
+//! saves power at zero cost.
+//!
+//! Usage: `cargo run --release -p tsv3d-experiments --bin tab_crosstalk [--quick]`
+
+use tsv3d_experiments::crosstalk;
+use tsv3d_experiments::table::{self, TextTable};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cycles = if quick { 2_000 } else { 20_000 };
+    println!("Crosstalk study — uniform 8 b data, r=1um d=4um, 3 GHz ({cycles} cycles)\n");
+    let mut table = TextTable::new(
+        "variant",
+        &["lines", "P [mW @8b/cyc]", "observed dV/Vdd", "worst-case dV/Vdd"],
+    );
+    for p in crosstalk::study(cycles, quick) {
+        table.row(
+            p.label,
+            &[
+                p.lines as f64,
+                p.power_mw,
+                p.observed_noise,
+                p.worst_case_noise,
+            ],
+        );
+    }
+    println!("{}", table.render());
+    if let Ok(Some(path)) = table::write_csv_if_requested(&table, "tab_crosstalk") {
+        println!("(csv written to {})", path.display());
+    }
+    println!("Reading: the Fibonacci CAC's forbidden patterns protect 1-D wire adjacency,");
+    println!("which does not map onto the 2-D TSV array — the observed victim noise stays");
+    println!("in the same band while the 4 extra TSVs cost ~30 % power. The assignment");
+    println!("reduces power on the original array with no SI penalty (paper Sec. 1).");
+}

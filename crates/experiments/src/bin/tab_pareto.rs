@@ -1,0 +1,31 @@
+//! Power vs. signal-integrity trade-off of the bit-to-TSV assignment:
+//! sweeps the crosstalk weight in the combined objective and reports
+//! both reductions vs. the random baseline.
+//!
+//! Usage: `cargo run --release -p tsv3d-experiments --bin tab_pareto [--quick]`
+
+use tsv3d_experiments::pareto;
+use tsv3d_experiments::table::{self, TextTable};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cycles = if quick { 8_000 } else { 20_000 };
+    println!("Power/SI trade-off — Gaussian 16 b (rho = 0.4), 4x4 r=1um d=4um ({cycles} cycles)");
+    println!("(objective: P + lambda * crosstalk_activity; reductions vs mean random)\n");
+    let mut t = TextTable::new("lambda", &["P_red [%]", "X_red [%]"]);
+    for p in pareto::sweep(cycles, quick) {
+        t.row(
+            &format!("{:4.1}", p.lambda),
+            &[p.power_reduction, p.crosstalk_reduction],
+        );
+    }
+    println!("{}", t.render());
+    if let Ok(Some(path)) = table::write_csv_if_requested(&t, "tab_pareto") {
+        println!("(csv written to {})", path.display());
+    }
+    println!("Reading: lambda = 0 is the paper's power-only optimum. The curve is nearly");
+    println!("flat: for DSP-like data, power and crosstalk activity are *aligned*");
+    println!("objectives (both penalise opposite transitions on strong couplings), so the");
+    println!("power-optimal assignment is SI-friendly for free — no CAC overhead needed");
+    println!("to avoid worsening crosstalk.");
+}

@@ -1,0 +1,133 @@
+//! Fig. 2 — power reduction of the optimal and Spiral assignments for
+//! sequential data streams over the branch probability.
+//!
+//! Two arrays are analysed, as in the paper: a 4×4 array with
+//! `r = 2 µm, d = 8 µm` and a 5×5 array with `r = 1 µm, d = 4.5 µm`.
+//! The reference is the *worst-case* random assignment.
+
+use crate::common;
+use tsv3d_core::{optimize, systematic};
+use tsv3d_model::TsvGeometry;
+use tsv3d_stats::gen::SequentialSource;
+
+/// The two array configurations of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig2Array {
+    /// 4×4, r = 2 µm, d = 8 µm.
+    Wide4x4,
+    /// 5×5, r = 1 µm, d = 4.5 µm.
+    Dense5x5,
+}
+
+impl Fig2Array {
+    /// All configurations in paper order.
+    pub fn all() -> [Fig2Array; 2] {
+        [Fig2Array::Wide4x4, Fig2Array::Dense5x5]
+    }
+
+    /// Array rows/cols.
+    pub fn dims(self) -> (usize, usize) {
+        match self {
+            Fig2Array::Wide4x4 => (4, 4),
+            Fig2Array::Dense5x5 => (5, 5),
+        }
+    }
+
+    /// Via geometry.
+    pub fn geometry(self) -> TsvGeometry {
+        match self {
+            Fig2Array::Wide4x4 => TsvGeometry::wide_2018(),
+            Fig2Array::Dense5x5 => TsvGeometry::fig2_5x5(),
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig2Array::Wide4x4 => "4x4 r=2um d=8um",
+            Fig2Array::Dense5x5 => "5x5 r=1um d=4.5um",
+        }
+    }
+}
+
+/// One point of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Point {
+    /// Branch probability of the sequential stream.
+    pub branch_probability: f64,
+    /// Power reduction of the optimal assignment vs. the worst-case
+    /// random assignment, percent.
+    pub reduction_optimal: f64,
+    /// Power reduction of the Spiral assignment, percent.
+    pub reduction_spiral: f64,
+}
+
+/// The branch probabilities swept in the figure.
+pub const BRANCH_PROBABILITIES: [f64; 7] = [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.3, 1.0];
+
+/// Computes one Fig. 2 point.
+///
+/// `cycles` controls the stream length (the paper uses long streams;
+/// ≥20 000 gives stable statistics).
+pub fn point(array: Fig2Array, branch_probability: f64, cycles: usize, quick: bool) -> Fig2Point {
+    let (rows, cols) = array.dims();
+    let n = rows * cols;
+    let stream = SequentialSource::new(n, branch_probability)
+        .expect("supported width")
+        .generate(0xF1_62, cycles)
+        .expect("generation succeeds");
+    let problem = common::problem(&stream, common::cap_model(rows, cols, array.geometry()));
+    let opts = if quick {
+        common::anneal_options_quick()
+    } else {
+        common::anneal_options()
+    };
+    let optimal = optimize::anneal(&problem, &opts).expect("non-empty budget").power;
+    let spiral = problem.power(&systematic::spiral(&problem));
+    let worst = optimize::worst_case(&problem, &opts)
+        .expect("non-empty budget")
+        .power;
+    Fig2Point {
+        branch_probability,
+        reduction_optimal: common::reduction_pct(optimal, worst),
+        reduction_spiral: common::reduction_pct(spiral, worst),
+    }
+}
+
+/// Computes the full sweep for one array.
+pub fn sweep(array: Fig2Array, cycles: usize, quick: bool) -> Vec<Fig2Point> {
+    BRANCH_PROBABILITIES
+        .iter()
+        .map(|&bp| point(array, bp, cycles, quick))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spiral_tracks_optimal_and_reduction_falls_with_branching() {
+        // The two headline properties of Fig. 2.
+        let lo = point(Fig2Array::Wide4x4, 1e-3, 8_000, true);
+        let hi = point(Fig2Array::Wide4x4, 1.0, 8_000, true);
+        assert!(lo.reduction_optimal > 10.0, "{lo:?}");
+        assert!(lo.reduction_optimal < 60.0, "{lo:?}");
+        // Spiral nearly optimal.
+        assert!(
+            lo.reduction_optimal - lo.reduction_spiral < 3.0,
+            "{lo:?}"
+        );
+        // Random data leaves almost nothing to gain.
+        assert!(hi.reduction_optimal < lo.reduction_optimal);
+    }
+
+    #[test]
+    fn both_arrays_give_positive_reductions() {
+        for array in Fig2Array::all() {
+            let p = point(array, 1e-2, 6_000, true);
+            assert!(p.reduction_optimal > 0.0, "{array:?}: {p:?}");
+            assert!(p.reduction_spiral > 0.0, "{array:?}: {p:?}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 3 — power reduction for Gaussian-distributed 16-bit pattern
+//! sets over a 4×4 array (`r = 2 µm, d = 8 µm`), plotted over the
+//! standard deviation σ.
+//!
+//! Fig. 3.a uses temporally uncorrelated data (optimal vs. Sawtooth);
+//! Figs. 3.b–3.e add temporal correlation ρ ∈ {−0.6, −0.3, +0.3, +0.6}
+//! and additionally track the Spiral assignment. The reference is the
+//! mean power over random assignments.
+
+use crate::common;
+use tsv3d_core::{optimize, systematic};
+use tsv3d_model::TsvGeometry;
+use tsv3d_stats::gen::GaussianSource;
+
+/// One point of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Point {
+    /// Standard deviation of the patterns, LSBs.
+    pub sigma: f64,
+    /// Lag-1 temporal correlation of the patterns.
+    pub rho: f64,
+    /// Reduction of the optimal assignment vs. mean random, percent.
+    pub reduction_optimal: f64,
+    /// Reduction of the Sawtooth assignment, percent.
+    pub reduction_sawtooth: f64,
+    /// Reduction of the Spiral assignment, percent.
+    pub reduction_spiral: f64,
+}
+
+/// The σ sweep of the figure (word width is 16 bit, full scale 32767).
+pub const SIGMAS: [f64; 6] = [250.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0];
+
+/// The temporal correlations of Fig. 3.a–3.e.
+pub const RHOS: [f64; 5] = [0.0, -0.6, -0.3, 0.3, 0.6];
+
+/// Computes one Fig. 3 point.
+pub fn point(sigma: f64, rho: f64, cycles: usize, quick: bool) -> Fig3Point {
+    let stream = GaussianSource::new(16, sigma)
+        .with_correlation(rho)
+        .generate(0xF1_63, cycles)
+        .expect("generation succeeds");
+    let problem = common::problem(&stream, common::cap_model(4, 4, TsvGeometry::wide_2018()));
+    let opts = if quick {
+        common::anneal_options_quick()
+    } else {
+        common::anneal_options()
+    };
+    let optimal = optimize::anneal(&problem, &opts).expect("non-empty budget").power;
+    let sawtooth = problem.power(&systematic::sawtooth(&problem));
+    let spiral = problem.power(&systematic::spiral(&problem));
+    let random = optimize::random_mean(&problem, 300, 0xF1_63).expect("non-empty budget");
+    Fig3Point {
+        sigma,
+        rho,
+        reduction_optimal: common::reduction_pct(optimal, random),
+        reduction_sawtooth: common::reduction_pct(sawtooth, random),
+        reduction_spiral: common::reduction_pct(spiral, random),
+    }
+}
+
+/// The full σ sweep for one correlation setting.
+pub fn sweep(rho: f64, cycles: usize, quick: bool) -> Vec<Fig3Point> {
+    SIGMAS
+        .iter()
+        .map(|&s| point(s, rho, cycles, quick))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sawtooth_is_near_optimal_for_uncorrelated_data() {
+        // Fig. 3.a headline: "the optimal nature of the Sawtooth
+        // assignment for normally distributed, temporally uncorrelated
+        // patterns".
+        let p = point(1000.0, 0.0, 10_000, true);
+        assert!(p.reduction_optimal > 0.0);
+        assert!(
+            p.reduction_optimal - p.reduction_sawtooth < 2.0,
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn negative_correlation_gives_the_biggest_gains() {
+        // Figs. 3.b/3.c: "for negatively correlated … the Sawtooth
+        // mapping leads to the lowest power consumption".
+        let neg = point(1000.0, -0.6, 10_000, true);
+        let pos = point(1000.0, 0.6, 10_000, true);
+        assert!(neg.reduction_sawtooth > pos.reduction_sawtooth, "{neg:?} vs {pos:?}");
+        assert!(neg.reduction_sawtooth > 0.0);
+    }
+
+    #[test]
+    fn sawtooth_beats_spiral_for_gaussian_data() {
+        let p = point(1000.0, -0.3, 10_000, true);
+        assert!(p.reduction_sawtooth > p.reduction_spiral, "{p:?}");
+    }
+}

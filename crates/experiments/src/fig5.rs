@@ -1,0 +1,161 @@
+//! Fig. 5 — power reduction for MEMS sensor streams, Sec. 5.2.
+//!
+//! A magnetometer, an accelerometer and a gyroscope (16-bit, three axes)
+//! transmit over a 4×4 array with `r = 2 µm, d = 8 µm`. Per sensor the
+//! paper analyses the RMS stream and the XYZ-interleaved stream, plus
+//! the multiplex of all three sensors. Both systematic assignments are
+//! compared against the optimal one; the reference is the mean random
+//! assignment.
+
+use crate::common;
+use tsv3d_core::{optimize, systematic, AssignmentProblem};
+use tsv3d_model::TsvGeometry;
+use tsv3d_stats::gen::{all_sensors_mux, MemsSensor, SensorKind};
+use tsv3d_stats::BitStream;
+
+/// The Fig. 5 scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig5Scenario {
+    /// Per-sample RMS magnitude of one sensor.
+    Rms(SensorKind),
+    /// XYZ-interleaved stream of one sensor.
+    Xyz(SensorKind),
+    /// Pattern-by-pattern multiplex of all three sensors' XYZ streams.
+    AllMux,
+}
+
+impl Fig5Scenario {
+    /// All scenarios in paper order (magnetometer, accelerometer,
+    /// gyroscope; RMS then XYZ; finally the full multiplex).
+    pub fn all() -> Vec<Fig5Scenario> {
+        let kinds = [
+            SensorKind::Magnetometer,
+            SensorKind::Accelerometer,
+            SensorKind::Gyroscope,
+        ];
+        let mut v = Vec::new();
+        for k in kinds {
+            v.push(Fig5Scenario::Rms(k));
+            v.push(Fig5Scenario::Xyz(k));
+        }
+        v.push(Fig5Scenario::AllMux);
+        v
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> String {
+        let kind = |k: SensorKind| match k {
+            SensorKind::Magnetometer => "Mag",
+            SensorKind::Accelerometer => "Acc",
+            SensorKind::Gyroscope => "Gyro",
+        };
+        match self {
+            Fig5Scenario::Rms(k) => format!("{} RMS", kind(k)),
+            Fig5Scenario::Xyz(k) => format!("{} XYZ", kind(k)),
+            Fig5Scenario::AllMux => "All Mux".to_string(),
+        }
+    }
+
+    /// Generates the scenario's 16-bit stream.
+    pub fn stream(self, samples: usize, seed: u64) -> BitStream {
+        match self {
+            Fig5Scenario::Rms(k) => MemsSensor::new(k)
+                .with_samples(samples)
+                .rms_stream(seed)
+                .expect("generation succeeds"),
+            Fig5Scenario::Xyz(k) => MemsSensor::new(k)
+                .with_samples(samples)
+                .xyz_stream(seed)
+                .expect("generation succeeds"),
+            Fig5Scenario::AllMux => {
+                let sensors = [
+                    MemsSensor::new(SensorKind::Magnetometer).with_samples(samples),
+                    MemsSensor::new(SensorKind::Accelerometer).with_samples(samples),
+                    MemsSensor::new(SensorKind::Gyroscope).with_samples(samples),
+                ];
+                all_sensors_mux(&sensors, seed).expect("generation succeeds")
+            }
+        }
+    }
+}
+
+/// One bar group of Fig. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Point {
+    /// The scenario.
+    pub scenario: Fig5Scenario,
+    /// Reduction of the optimal assignment vs. mean random, percent.
+    pub reduction_optimal: f64,
+    /// Reduction of the Sawtooth assignment, percent.
+    pub reduction_sawtooth: f64,
+    /// Reduction of the Spiral assignment, percent.
+    pub reduction_spiral: f64,
+}
+
+/// Builds the scenario's [`AssignmentProblem`] (4×4, wide geometry).
+pub fn build_problem(scenario: Fig5Scenario, samples: usize, seed: u64) -> AssignmentProblem {
+    let stream = scenario.stream(samples, seed);
+    common::problem(&stream, common::cap_model(4, 4, TsvGeometry::wide_2018()))
+}
+
+/// Computes one Fig. 5 bar group.
+pub fn point(scenario: Fig5Scenario, samples: usize, quick: bool) -> Fig5Point {
+    let problem = build_problem(scenario, samples, 0xF1_65);
+    let opts = if quick {
+        common::anneal_options_quick()
+    } else {
+        common::anneal_options()
+    };
+    let optimal = optimize::anneal(&problem, &opts).expect("non-empty budget").power;
+    let sawtooth = problem.power(&systematic::sawtooth(&problem));
+    let spiral = problem.power(&systematic::spiral(&problem));
+    let random = optimize::random_mean(&problem, 300, 0xF1_65).expect("non-empty budget");
+    Fig5Point {
+        scenario,
+        reduction_optimal: common::reduction_pct(optimal, random),
+        reduction_sawtooth: common::reduction_pct(sawtooth, random),
+        reduction_spiral: common::reduction_pct(spiral, random),
+    }
+}
+
+/// The full figure.
+pub fn sweep(samples: usize, quick: bool) -> Vec<Fig5Point> {
+    Fig5Scenario::all()
+        .into_iter()
+        .map(|s| point(s, samples, quick))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_streams_favor_sawtooth() {
+        // Sec. 5.2: for interleaved (XYZ) streams the Sawtooth mapping is
+        // "only slightly worse than the proposed optimal assignment".
+        let p = point(Fig5Scenario::Xyz(SensorKind::Accelerometer), 3000, true);
+        assert!(p.reduction_optimal > 0.0, "{p:?}");
+        assert!(
+            p.reduction_optimal - p.reduction_sawtooth < 4.0,
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn rms_streams_favor_spiral_over_sawtooth() {
+        // Sec. 5.2: "for the RMS data streams, the Spiral mapping
+        // significantly outperforms the Sawtooth mapping".
+        let p = point(Fig5Scenario::Rms(SensorKind::Accelerometer), 3000, true);
+        assert!(
+            p.reduction_spiral > p.reduction_sawtooth,
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn all_mux_still_benefits() {
+        let p = point(Fig5Scenario::AllMux, 1500, true);
+        assert!(p.reduction_optimal > 0.0, "{p:?}");
+    }
+}

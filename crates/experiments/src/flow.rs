@@ -1,0 +1,201 @@
+//! One-call analysis flow — the facade a downstream adopter uses.
+//!
+//! [`Flow`] bundles the whole pipeline of the paper: array → extracted
+//! capacitance model → stream statistics → optimal + systematic
+//! assignments → (optionally) circuit-level validation. One call, one
+//! [`FlowReport`].
+
+use crate::common;
+use tsv3d_circuit::{DriverModel, TsvLink};
+use tsv3d_core::{optimize, systematic, AssignmentProblem, SignedPerm};
+use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry, TsvRcNetlist};
+use tsv3d_stats::{BitStream, SwitchingStats};
+
+/// The analysis flow configuration.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    array: TsvArray,
+    cap: LinearCapModel,
+    anneal: optimize::AnnealOptions,
+    clock: f64,
+    circuit: bool,
+}
+
+/// Everything the flow produces for one stream.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// The power-optimal assignment.
+    pub optimal: SignedPerm,
+    /// Normalised power of the optimal assignment.
+    pub optimal_power: f64,
+    /// Normalised power of the Spiral assignment.
+    pub spiral_power: f64,
+    /// Normalised power of the Sawtooth assignment.
+    pub sawtooth_power: f64,
+    /// Mean normalised power over random assignments.
+    pub random_power: f64,
+    /// Circuit-level mean power of the optimally assigned stream, W
+    /// (`None` unless circuit validation was enabled).
+    pub circuit_power: Option<f64>,
+    /// Circuit-level mean power of the unassigned stream, W.
+    pub circuit_power_plain: Option<f64>,
+}
+
+impl FlowReport {
+    /// Power reduction of the optimal assignment vs. the random mean,
+    /// percent.
+    pub fn optimal_reduction(&self) -> f64 {
+        common::reduction_pct(self.optimal_power, self.random_power)
+    }
+
+    /// The better of the two systematic assignments, as
+    /// `("Spiral" | "Sawtooth", reduction %)`.
+    pub fn best_systematic(&self) -> (&'static str, f64) {
+        let spiral = common::reduction_pct(self.spiral_power, self.random_power);
+        let sawtooth = common::reduction_pct(self.sawtooth_power, self.random_power);
+        if spiral >= sawtooth {
+            ("Spiral", spiral)
+        } else {
+            ("Sawtooth", sawtooth)
+        }
+    }
+}
+
+impl Flow {
+    /// Builds the flow for a TSV array (extraction + linear-model fit
+    /// happen here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry/extraction errors as boxed errors.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        geometry: TsvGeometry,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let array = TsvArray::new(rows, cols, geometry)?;
+        let cap = LinearCapModel::fit(&Extractor::new(array.clone()))?;
+        Ok(Self {
+            array,
+            cap,
+            anneal: optimize::AnnealOptions::default(),
+            clock: 3.0e9,
+            circuit: false,
+        })
+    }
+
+    /// Overrides the annealing budget.
+    pub fn with_anneal_options(mut self, options: optimize::AnnealOptions) -> Self {
+        self.anneal = options;
+        self
+    }
+
+    /// Enables circuit-level validation at the given clock (Hz).
+    pub fn with_circuit_validation(mut self, clock: f64) -> Self {
+        self.circuit = true;
+        self.clock = clock;
+        self
+    }
+
+    /// The fitted capacitance model.
+    pub fn cap_model(&self) -> &LinearCapModel {
+        &self.cap
+    }
+
+    /// Analyses one stream end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches and simulator errors.
+    pub fn analyze(&self, stream: &BitStream) -> Result<FlowReport, Box<dyn std::error::Error>> {
+        let stats = SwitchingStats::from_stream(stream);
+        let problem = AssignmentProblem::new(stats.clone(), self.cap.clone())?;
+        let best = optimize::anneal(&problem, &self.anneal)?;
+        let spiral_power = problem.power(&systematic::spiral(&problem));
+        let sawtooth_power = problem.power(&systematic::sawtooth(&problem));
+        let random_power = optimize::random_mean(&problem, 300, self.anneal.seed)?;
+
+        let (circuit_power, circuit_power_plain) = if self.circuit {
+            let simulate = |s: &BitStream| -> Result<f64, Box<dyn std::error::Error>> {
+                let probs = SwitchingStats::from_stream(s);
+                let cap = Extractor::new(self.array.clone())
+                    .extract(probs.bit_probabilities())?;
+                let link = TsvLink::new(
+                    TsvRcNetlist::from_extraction(&self.array, cap),
+                    DriverModel::ptm_22nm_strength6(),
+                )?;
+                Ok(link.simulate(s, self.clock)?.mean_power())
+            };
+            let assigned = common::assign_stream(stream, &best.assignment);
+            (Some(simulate(&assigned)?), Some(simulate(stream)?))
+        } else {
+            (None, None)
+        };
+
+        Ok(FlowReport {
+            optimal: best.assignment,
+            optimal_power: best.power,
+            spiral_power,
+            sawtooth_power,
+            random_power,
+            circuit_power,
+            circuit_power_plain,
+        })
+    }
+}
+
+/// Converts a normalised power `P_n = ⟨T, C⟩` (farads) into watts via
+/// the paper's Eq. 1 prefactor: `P = P_n · V_dd² · f / 2`.
+///
+/// # Examples
+///
+/// ```
+/// // 100 fF of switched capacitance at 1 V, 3 GHz ⇒ 150 µW.
+/// let watts = tsv3d_experiments::flow::normalized_to_watts(100e-15, 1.0, 3.0e9);
+/// assert!((watts - 150e-6).abs() < 1e-12);
+/// ```
+pub fn normalized_to_watts(p_n: f64, vdd: f64, clock: f64) -> f64 {
+    p_n * vdd * vdd * clock / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv3d_stats::gen::SequentialSource;
+
+    #[test]
+    fn flow_report_is_internally_consistent() {
+        let flow = Flow::new(3, 3, TsvGeometry::itrs_2018_min())
+            .unwrap()
+            .with_anneal_options(common::anneal_options_quick());
+        let stream = SequentialSource::new(9, 0.02).unwrap().generate(1, 6_000).unwrap();
+        let report = flow.analyze(&stream).unwrap();
+        assert!(report.optimal_power <= report.spiral_power);
+        assert!(report.optimal_power <= report.sawtooth_power);
+        assert!(report.optimal_power < report.random_power);
+        assert!(report.optimal_reduction() > 0.0);
+        let (name, red) = report.best_systematic();
+        assert_eq!(name, "Spiral"); // sequential data favours Spiral
+        assert!(red > 0.0);
+        assert!(report.circuit_power.is_none());
+    }
+
+    #[test]
+    fn circuit_validation_agrees_with_the_model() {
+        let flow = Flow::new(3, 3, TsvGeometry::itrs_2018_min())
+            .unwrap()
+            .with_anneal_options(common::anneal_options_quick())
+            .with_circuit_validation(3.0e9);
+        let stream = SequentialSource::new(9, 0.05).unwrap().generate(3, 2_000).unwrap();
+        let report = flow.analyze(&stream).unwrap();
+        let assigned = report.circuit_power.unwrap();
+        let plain = report.circuit_power_plain.unwrap();
+        assert!(assigned < plain, "assigned {assigned:.3e} !< plain {plain:.3e}");
+    }
+
+    #[test]
+    fn watts_conversion_matches_eq1() {
+        assert_eq!(normalized_to_watts(2.0, 1.0, 1.0), 1.0);
+        assert_eq!(normalized_to_watts(2.0, 2.0, 3.0), 12.0);
+    }
+}

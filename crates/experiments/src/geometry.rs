@@ -1,0 +1,84 @@
+//! Geometry sensitivity — the paper's closing Sec. 7 observation:
+//! "For thicker TSVs and/or wider TSV pitches, which is the common case
+//! today, our approach causes an even higher reduction in the TSV power
+//! consumption (e.g. up to 48 % for r = 2 µm and d = 8 µm)."
+//!
+//! This module sweeps the via radius and pitch and reports the optimal
+//! and Spiral reductions for a strongly correlated reference workload,
+//! exposing how the exploitable heterogeneity scales with the geometry.
+
+use crate::common;
+use tsv3d_core::{optimize, systematic};
+use tsv3d_model::TsvGeometry;
+use tsv3d_stats::gen::SequentialSource;
+
+/// One point of the geometry sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometryPoint {
+    /// The via geometry.
+    pub geometry: TsvGeometry,
+    /// Reduction of the optimal assignment vs. the worst-case random
+    /// assignment (the Fig. 2 convention), percent.
+    pub reduction_optimal: f64,
+    /// Reduction of the Spiral assignment, percent.
+    pub reduction_spiral: f64,
+}
+
+/// The `(radius, pitch)` pairs swept (all in the ITRS 2018 vicinity).
+pub const GEOMETRIES: [(f64, f64); 5] = [
+    (0.5e-6, 2.0e-6),
+    (1.0e-6, 4.0e-6),
+    (1.0e-6, 4.5e-6),
+    (2.0e-6, 8.0e-6),
+    (2.5e-6, 10.0e-6),
+];
+
+/// Computes one sweep point on a 4×4 array carrying a low-branch
+/// sequential stream (the workload class with the clearest geometry
+/// dependence).
+pub fn point(geometry: TsvGeometry, cycles: usize, quick: bool) -> GeometryPoint {
+    let stream = SequentialSource::new(16, 0.01)
+        .expect("supported width")
+        .generate(0x6E0, cycles)
+        .expect("generation succeeds");
+    let problem = common::problem(&stream, common::cap_model(4, 4, geometry));
+    let opts = if quick {
+        common::anneal_options_quick()
+    } else {
+        common::anneal_options()
+    };
+    let optimal = optimize::anneal(&problem, &opts).expect("non-empty budget").power;
+    let spiral = problem.power(&systematic::spiral(&problem));
+    let worst = optimize::worst_case(&problem, &opts)
+        .expect("non-empty budget")
+        .power;
+    GeometryPoint {
+        geometry,
+        reduction_optimal: common::reduction_pct(optimal, worst),
+        reduction_spiral: common::reduction_pct(spiral, worst),
+    }
+}
+
+/// The full sweep.
+pub fn sweep(cycles: usize, quick: bool) -> Vec<GeometryPoint> {
+    GEOMETRIES
+        .iter()
+        .map(|&(r, d)| point(TsvGeometry::new(r, d), cycles, quick))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_geometry_benefits() {
+        for p in sweep(6_000, true) {
+            assert!(p.reduction_optimal > 5.0, "{p:?}");
+            assert!(
+                p.reduction_optimal - p.reduction_spiral < 5.0,
+                "spiral should track optimal: {p:?}"
+            );
+        }
+    }
+}

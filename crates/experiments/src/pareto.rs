@@ -1,0 +1,128 @@
+//! Power/signal-integrity trade-off of the bit-to-TSV assignment.
+//!
+//! The paper optimises power only; crosstalk is handled by the separate
+//! code families of Refs. \[13–15\]. But the assignment's objective and
+//! the SI metric share the same machinery (both are weighted sums over
+//! `C'`), so a single weighted objective `P + λ·X` traces the trade-off
+//! between the two — an extension the paper's Sec. 8 leaves open. The
+//! study's outcome: for DSP-like data the two objectives are largely
+//! *aligned* — the power-optimal assignment already minimises
+//! opposite-transition coupling, so it is SI-friendly for free.
+
+use crate::common;
+use tsv3d_core::{optimize, AssignmentProblem};
+use tsv3d_model::TsvGeometry;
+use tsv3d_stats::gen::GaussianSource;
+use tsv3d_stats::SwitchingStats;
+
+/// One point of the power/SI trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// The crosstalk weight λ in the combined objective.
+    pub lambda: f64,
+    /// Power reduction vs. mean random, percent.
+    pub power_reduction: f64,
+    /// Crosstalk-activity reduction vs. mean random, percent.
+    pub crosstalk_reduction: f64,
+}
+
+/// The λ sweep of the study.
+pub const LAMBDAS: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 8.0];
+
+/// Builds the study's reference problem: a 16-bit correlated Gaussian
+/// word on a 4×4 minimum-geometry array.
+pub fn build_problem(cycles: usize) -> AssignmentProblem {
+    let stream = GaussianSource::new(16, 1500.0)
+        .with_correlation(0.4)
+        .generate(0x9A_12, cycles)
+        .expect("generation succeeds");
+    AssignmentProblem::new(
+        SwitchingStats::from_stream(&stream),
+        common::cap_model(4, 4, TsvGeometry::itrs_2018_min()),
+    )
+    .expect("sizes match")
+}
+
+/// Computes one trade-off point.
+pub fn point(problem: &AssignmentProblem, lambda: f64, quick: bool) -> ParetoPoint {
+    let opts = if quick {
+        common::anneal_options_quick()
+    } else {
+        common::anneal_options()
+    };
+    let best = optimize::anneal_objective(
+        problem,
+        |a| problem.power(a) + lambda * problem.crosstalk_activity(a),
+        &opts,
+    )
+    .expect("non-empty budget");
+
+    // Baselines: mean power and mean crosstalk of random assignments.
+    let mut rng_power = 0.0;
+    let mut rng_xtalk = 0.0;
+    let samples = 200;
+    for k in 0..samples {
+        let a = random_assignment(problem.n(), k);
+        rng_power += problem.power(&a);
+        rng_xtalk += problem.crosstalk_activity(&a);
+    }
+    rng_power /= samples as f64;
+    rng_xtalk /= samples as f64;
+
+    ParetoPoint {
+        lambda,
+        power_reduction: common::reduction_pct(problem.power(&best.assignment), rng_power),
+        crosstalk_reduction: common::reduction_pct(
+            problem.crosstalk_activity(&best.assignment),
+            rng_xtalk,
+        ),
+    }
+}
+
+/// Deterministic pseudo-random permutation for the baselines.
+fn random_assignment(n: usize, seed: usize) -> tsv3d_core::SignedPerm {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed as u64 + 31_337);
+    let mut lines: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        lines.swap(i, rng.gen_range(0..=i));
+    }
+    tsv3d_core::SignedPerm::from_parts(lines, vec![false; n]).expect("valid permutation")
+}
+
+/// The full λ sweep.
+pub fn sweep(cycles: usize, quick: bool) -> Vec<ParetoPoint> {
+    let problem = build_problem(cycles);
+    LAMBDAS
+        .iter()
+        .map(|&l| point(&problem, l, quick))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objectives_are_aligned_for_dsp_data() {
+        // The study's headline: for DSP-like data the power-optimal
+        // assignment is already SI-friendly — adding crosstalk weight
+        // neither unlocks much extra crosstalk reduction nor costs much
+        // power (both objectives penalise opposite transitions on big
+        // couplings).
+        let problem = build_problem(8_000);
+        let pure_power = point(&problem, 0.0, true);
+        let si_heavy = point(&problem, 8.0, true);
+        assert!(pure_power.power_reduction > 0.0);
+        assert!(pure_power.crosstalk_reduction > 0.0, "{pure_power:?}");
+        assert!(
+            si_heavy.crosstalk_reduction > pure_power.crosstalk_reduction - 1.0,
+            "{si_heavy:?} vs {pure_power:?}"
+        );
+        assert!(
+            (si_heavy.power_reduction - pure_power.power_reduction).abs() < 3.0,
+            "{si_heavy:?} vs {pure_power:?}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Process-variation robustness of the fixed assignment.
+//!
+//! The assignment is frozen at design time from *nominal* capacitances,
+//! but manufacturing varies oxide thickness, via radius and doping —
+//! every fabricated array has a slightly different `C`. This study
+//! perturbs the capacitance model with symmetric multiplicative jitter
+//! and asks two questions the paper leaves open:
+//!
+//! 1. does the nominally optimal assignment still beat the random
+//!    baseline on the perturbed arrays?
+//! 2. how much is left on the table versus re-optimising for each
+//!    fabricated instance (which no one can do post-fabrication)?
+
+use crate::common;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsv3d_core::{optimize, AssignmentProblem};
+use tsv3d_matrix::Matrix;
+use tsv3d_model::{LinearCapModel, TsvGeometry};
+use tsv3d_stats::gen::SequentialSource;
+use tsv3d_stats::SwitchingStats;
+
+/// Aggregate robustness results over the Monte-Carlo instances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationStudy {
+    /// Relative capacitance jitter applied (1 σ).
+    pub sigma: f64,
+    /// Monte-Carlo instances evaluated.
+    pub instances: usize,
+    /// Mean reduction of the *nominal* assignment vs. mean random, on
+    /// the perturbed arrays, percent.
+    pub nominal_reduction: f64,
+    /// Mean reduction of the per-instance re-optimised assignment,
+    /// percent (the unreachable upper bound).
+    pub reoptimized_reduction: f64,
+    /// Worst-case (smallest) reduction of the nominal assignment over
+    /// the instances, percent.
+    pub worst_nominal_reduction: f64,
+}
+
+/// Perturbs a linear capacitance model with symmetric multiplicative
+/// jitter: every independent entry of `C_R` and `ΔC` is scaled by
+/// `1 + N(0, σ²)` (clamped so capacitances stay positive), keeping the
+/// matrices symmetric.
+pub fn perturb(model: &LinearCapModel, sigma: f64, seed: u64) -> LinearCapModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = model.n();
+    let mut c_r = Matrix::zeros(n);
+    let mut delta_c = Matrix::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            // Box–Muller normal draw.
+            let (u1, u2): (f64, f64) = (rng.gen(), rng.gen());
+            let g = (-2.0 * u1.max(f64::MIN_POSITIVE).ln()).sqrt()
+                * (2.0 * std::f64::consts::PI * u2).cos();
+            let factor = (1.0 + sigma * g).max(0.05);
+            c_r[(i, j)] = model.c_r()[(i, j)] * factor;
+            c_r[(j, i)] = c_r[(i, j)];
+            delta_c[(i, j)] = model.delta_c()[(i, j)] * factor;
+            delta_c[(j, i)] = delta_c[(i, j)];
+        }
+    }
+    LinearCapModel::from_parts(c_r, delta_c)
+}
+
+/// Runs the Monte-Carlo study on a 4×4 minimum-geometry array carrying
+/// a correlated sequential stream.
+pub fn study(sigma: f64, instances: usize, quick: bool) -> VariationStudy {
+    let stream = SequentialSource::new(16, 0.01)
+        .expect("supported width")
+        .generate(0x7A_12, if quick { 8_000 } else { 20_000 })
+        .expect("generation succeeds");
+    let stats = SwitchingStats::from_stream(&stream);
+    let nominal_cap = common::cap_model(4, 4, TsvGeometry::itrs_2018_min());
+    let opts = if quick {
+        common::anneal_options_quick()
+    } else {
+        common::anneal_options()
+    };
+
+    // Design-time decision: optimise on the nominal model.
+    let nominal_problem =
+        AssignmentProblem::new(stats.clone(), nominal_cap.clone()).expect("sizes match");
+    let nominal_best = optimize::anneal(&nominal_problem, &opts).expect("non-empty budget");
+
+    let mut sum_nominal = 0.0;
+    let mut sum_reopt = 0.0;
+    let mut worst_nominal = f64::INFINITY;
+    for k in 0..instances {
+        let perturbed = perturb(&nominal_cap, sigma, 1000 + k as u64);
+        let problem =
+            AssignmentProblem::new(stats.clone(), perturbed).expect("sizes match");
+        let random = optimize::random_mean(&problem, 200, 77).expect("non-empty budget");
+        let p_nominal = problem.power(&nominal_best.assignment);
+        let p_reopt = optimize::anneal(&problem, &opts).expect("non-empty budget").power;
+        let red_nominal = common::reduction_pct(p_nominal, random);
+        sum_nominal += red_nominal;
+        sum_reopt += common::reduction_pct(p_reopt, random);
+        worst_nominal = worst_nominal.min(red_nominal);
+    }
+    VariationStudy {
+        sigma,
+        instances,
+        nominal_reduction: sum_nominal / instances as f64,
+        reoptimized_reduction: sum_reopt / instances as f64,
+        worst_nominal_reduction: worst_nominal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturbation_is_symmetric_and_positive() {
+        let cap = common::cap_model(3, 3, TsvGeometry::itrs_2018_min());
+        let p = perturb(&cap, 0.1, 42);
+        assert!(p.c_r().is_symmetric(1e-25));
+        assert!(p.delta_c().is_symmetric(1e-28));
+        for (_, _, v) in p.c_r().entries() {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_reproduces_the_nominal_model() {
+        let cap = common::cap_model(3, 3, TsvGeometry::itrs_2018_min());
+        let p = perturb(&cap, 0.0, 42);
+        assert_eq!(&p, &cap);
+    }
+
+    #[test]
+    fn nominal_assignment_stays_useful_under_variation() {
+        let s = study(0.10, 6, true);
+        // Still clearly better than random on every instance…
+        assert!(s.worst_nominal_reduction > 5.0, "{s:?}");
+        // …and close to the per-instance optimum.
+        assert!(
+            s.reoptimized_reduction - s.nominal_reduction < 4.0,
+            "{s:?}"
+        );
+    }
+}

@@ -1,0 +1,431 @@
+//! Dense square `f64` matrices.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major, square matrix of `f64`.
+///
+/// The matrices of the TSV power model (capacitance matrix `C`, switching
+/// matrix `T`) are always square and small (one entry per TSV of a bundle,
+/// typically 9–64), so this type deliberately supports only square shapes
+/// and keeps every operation `O(n²)`-simple.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_matrix::Matrix;
+///
+/// let m = Matrix::from_fn(3, |i, j| (i * 3 + j) as f64);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.row_sum(1), 3.0 + 4.0 + 5.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` matrix filled with zeros.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tsv3d_matrix::Matrix;
+    /// let z = Matrix::zeros(4);
+    /// assert_eq!(z[(3, 3)], 0.0);
+    /// ```
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates an `n × n` matrix filled with ones (the paper's `1_{N×N}`).
+    pub fn ones(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![1.0; n * n],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates an `n × n` matrix whose entry `(i, j)` is `f(i, j)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tsv3d_matrix::Matrix;
+    /// let id = Matrix::from_fn(2, |i, j| if i == j { 1.0 } else { 0.0 });
+    /// assert_eq!(id, Matrix::identity(2));
+    /// ```
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not form a square matrix.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let n = rows.len();
+        let mut m = Self::zeros(n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has length {} != {n}", row.len());
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Self::zeros(diag.len());
+        for (i, &v) in diag.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// The dimension `n` of this `n × n` matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the diagonal as a vector.
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Sum of the entries of row `i` (including the diagonal).
+    ///
+    /// For a capacitance matrix this is the *total capacitance* `C_{T,i}`
+    /// connected to interconnect `i` when the diagonal holds the ground
+    /// capacitance and off-diagonals hold couplings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn row_sum(&self, i: usize) -> f64 {
+        assert!(i < self.n, "row {i} out of bounds for n = {}", self.n);
+        self.data[i * self.n..(i + 1) * self.n].iter().sum()
+    }
+
+    /// All row sums as a vector.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.row_sum(i)).collect()
+    }
+
+    /// Sum of every entry in the matrix.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius inner product `⟨self, other⟩ = Σ_{ij} self_{ij} other_{ij}`.
+    ///
+    /// This is the paper's Eq. 2: the normalised power consumption is
+    /// `P_n = ⟨T, C⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tsv3d_matrix::Matrix;
+    /// let a = Matrix::identity(3);
+    /// let b = Matrix::ones(3);
+    /// assert_eq!(a.frobenius(&b), 3.0);
+    /// ```
+    pub fn frobenius(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.n, other.n, "dimension mismatch in frobenius product");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Element-wise (Hadamard) product `self ∘ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.n, other.n, "dimension mismatch in hadamard product");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix { n: self.n, data }
+    }
+
+    /// Multiplies every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            n: self.n,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// The transpose of this matrix.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.n, |i, j| self[(j, i)])
+    }
+
+    /// `true` if `|self_{ij} - self_{ji}| <= tol` for all entries.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute entry (the `L∞` norm on entries).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// `true` if any entry is `NaN` or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Iterator over `(row, col, value)` of all entries.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let n = self.n;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (k / n, k % n, v))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of bounds");
+        &self.data[i * self.n + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.n + j]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch in matrix addition");
+        Matrix {
+            n: self.n,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch in matrix subtraction");
+        Matrix {
+            n: self.n,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// Ordinary matrix multiplication. Rarely needed by the power model
+    /// (the signed-permutation conjugation is done index-wise), but useful
+    /// in tests to cross-check against the explicit `Aπ T Aπᵀ` form.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch in matrix product");
+        let n = self.n;
+        Matrix::from_fn(n, |i, j| (0..n).map(|k| self[(i, k)] * rhs[(k, j)]).sum())
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.n, self.n)?;
+        for i in 0..self.n {
+            write!(f, "  ")?;
+            for j in 0..self.n {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_have_expected_entries() {
+        let z = Matrix::zeros(3);
+        let o = Matrix::ones(3);
+        assert_eq!(z.total(), 0.0);
+        assert_eq!(o.total(), 9.0);
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let id = Matrix::identity(4);
+        assert_eq!(id.diag(), vec![1.0; 4]);
+        assert_eq!(id.total(), 4.0);
+    }
+
+    #[test]
+    fn from_rows_round_trips_entries() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn row_sum_matches_manual_sum() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        assert_eq!(m.row_sum(0), 6.0);
+        assert_eq!(m.row_sums(), vec![6.0, 15.0, 24.0]);
+    }
+
+    #[test]
+    fn frobenius_identity_extracts_trace() {
+        let m = Matrix::from_rows(&[&[1.0, 9.0], &[9.0, 2.0]]);
+        assert_eq!(Matrix::identity(2).frobenius(&m), 3.0);
+    }
+
+    #[test]
+    fn frobenius_is_commutative() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.frobenius(&b), b.frobenius(&a));
+    }
+
+    #[test]
+    fn hadamard_multiplies_elementwise() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 0.5], &[1.0, 0.25]]);
+        let h = a.hadamard(&b);
+        assert_eq!(h[(0, 0)], 2.0);
+        assert_eq!(h[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn mul_matches_hand_example() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let p = &a * &b;
+        assert_eq!(p, Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]));
+    }
+
+    #[test]
+    fn symmetry_check_with_tolerance() {
+        let mut m = Matrix::identity(3);
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0 + 1e-12;
+        assert!(m.is_symmetric(1e-9));
+        assert!(!m.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn scale_and_arith() {
+        let a = Matrix::ones(2);
+        let b = a.scale(3.0);
+        assert_eq!((&b - &a).total(), 8.0);
+        assert_eq!((&b + &a).total(), 16.0);
+    }
+
+    #[test]
+    fn entries_iterates_row_major() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v: Vec<_> = m.entries().collect();
+        assert_eq!(v[1], (0, 1, 2.0));
+        assert_eq!(v[2], (1, 0, 3.0));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = Matrix::zeros(2);
+        assert!(!m.has_non_finite());
+        m[(0, 0)] = f64::NAN;
+        assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn max_abs_finds_largest_magnitude() {
+        let m = Matrix::from_rows(&[&[1.0, -7.0], &[3.0, 4.0]]);
+        assert_eq!(m.max_abs(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::zeros(2);
+        let _ = m[(2, 0)];
+    }
+}

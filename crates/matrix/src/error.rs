@@ -1,0 +1,67 @@
+//! Error types for signed-permutation construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an invalid [`SignedPerm`].
+///
+/// [`SignedPerm`]: crate::SignedPerm
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermError {
+    /// The mapping and sign vectors have different lengths.
+    LengthMismatch {
+        /// Length of the target-line vector.
+        lines: usize,
+        /// Length of the inversion-flag vector.
+        signs: usize,
+    },
+    /// A target line index is out of range.
+    LineOutOfRange {
+        /// The offending bit.
+        bit: usize,
+        /// Its (invalid) target line.
+        line: usize,
+        /// The permutation size.
+        n: usize,
+    },
+    /// Two bits map to the same line.
+    DuplicateLine {
+        /// The line that is targeted twice.
+        line: usize,
+    },
+}
+
+impl fmt::Display for PermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermError::LengthMismatch { lines, signs } => write!(
+                f,
+                "signed permutation vectors have mismatched lengths ({lines} lines, {signs} signs)"
+            ),
+            PermError::LineOutOfRange { bit, line, n } => write!(
+                f,
+                "bit {bit} maps to line {line}, outside the valid range 0..{n}"
+            ),
+            PermError::DuplicateLine { line } => {
+                write!(f, "line {line} is targeted by more than one bit")
+            }
+        }
+    }
+}
+
+impl Error for PermError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PermError::LengthMismatch { lines: 3, signs: 2 };
+        assert!(e.to_string().contains("mismatched lengths"));
+        let e = PermError::LineOutOfRange { bit: 1, line: 9, n: 4 };
+        assert!(e.to_string().contains("line 9"));
+        let e = PermError::DuplicateLine { line: 2 };
+        assert!(e.to_string().contains("line 2"));
+    }
+}

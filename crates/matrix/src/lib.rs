@@ -1,0 +1,50 @@
+//! Small dense-matrix toolbox for the `tsv3d` workspace.
+//!
+//! The low-power bit-to-TSV assignment problem of Bamberg et al. (DAC 2018)
+//! is formulated entirely in terms of *square* real matrices: a capacitance
+//! matrix `C`, a switching matrix `T`, and a *signed permutation* `Aπ` that
+//! reassigns (and possibly inverts) bits. The normalised interconnect power
+//! is the Frobenius inner product `⟨T, C⟩`.
+//!
+//! This crate provides exactly those primitives and nothing more:
+//!
+//! * [`Matrix`] — a dense square matrix of `f64` with the handful of
+//!   operations the power model needs (row sums, Hadamard products,
+//!   Frobenius inner products, symmetric conjugation by a signed
+//!   permutation);
+//! * [`SignedPerm`] — a permutation in which every element additionally
+//!   carries a sign, modelling the `±1` entries of the paper's `Aπ`
+//!   (Eq. 5): a `-1` means the bit is transmitted *inverted*.
+//!
+//! # Examples
+//!
+//! Computing a normalised power `⟨T, C⟩` and the effect of a signed
+//! reassignment:
+//!
+//! ```
+//! use tsv3d_matrix::{Matrix, SignedPerm};
+//!
+//! # fn main() -> Result<(), tsv3d_matrix::PermError> {
+//! let c = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+//! let t = Matrix::from_rows(&[&[0.5, 0.2], &[0.2, 0.5]]);
+//! let p_initial = t.frobenius(&c);
+//!
+//! // Swap the two bits and invert the second one.
+//! let a = SignedPerm::from_parts(vec![1, 0], vec![false, true])?;
+//! let t2 = a.conjugate(&t);
+//! let p_reassigned = t2.frobenius(&c);
+//! assert!(p_reassigned.is_finite() && p_initial.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dense;
+mod error;
+mod sperm;
+
+pub use dense::Matrix;
+pub use error::PermError;
+pub use sperm::SignedPerm;

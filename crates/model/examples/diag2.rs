@@ -1,0 +1,13 @@
+fn main() {
+    use tsv3d_model::*;
+    use tsv3d_model::extract::ExtractionOptions;
+    for (kappa, bulk, sector) in [(1.0,0.15,0.06),(2.5,0.10,0.03),(4.0,0.10,0.02),(2.5,0.05,0.02)] {
+        let o = ExtractionOptions{ saturation: kappa, ground_bulk: bulk, ground_sector: sector, ..Default::default() };
+        let a = TsvArray::new(4,4,TsvGeometry::wide_2018()).unwrap();
+        let cap = LinearCapModel::fit(&Extractor::with_options(a.clone(), o)).unwrap();
+        let t = cap.c_r().row_sums();
+        let avg = |cls: PositionClass| { let v: Vec<f64> = (0..16).filter(|&i| a.class(i)==cls).map(|i| t[i]).collect(); v.iter().sum::<f64>()/v.len() as f64 };
+        let (c,e,m) = (avg(PositionClass::Corner), avg(PositionClass::Edge), avg(PositionClass::Middle));
+        println!("k={kappa} b={bulk} s={sector}: corner={:.3e} edge={:.3e} middle={:.3e}  spread={:.1}% gnd0={:.2e}", c, e, m, (m/c-1.0)*100.0, cap.c_r()[(0,0)]);
+    }
+}

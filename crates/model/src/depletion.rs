@@ -1,0 +1,301 @@
+//! Cylindrical MOS depletion physics for a single TSV.
+//!
+//! A TSV, its oxide liner and the p-doped substrate form a cylindrical
+//! MOS junction (paper Sec. 2, Ref. \[19\]). A positive average via voltage
+//! depletes the substrate around the liner; the resulting depletion
+//! capacitance in series with the oxide capacitance lowers the effective
+//! via capacitance by up to ≈40 %. The paper models the depletion region
+//! width by "solving the exact Poisson's equation for an average TSV
+//! voltage of `pr_i · V_dd`"; this module implements that solve for the
+//! cylindrical deep-depletion case.
+//!
+//! With metal radius `r`, oxide outer radius `a = r + t_ox` and depletion
+//! outer radius `r_d`, the potential drop across the depletion region
+//! follows from integrating Poisson's equation in cylindrical coordinates:
+//!
+//! ```text
+//! ψ_dep(r_d) = q·N_A/(2·ε_si) · [ r_d² ln(r_d/a) − (r_d² − a²)/2 ]
+//! ```
+//!
+//! and the oxide drop is `V_ox = Q'_dep / C'_ox` with the per-length
+//! depletion charge `Q'_dep = q·N_A·π·(r_d² − a²)`. The bias equation
+//! `V = ψ_dep + V_ox` is solved for `r_d` by bisection (it is strictly
+//! monotonic). A flat-band voltage of zero is assumed, and — because TSV
+//! signals toggle far faster than minority carriers can form an inversion
+//! layer — the junction is treated as in *deep depletion* (no inversion
+//! clamp), consistent with Ref. \[19\].
+
+use crate::materials::{acceptor_density, EPS_OX, EPS_SI, Q_E};
+use crate::{ModelError, TsvGeometry};
+
+/// Cylindrical MOS junction of one TSV.
+///
+/// # Examples
+///
+/// At zero bias there is no depletion, so the MOS capacitance equals the
+/// oxide capacitance; at full supply the capacitance drops substantially:
+///
+/// ```
+/// use tsv3d_model::depletion::MosJunction;
+/// use tsv3d_model::TsvGeometry;
+///
+/// # fn main() -> Result<(), tsv3d_model::ModelError> {
+/// let j = MosJunction::from_geometry(&TsvGeometry::itrs_2018_min());
+/// let c0 = j.mos_capacitance(0.0)?;
+/// let c1 = j.mos_capacitance(1.0)?;
+/// assert!((c0 - j.oxide_capacitance()).abs() / c0 < 1e-12);
+/// assert!(c1 < 0.7 * c0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosJunction {
+    /// Metal radius, m.
+    radius: f64,
+    /// Oxide outer radius `a`, m.
+    oxide_outer: f64,
+    /// Via length, m.
+    length: f64,
+    /// Acceptor density, m⁻³.
+    na: f64,
+}
+
+impl MosJunction {
+    /// Builds the junction for a via geometry, with the substrate doping
+    /// implied by the paper's 10 S/m conductivity.
+    pub fn from_geometry(geometry: &TsvGeometry) -> Self {
+        Self {
+            radius: geometry.radius,
+            oxide_outer: geometry.oxide_outer_radius(),
+            length: geometry.length,
+            na: acceptor_density(),
+        }
+    }
+
+    /// Builds a junction with an explicit doping density (m⁻³), for
+    /// sensitivity studies.
+    pub fn with_doping(geometry: &TsvGeometry, na: f64) -> Self {
+        Self {
+            na,
+            ..Self::from_geometry(geometry)
+        }
+    }
+
+    /// Oxide capacitance of the full via (coaxial formula), F.
+    pub fn oxide_capacitance(&self) -> f64 {
+        2.0 * std::f64::consts::PI * EPS_OX * self.length / (self.oxide_outer / self.radius).ln()
+    }
+
+    /// Potential drop from liner (radius `a`) to the depletion boundary
+    /// `r_d`, V.
+    fn depletion_potential(&self, r_d: f64) -> f64 {
+        let a = self.oxide_outer;
+        Q_E * self.na / (2.0 * EPS_SI)
+            * (r_d * r_d * (r_d / a).ln() - (r_d * r_d - a * a) / 2.0)
+    }
+
+    /// Oxide potential drop for a depletion boundary at `r_d`, V.
+    fn oxide_potential(&self, r_d: f64) -> f64 {
+        let a = self.oxide_outer;
+        let q_dep_per_len = Q_E * self.na * std::f64::consts::PI * (r_d * r_d - a * a);
+        let c_ox_per_len =
+            2.0 * std::f64::consts::PI * EPS_OX / (self.oxide_outer / self.radius).ln();
+        q_dep_per_len / c_ox_per_len
+    }
+
+    /// Total bias required to push the depletion boundary to `r_d`, V.
+    fn bias_for_radius(&self, r_d: f64) -> f64 {
+        self.depletion_potential(r_d) + self.oxide_potential(r_d)
+    }
+
+    /// Outer radius of the depletion region for an average via bias `v`
+    /// (typically `p_i · V_dd`), m.
+    ///
+    /// For non-positive bias (accumulation) the boundary collapses onto
+    /// the liner, i.e. `r_d = a`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::DepletionSolveFailed`] if the bisection cannot
+    /// bracket the solution (only possible for absurd biases > 10⁶ V).
+    pub fn depletion_radius(&self, v: f64) -> Result<f64, ModelError> {
+        let a = self.oxide_outer;
+        if v <= 0.0 {
+            return Ok(a);
+        }
+        // Bracket: ψ(a) = 0 and ψ grows without bound.
+        let mut hi = a * 2.0;
+        let mut guard = 0;
+        while self.bias_for_radius(hi) < v {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 60 {
+                return Err(ModelError::DepletionSolveFailed { voltage: v });
+            }
+        }
+        let mut lo = a;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.bias_for_radius(mid) < v {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    /// Depletion width `w = r_d − a` for bias `v`, m.
+    ///
+    /// # Errors
+    ///
+    /// See [`MosJunction::depletion_radius`].
+    pub fn depletion_width(&self, v: f64) -> Result<f64, ModelError> {
+        Ok(self.depletion_radius(v)? - self.oxide_outer)
+    }
+
+    /// Effective electrical radius of the via for bias `v`: the outer
+    /// boundary of oxide plus depletion, from which substrate fields
+    /// emanate, m.
+    ///
+    /// # Errors
+    ///
+    /// See [`MosJunction::depletion_radius`].
+    pub fn effective_radius(&self, v: f64) -> Result<f64, ModelError> {
+        self.depletion_radius(v)
+    }
+
+    /// Series MOS capacitance (oxide in series with depletion) of the full
+    /// via for bias `v`, F.
+    ///
+    /// At zero depletion this equals the oxide capacitance.
+    ///
+    /// # Errors
+    ///
+    /// See [`MosJunction::depletion_radius`].
+    pub fn mos_capacitance(&self, v: f64) -> Result<f64, ModelError> {
+        self.mos_capacitance_inner(v)
+    }
+
+    /// *Average* MOS capacitance of a via whose bit has 1-probability
+    /// `p` and supply `v_dd`: the time-share average
+    /// `p·C(v_dd) + (1−p)·C(0)`.
+    ///
+    /// The depletion boundary tracks the signal quasi-statically (its
+    /// time constant is far below a clock period), so the via spends a
+    /// fraction `p` of the time at the depleted capacitance and `1−p`
+    /// at the undepleted one. This average is *exactly linear in `p`*,
+    /// which is the physical origin of the near-linear `C(p)` relation
+    /// the paper's regression relies on (Ref. \[6\] reports ≤ 2 % NRMSE).
+    ///
+    /// # Errors
+    ///
+    /// See [`MosJunction::depletion_radius`].
+    pub fn average_capacitance(&self, p: f64, v_dd: f64) -> Result<f64, ModelError> {
+        let c_low = self.mos_capacitance_inner(0.0)?;
+        let c_high = self.mos_capacitance_inner(v_dd)?;
+        Ok((1.0 - p) * c_low + p * c_high)
+    }
+
+    fn mos_capacitance_inner(&self, v: f64) -> Result<f64, ModelError> {
+        let r_d = self.depletion_radius(v)?;
+        let c_ox = self.oxide_capacitance();
+        let ratio = r_d / self.oxide_outer;
+        if ratio <= 1.0 + 1e-12 {
+            return Ok(c_ox);
+        }
+        let c_dep = 2.0 * std::f64::consts::PI * EPS_SI * self.length / ratio.ln();
+        Ok(c_ox * c_dep / (c_ox + c_dep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn junction() -> MosJunction {
+        MosJunction::from_geometry(&TsvGeometry::itrs_2018_min())
+    }
+
+    #[test]
+    fn zero_bias_means_no_depletion() {
+        let j = junction();
+        assert_eq!(j.depletion_width(0.0).unwrap(), 0.0);
+        assert_eq!(j.depletion_width(-0.5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn depletion_width_monotonic_in_bias() {
+        let j = junction();
+        let mut last = 0.0;
+        for k in 1..=10 {
+            let w = j.depletion_width(0.1 * k as f64).unwrap();
+            assert!(w > last, "width must grow with bias");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn one_volt_width_is_of_order_one_micron() {
+        // Planar estimate: w = sqrt(2 ε_si V / (q N_A)) ≈ 0.97 µm at 1 V
+        // for N_A ≈ 1.39e21 m⁻³; the cylindrical solve must be of the same
+        // order (somewhat smaller because the field spreads radially and
+        // part of the bias drops across the oxide).
+        let j = junction();
+        let w = j.depletion_width(1.0).unwrap();
+        assert!(w > 0.2e-6 && w < 1.5e-6, "w = {w:.3e} m");
+    }
+
+    #[test]
+    fn bias_solution_round_trips() {
+        let j = junction();
+        for &v in &[0.05, 0.3, 0.7, 1.0] {
+            let r_d = j.depletion_radius(v).unwrap();
+            let back = j.bias_for_radius(r_d);
+            assert!((back - v).abs() < 1e-9, "v = {v}: got {back}");
+        }
+    }
+
+    #[test]
+    fn mos_capacitance_shrinks_with_bias() {
+        let j = junction();
+        let c0 = j.mos_capacitance(0.0).unwrap();
+        let c_half = j.mos_capacitance(0.5).unwrap();
+        let c1 = j.mos_capacitance(1.0).unwrap();
+        assert!(c0 > c_half && c_half > c1);
+        // Paper Sec. 3: the MOS effect gives "up to 40 % lower capacitance
+        // values"; the terminal MOS capacitance itself must drop at least
+        // that much for the array-level figure to be reachable.
+        assert!(c1 / c0 < 0.65, "c1/c0 = {}", c1 / c0);
+    }
+
+    #[test]
+    fn oxide_capacitance_magnitude() {
+        // r = 1 µm, t_ox = 0.2 µm, l = 50 µm ⇒ C_ox ≈ 60 fF.
+        let c = junction().oxide_capacitance();
+        assert!(c > 40e-15 && c < 80e-15, "C_ox = {c:.3e} F");
+    }
+
+    #[test]
+    fn higher_doping_narrows_depletion() {
+        let g = TsvGeometry::itrs_2018_min();
+        let j_lo = MosJunction::with_doping(&g, 1e21);
+        let j_hi = MosJunction::with_doping(&g, 1e22);
+        let w_lo = j_lo.depletion_width(1.0).unwrap();
+        let w_hi = j_hi.depletion_width(1.0).unwrap();
+        assert!(w_hi < w_lo);
+    }
+
+    #[test]
+    fn wide_geometry_has_larger_oxide_cap() {
+        let small = MosJunction::from_geometry(&TsvGeometry::itrs_2018_min());
+        let wide = MosJunction::from_geometry(&TsvGeometry::wide_2018());
+        // Same r/t_ox ratio ⇒ identical ln term; capacitance scales with
+        // length only, which is equal — so the two are equal by design.
+        assert!(
+            (small.oxide_capacitance() - wide.oxide_capacitance()).abs()
+                / small.oxide_capacitance()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the modelling crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building TSV arrays or extracting capacitances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The array must contain at least one TSV in each dimension.
+    EmptyArray,
+    /// The pitch must exceed the full via diameter including the liner,
+    /// otherwise the structures overlap.
+    PitchTooSmall {
+        /// Requested centre-to-centre pitch, m.
+        pitch: f64,
+        /// Minimum feasible pitch for the given radius, m.
+        min: f64,
+    },
+    /// A geometric parameter (radius, pitch, length) must be positive.
+    NonPositiveGeometry {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A 1-bit probability must lie in `[0, 1]`.
+    InvalidProbability {
+        /// Index of the offending TSV.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The probability vector length must match the TSV count.
+    ProbabilityCountMismatch {
+        /// Provided probabilities.
+        got: usize,
+        /// TSVs in the array.
+        expected: usize,
+    },
+    /// The depletion-width bisection failed to bracket a solution.
+    DepletionSolveFailed {
+        /// The bias voltage that could not be solved, V.
+        voltage: f64,
+    },
+    /// A capacitance matrix could not be parsed from CSV.
+    MatrixParse {
+        /// Human-readable description of the malformed input.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyArray => write!(f, "TSV array must have at least one row and column"),
+            ModelError::PitchTooSmall { pitch, min } => write!(
+                f,
+                "pitch {:.3e} m is below the minimum feasible pitch {:.3e} m",
+                pitch, min
+            ),
+            ModelError::NonPositiveGeometry { name } => {
+                write!(f, "geometry parameter `{name}` must be positive")
+            }
+            ModelError::InvalidProbability { index, value } => write!(
+                f,
+                "bit probability {value} at TSV {index} is outside [0, 1]"
+            ),
+            ModelError::ProbabilityCountMismatch { got, expected } => write!(
+                f,
+                "got {got} bit probabilities for an array of {expected} TSVs"
+            ),
+            ModelError::DepletionSolveFailed { voltage } => write!(
+                f,
+                "depletion-width solve failed to converge for bias {voltage} V"
+            ),
+            ModelError::MatrixParse { detail } => {
+                write!(f, "malformed capacitance matrix: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_values() {
+        let e = ModelError::InvalidProbability { index: 3, value: 1.5 };
+        assert!(e.to_string().contains("TSV 3"));
+        let e = ModelError::ProbabilityCountMismatch { got: 4, expected: 16 };
+        assert!(e.to_string().contains("16"));
+    }
+}

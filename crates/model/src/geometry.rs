@@ -1,0 +1,442 @@
+//! TSV array geometry: regular `M × N` placements, position classes and
+//! the ITRS-2018 geometry presets used throughout the paper.
+
+use crate::ModelError;
+
+/// Geometry of a single (cylindrical, copper) TSV and the array pitch.
+///
+/// The oxide liner thickness is tied to the radius as `t_ox = r / 5`
+/// following the paper's Sec. 2, and the via length equals the 50 µm
+/// substrate thickness unless overridden.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_model::TsvGeometry;
+///
+/// let g = TsvGeometry::itrs_2018_min();
+/// assert_eq!(g.radius, 1.0e-6);
+/// assert_eq!(g.pitch, 4.0e-6);
+/// assert!((g.oxide_thickness() - 0.2e-6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsvGeometry {
+    /// Via (metal) radius, m.
+    pub radius: f64,
+    /// Centre-to-centre pitch between direct neighbours, m.
+    pub pitch: f64,
+    /// Via length = substrate thickness, m.
+    pub length: f64,
+}
+
+impl TsvGeometry {
+    /// Substrate thickness assumed by the paper, m.
+    pub const SUBSTRATE_THICKNESS: f64 = 50.0e-6;
+
+    /// Creates a geometry with the paper's default 50 µm length.
+    pub fn new(radius: f64, pitch: f64) -> Self {
+        Self {
+            radius,
+            pitch,
+            length: Self::SUBSTRATE_THICKNESS,
+        }
+    }
+
+    /// Minimum global TSV dimensions predicted by the ITRS for 2018:
+    /// `r = 1 µm`, `d = 4 µm` (used in Secs. 5 and 7).
+    pub fn itrs_2018_min() -> Self {
+        Self::new(1.0e-6, 4.0e-6)
+    }
+
+    /// The wider geometry analysed throughout the paper:
+    /// `r = 2 µm`, `d = 8 µm` (the "common case today").
+    pub fn wide_2018() -> Self {
+        Self::new(2.0e-6, 8.0e-6)
+    }
+
+    /// The 5×5-array geometry of Fig. 2: `r = 1 µm`, `d = 4.5 µm`.
+    pub fn fig2_5x5() -> Self {
+        Self::new(1.0e-6, 4.5e-6)
+    }
+
+    /// Oxide liner thickness `t_ox = r / 5` (paper Sec. 2), m.
+    pub fn oxide_thickness(&self) -> f64 {
+        self.radius / 5.0
+    }
+
+    /// Outer radius of the oxide liner, `r + t_ox`, m.
+    pub fn oxide_outer_radius(&self) -> f64 {
+        self.radius + self.oxide_thickness()
+    }
+
+    /// Validates that all parameters are physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NonPositiveGeometry`] for non-positive parameters and
+    /// [`ModelError::PitchTooSmall`] when vias would overlap.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !(self.radius > 0.0) {
+            return Err(ModelError::NonPositiveGeometry { name: "radius" });
+        }
+        if !(self.pitch > 0.0) {
+            return Err(ModelError::NonPositiveGeometry { name: "pitch" });
+        }
+        if !(self.length > 0.0) {
+            return Err(ModelError::NonPositiveGeometry { name: "length" });
+        }
+        let min = 2.0 * self.oxide_outer_radius();
+        if self.pitch <= min {
+            return Err(ModelError::PitchTooSmall {
+                pitch: self.pitch,
+                min,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Classification of a TSV position inside the array rim structure.
+///
+/// The paper's systematic assignments rely on this classification: corner
+/// TSVs have the lowest total capacitance, edge TSVs the next lowest, and
+/// middle TSVs the highest (Sec. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PositionClass {
+    /// One of the (up to four) array corners.
+    Corner,
+    /// On the array rim but not a corner.
+    Edge,
+    /// Fully surrounded by eight neighbours.
+    Middle,
+}
+
+/// A regular `rows × cols` TSV array.
+///
+/// TSV indices are row-major: the TSV at `(row, col)` has index
+/// `row * cols + col`.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_model::{PositionClass, TsvArray, TsvGeometry};
+///
+/// # fn main() -> Result<(), tsv3d_model::ModelError> {
+/// let a = TsvArray::new(3, 3, TsvGeometry::itrs_2018_min())?;
+/// assert_eq!(a.len(), 9);
+/// assert_eq!(a.class(0), PositionClass::Corner);
+/// assert_eq!(a.class(1), PositionClass::Edge);
+/// assert_eq!(a.class(4), PositionClass::Middle);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsvArray {
+    rows: usize,
+    cols: usize,
+    geometry: TsvGeometry,
+}
+
+impl TsvArray {
+    /// Creates a regular `rows × cols` array with the given via geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyArray`] if either dimension is zero, plus any
+    /// error from [`TsvGeometry::validate`].
+    pub fn new(rows: usize, cols: usize, geometry: TsvGeometry) -> Result<Self, ModelError> {
+        if rows == 0 || cols == 0 {
+            return Err(ModelError::EmptyArray);
+        }
+        geometry.validate()?;
+        Ok(Self {
+            rows,
+            cols,
+            geometry,
+        })
+    }
+
+    /// Number of rows (`M`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (`N`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of TSVs.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` if the array contains no TSVs (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The per-via geometry.
+    pub fn geometry(&self) -> &TsvGeometry {
+        &self.geometry
+    }
+
+    /// `(row, col)` of TSV `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn row_col(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.len(), "TSV index {index} out of bounds");
+        (index / self.cols, index % self.cols)
+    }
+
+    /// Index of the TSV at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn index(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) out of bounds");
+        row * self.cols + col
+    }
+
+    /// Physical `(x, y)` centre position of TSV `index`, in metres,
+    /// with TSV 0 at the origin.
+    pub fn position(&self, index: usize) -> (f64, f64) {
+        let (r, c) = self.row_col(index);
+        (c as f64 * self.geometry.pitch, r as f64 * self.geometry.pitch)
+    }
+
+    /// Euclidean centre-to-centre distance between two TSVs, m.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        let (xa, ya) = self.position(a);
+        let (xb, yb) = self.position(b);
+        ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt()
+    }
+
+    /// Number of adjacent neighbours (8-neighbourhood) of TSV `index`.
+    pub fn neighbour_count(&self, index: usize) -> usize {
+        self.neighbours(index).count()
+    }
+
+    /// Iterator over the (up to eight) adjacent neighbours of TSV `index`.
+    pub fn neighbours(&self, index: usize) -> impl Iterator<Item = usize> + '_ {
+        let (r, c) = self.row_col(index);
+        let rows = self.rows as isize;
+        let cols = self.cols as isize;
+        (-1isize..=1)
+            .flat_map(move |dr| (-1isize..=1).map(move |dc| (dr, dc)))
+            .filter(|&(dr, dc)| dr != 0 || dc != 0)
+            .filter_map(move |(dr, dc)| {
+                let nr = r as isize + dr;
+                let nc = c as isize + dc;
+                if nr >= 0 && nr < rows && nc >= 0 && nc < cols {
+                    Some((nr * cols + nc) as usize)
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// Position class (corner / edge / middle) of TSV `index`.
+    ///
+    /// Degenerate arrays (single row or column) classify their interior
+    /// vias as `Edge` and the end vias as `Corner`.
+    pub fn class(&self, index: usize) -> PositionClass {
+        let (r, c) = self.row_col(index);
+        let on_row_rim = r == 0 || r + 1 == self.rows;
+        let on_col_rim = c == 0 || c + 1 == self.cols;
+        match (on_row_rim, on_col_rim) {
+            (true, true) => PositionClass::Corner,
+            (true, false) | (false, true) => PositionClass::Edge,
+            (false, false) => PositionClass::Middle,
+        }
+    }
+
+    /// Indices ordered as a *spiral* from the corners inwards: all corners
+    /// first, then the remaining rim, then the next ring, and so on.
+    /// Within a ring the order follows the ring clockwise starting at its
+    /// top-left corner.
+    ///
+    /// This is the TSV-side ordering of the paper's Spiral assignment
+    /// (Fig. 1.a): low-capacitance rim positions come first.
+    pub fn spiral_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut ring = 0usize;
+        while order.len() < self.len() {
+            let r0 = ring;
+            let r1 = self.rows.saturating_sub(1 + ring);
+            let c0 = ring;
+            let c1 = self.cols.saturating_sub(1 + ring);
+            if r0 > r1 || c0 > c1 {
+                break;
+            }
+            let mut ring_members = Vec::new();
+            // Top row, left-to-right.
+            for c in c0..=c1 {
+                ring_members.push(self.index(r0, c));
+            }
+            // Right column, top-to-bottom (excluding corners already seen).
+            for r in (r0 + 1)..=r1 {
+                ring_members.push(self.index(r, c1));
+            }
+            if r1 > r0 {
+                // Bottom row, right-to-left.
+                for c in (c0..c1).rev() {
+                    ring_members.push(self.index(r1, c));
+                }
+            }
+            if c1 > c0 {
+                // Left column, bottom-to-top.
+                for r in ((r0 + 1)..r1).rev() {
+                    ring_members.push(self.index(r, c0));
+                }
+            }
+            // Corners of this ring first (lowest capacitance), then the rest
+            // in ring order.
+            let (corners, rest): (Vec<_>, Vec<_>) = ring_members
+                .into_iter()
+                .partition(|&i| self.is_ring_corner(i, ring));
+            order.extend(corners);
+            order.extend(rest);
+            ring += 1;
+        }
+        order
+    }
+
+    fn is_ring_corner(&self, index: usize, ring: usize) -> bool {
+        let (r, c) = self.row_col(index);
+        let r0 = ring;
+        let r1 = self.rows - 1 - ring;
+        let c0 = ring;
+        let c1 = self.cols - 1 - ring;
+        (r == r0 || r == r1) && (c == c0 || c == c1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array(rows: usize, cols: usize) -> TsvArray {
+        TsvArray::new(rows, cols, TsvGeometry::wide_2018()).expect("valid array")
+    }
+
+    #[test]
+    fn presets_match_paper_dimensions() {
+        let g = TsvGeometry::itrs_2018_min();
+        assert_eq!((g.radius, g.pitch), (1.0e-6, 4.0e-6));
+        let g = TsvGeometry::wide_2018();
+        assert_eq!((g.radius, g.pitch), (2.0e-6, 8.0e-6));
+        let g = TsvGeometry::fig2_5x5();
+        assert_eq!((g.radius, g.pitch), (1.0e-6, 4.5e-6));
+        assert_eq!(g.length, 50.0e-6);
+    }
+
+    #[test]
+    fn oxide_thickness_is_radius_over_five() {
+        let g = TsvGeometry::new(2.0e-6, 8.0e-6);
+        assert!((g.oxide_thickness() - 0.4e-6).abs() < 1e-15);
+        assert!((g.oxide_outer_radius() - 2.4e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_vias() {
+        let g = TsvGeometry::new(2.0e-6, 4.0e-6); // needs > 4.8 µm
+        assert!(matches!(g.validate(), Err(ModelError::PitchTooSmall { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive() {
+        assert!(TsvGeometry::new(0.0, 4e-6).validate().is_err());
+        assert!(TsvGeometry::new(1e-6, -1.0).validate().is_err());
+        let mut g = TsvGeometry::itrs_2018_min();
+        g.length = 0.0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn empty_array_rejected() {
+        assert_eq!(
+            TsvArray::new(0, 3, TsvGeometry::itrs_2018_min()).unwrap_err(),
+            ModelError::EmptyArray
+        );
+    }
+
+    #[test]
+    fn row_col_round_trip() {
+        let a = array(4, 5);
+        for i in 0..a.len() {
+            let (r, c) = a.row_col(i);
+            assert_eq!(a.index(r, c), i);
+        }
+    }
+
+    #[test]
+    fn distances_match_pitch() {
+        let a = array(3, 3);
+        let d = a.geometry().pitch;
+        assert!((a.distance(0, 1) - d).abs() < 1e-15);
+        assert!((a.distance(0, 3) - d).abs() < 1e-15);
+        assert!((a.distance(0, 4) - d * 2f64.sqrt()).abs() < 1e-15);
+        assert!((a.distance(0, 8) - d * 8f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn neighbour_counts_by_class() {
+        let a = array(4, 4);
+        assert_eq!(a.neighbour_count(0), 3); // corner
+        assert_eq!(a.neighbour_count(1), 5); // edge
+        assert_eq!(a.neighbour_count(5), 8); // middle
+    }
+
+    #[test]
+    fn classes_of_3x3() {
+        let a = array(3, 3);
+        let classes: Vec<_> = (0..9).map(|i| a.class(i)).collect();
+        use PositionClass::*;
+        assert_eq!(
+            classes,
+            vec![Corner, Edge, Corner, Edge, Middle, Edge, Corner, Edge, Corner]
+        );
+    }
+
+    #[test]
+    fn single_row_classifies_ends_as_corners() {
+        // In a 1×N array the end vias sit on both rims (corners); the
+        // interior vias sit on the row rim only (edges).
+        let a = array(1, 4);
+        assert_eq!(a.class(0), PositionClass::Corner);
+        assert_eq!(a.class(1), PositionClass::Edge);
+        assert_eq!(a.class(3), PositionClass::Corner);
+        assert_eq!(a.neighbour_count(0), 1);
+        assert_eq!(a.neighbour_count(1), 2);
+    }
+
+    #[test]
+    fn spiral_order_visits_every_tsv_once() {
+        for (r, c) in [(3, 3), (4, 4), (5, 5), (4, 8), (2, 6), (1, 5)] {
+            let a = array(r, c);
+            let mut order = a.spiral_order();
+            assert_eq!(order.len(), a.len(), "{r}x{c}");
+            order.sort_unstable();
+            assert_eq!(order, (0..a.len()).collect::<Vec<_>>(), "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn spiral_order_starts_with_corners() {
+        let a = array(4, 4);
+        let order = a.spiral_order();
+        let corners: Vec<_> = order[..4]
+            .iter()
+            .map(|&i| a.class(i))
+            .collect();
+        assert!(corners.iter().all(|&c| c == PositionClass::Corner));
+        // Next come the edges of the outer ring.
+        assert!(order[4..12].iter().all(|&i| a.class(i) == PositionClass::Edge));
+        // The inner 2×2 ring comes last.
+        assert!(order[12..].iter().all(|&i| a.class(i) == PositionClass::Middle));
+    }
+}

@@ -1,0 +1,71 @@
+//! Physical constants and material parameters used by the TSV models.
+//!
+//! All quantities are in SI units. The substrate parameters follow the
+//! paper's Sec. 2: p-doped silicon with a conductivity of 10 S/m, SiO₂
+//! liners, copper vias, and a 1 V supply.
+
+/// Vacuum permittivity, F/m.
+pub const EPS_0: f64 = 8.854_187_8e-12;
+
+/// Relative permittivity of silicon.
+pub const EPS_R_SI: f64 = 11.68;
+
+/// Relative permittivity of SiO₂.
+pub const EPS_R_OX: f64 = 3.9;
+
+/// Absolute permittivity of silicon, F/m.
+pub const EPS_SI: f64 = EPS_R_SI * EPS_0;
+
+/// Absolute permittivity of SiO₂, F/m.
+pub const EPS_OX: f64 = EPS_R_OX * EPS_0;
+
+/// Elementary charge, C.
+pub const Q_E: f64 = 1.602_176_634e-19;
+
+/// Hole mobility in lightly doped p-silicon at 300 K, m²/(V·s).
+pub const MU_P: f64 = 0.045;
+
+/// Substrate conductivity from the paper (Sec. 2), S/m.
+pub const SIGMA_SUB: f64 = 10.0;
+
+/// Copper resistivity at 300 K, Ω·m.
+pub const RHO_CU: f64 = 1.72e-8;
+
+/// Supply voltage from the paper (Sec. 2), V.
+pub const V_DD: f64 = 1.0;
+
+/// Acceptor doping density implied by the substrate conductivity:
+/// `N_A = σ / (q µ_p)`, in m⁻³.
+///
+/// For σ = 10 S/m this evaluates to ≈1.39 × 10²¹ m⁻³
+/// (≈1.39 × 10¹⁵ cm⁻³), a typical lightly doped CMOS substrate.
+///
+/// # Examples
+///
+/// ```
+/// let na = tsv3d_model::materials::acceptor_density();
+/// assert!(na > 1.0e21 && na < 2.0e21);
+/// ```
+pub fn acceptor_density() -> f64 {
+    SIGMA_SUB / (Q_E * MU_P)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doping_matches_conductivity() {
+        // Round-trip: σ = q µ_p N_A.
+        let na = acceptor_density();
+        let sigma = Q_E * MU_P * na;
+        assert!((sigma - SIGMA_SUB).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permittivities_ordered() {
+        // Silicon is denser dielectric than oxide.
+        assert!(EPS_SI > EPS_OX);
+        assert!(EPS_OX > EPS_0);
+    }
+}

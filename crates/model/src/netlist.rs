@@ -1,0 +1,145 @@
+//! RC netlist export for circuit-level validation.
+//!
+//! The paper validates the approach with Spectre simulations of "full
+//! 3π-RLC circuits of the TSV arrays". This module turns an extracted
+//! capacitance matrix into the per-via series parasitics the
+//! `tsv3d-circuit` simulator needs to build such a ladder network.
+
+use crate::materials::RHO_CU;
+use crate::TsvArray;
+use tsv3d_matrix::Matrix;
+
+/// Vacuum permeability, H/m.
+const MU_0: f64 = 1.256_637_06e-6;
+
+/// Lumped parasitics of a TSV array: per-via series resistance and
+/// inductance plus the full capacitance matrix, ready to be expanded into
+/// an n-section π ladder by the circuit simulator.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_model::{Extractor, TsvArray, TsvGeometry, TsvRcNetlist};
+///
+/// # fn main() -> Result<(), tsv3d_model::ModelError> {
+/// let array = TsvArray::new(3, 3, TsvGeometry::itrs_2018_min())?;
+/// let ex = Extractor::new(array.clone());
+/// let c = ex.extract(&[0.5; 9])?;
+/// let net = TsvRcNetlist::from_extraction(&array, c);
+/// assert_eq!(net.len(), 9);
+/// assert!(net.series_resistance(0) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsvRcNetlist {
+    resistance: Vec<f64>,
+    inductance: Vec<f64>,
+    cap: Matrix,
+}
+
+impl TsvRcNetlist {
+    /// Builds the netlist from an array geometry and an extracted
+    /// capacitance matrix (diagonal = ground caps, off-diagonal =
+    /// couplings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap.n() != array.len()`.
+    pub fn from_extraction(array: &TsvArray, cap: Matrix) -> Self {
+        assert_eq!(cap.n(), array.len(), "capacitance matrix size mismatch");
+        let g = array.geometry();
+        let area = std::f64::consts::PI * g.radius * g.radius;
+        let r = RHO_CU * g.length / area;
+        // Partial self-inductance of a cylindrical conductor.
+        let l_ind = MU_0 * g.length / (2.0 * std::f64::consts::PI)
+            * ((2.0 * g.length / g.radius).ln() - 1.0);
+        Self {
+            resistance: vec![r; array.len()],
+            inductance: vec![l_ind; array.len()],
+            cap,
+        }
+    }
+
+    /// Number of vias.
+    pub fn len(&self) -> usize {
+        self.resistance.len()
+    }
+
+    /// `true` if the netlist has no vias.
+    pub fn is_empty(&self) -> bool {
+        self.resistance.is_empty()
+    }
+
+    /// Series resistance of via `i`, Ω.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn series_resistance(&self, i: usize) -> f64 {
+        self.resistance[i]
+    }
+
+    /// Series (partial self-) inductance of via `i`, H.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn series_inductance(&self, i: usize) -> f64 {
+        self.inductance[i]
+    }
+
+    /// The full capacitance matrix, F.
+    pub fn capacitance(&self) -> &Matrix {
+        &self.cap
+    }
+
+    /// Consumes the netlist and returns its capacitance matrix.
+    pub fn into_capacitance(self) -> Matrix {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Extractor, TsvGeometry};
+
+    fn netlist() -> TsvRcNetlist {
+        let array = TsvArray::new(3, 3, TsvGeometry::itrs_2018_min()).expect("valid");
+        let ex = Extractor::new(array.clone());
+        let c = ex.extract(&[0.5; 9]).expect("extract");
+        TsvRcNetlist::from_extraction(&array, c)
+    }
+
+    #[test]
+    fn resistance_is_milliohm_scale() {
+        // ρ·l/(π r²) = 1.72e-8 · 50e-6 / (π · 1e-12) ≈ 0.27 Ω.
+        let net = netlist();
+        let r = net.series_resistance(0);
+        assert!(r > 0.05 && r < 2.0, "R = {r}");
+    }
+
+    #[test]
+    fn inductance_is_tens_of_picohenry() {
+        let net = netlist();
+        let l = net.series_inductance(0);
+        assert!(l > 1e-12 && l < 100e-12, "L = {l:.3e}");
+    }
+
+    #[test]
+    fn capacitance_preserved() {
+        let net = netlist();
+        assert_eq!(net.capacitance().n(), 9);
+        assert!(!net.is_empty());
+        let c = net.clone().into_capacitance();
+        assert_eq!(&c, net.capacitance());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_matrix_panics() {
+        let array = TsvArray::new(3, 3, TsvGeometry::itrs_2018_min()).expect("valid");
+        let _ = TsvRcNetlist::from_extraction(&array, Matrix::zeros(4));
+    }
+}

@@ -1,0 +1,147 @@
+//! Capacitive crosstalk analysis for TSV arrays.
+//!
+//! The paper's introduction situates the bit-to-TSV assignment against
+//! the crosstalk-avoidance codes of Refs. \[13–15\]: those improve signal
+//! integrity but add TSVs (and power). This module provides the noise
+//! metric needed to make that comparison quantitative: the classic
+//! charge-divider bound on the voltage bump induced on a quiet victim
+//! via when its aggressors switch,
+//!
+//! ```text
+//! ΔV_i / V_dd = Σ_{j ∈ switching} C_ij / C_T,i
+//! ```
+//!
+//! with `C_T,i` the victim's total capacitance (ground + all
+//! couplings). The bound assumes the victim floats at the worst moment
+//! (its driver has not yet responded), which is the standard
+//! worst-case SI budget.
+
+use tsv3d_matrix::Matrix;
+
+/// Summary of the worst-case (all-aggressor) crosstalk over an array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseSummary {
+    /// Per-victim noise ratio `ΔV/V_dd` with every other via switching.
+    pub per_victim: Vec<f64>,
+    /// The largest per-victim ratio.
+    pub worst: f64,
+    /// Index of the worst victim.
+    pub worst_victim: usize,
+}
+
+/// Noise ratio `ΔV_i / V_dd` on `victim` when exactly the vias selected
+/// by `switching` toggle (the victim itself is ignored if selected).
+///
+/// # Panics
+///
+/// Panics if `victim` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_matrix::Matrix;
+/// use tsv3d_model::noise;
+///
+/// // 2 vias: ground 1.0 each, coupling 0.5.
+/// let c = Matrix::from_rows(&[&[1.0, 0.5], &[0.5, 1.0]]);
+/// let r = noise::victim_noise_ratio(&c, 0, |j| j == 1);
+/// assert!((r - 0.5 / 1.5).abs() < 1e-12);
+/// ```
+pub fn victim_noise_ratio(cap: &Matrix, victim: usize, switching: impl Fn(usize) -> bool) -> f64 {
+    let n = cap.n();
+    assert!(victim < n, "victim {victim} out of range");
+    let total = cap.row_sum(victim);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let coupled: f64 = (0..n)
+        .filter(|&j| j != victim && switching(j))
+        .map(|j| cap[(victim, j)])
+        .sum();
+    coupled / total
+}
+
+/// Worst-case summary: every aggressor switches against every victim.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_model::{noise, Extractor, TsvArray, TsvGeometry};
+///
+/// # fn main() -> Result<(), tsv3d_model::ModelError> {
+/// let ex = Extractor::new(TsvArray::new(3, 3, TsvGeometry::itrs_2018_min())?);
+/// let summary = noise::worst_case(&ex.extract(&[0.5; 9])?);
+/// // Middle vias have the most aggressors, hence the most noise.
+/// assert_eq!(summary.worst_victim, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn worst_case(cap: &Matrix) -> NoiseSummary {
+    let n = cap.n();
+    let per_victim: Vec<f64> = (0..n)
+        .map(|i| victim_noise_ratio(cap, i, |_| true))
+        .collect();
+    let (worst_victim, worst) = per_victim
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0, 0.0));
+    NoiseSummary {
+        per_victim,
+        worst,
+        worst_victim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Extractor, TsvArray, TsvGeometry};
+
+    fn cap_3x3() -> Matrix {
+        Extractor::new(TsvArray::new(3, 3, TsvGeometry::itrs_2018_min()).expect("valid"))
+            .extract(&[0.5; 9])
+            .expect("extract")
+    }
+
+    #[test]
+    fn noise_is_a_fraction_of_vdd() {
+        let summary = worst_case(&cap_3x3());
+        for &r in &summary.per_victim {
+            assert!((0.0..1.0).contains(&r), "ratio {r}");
+        }
+        assert!(summary.worst > 0.2, "TSV crosstalk is substantial: {summary:?}");
+    }
+
+    #[test]
+    fn middle_victim_is_worst() {
+        let summary = worst_case(&cap_3x3());
+        assert_eq!(summary.worst_victim, 4);
+    }
+
+    #[test]
+    fn fewer_aggressors_less_noise() {
+        let c = cap_3x3();
+        let all = victim_noise_ratio(&c, 4, |_| true);
+        let one = victim_noise_ratio(&c, 4, |j| j == 1);
+        let none = victim_noise_ratio(&c, 4, |_| false);
+        assert!(none == 0.0 && one > 0.0 && one < all);
+    }
+
+    #[test]
+    fn victim_excluded_from_its_own_aggressors() {
+        let c = cap_3x3();
+        assert_eq!(
+            victim_noise_ratio(&c, 4, |j| j == 4),
+            0.0,
+            "a via is not its own aggressor"
+        );
+    }
+
+    #[test]
+    fn zero_matrix_yields_zero_noise() {
+        let summary = worst_case(&Matrix::zeros(4));
+        assert_eq!(summary.worst, 0.0);
+    }
+}

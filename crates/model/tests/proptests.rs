@@ -1,0 +1,76 @@
+//! Property-based tests of the capacitance extraction pipeline.
+
+use proptest::prelude::*;
+use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+
+fn extractor() -> Extractor {
+    Extractor::new(TsvArray::new(3, 3, TsvGeometry::itrs_2018_min()).expect("valid array"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn extraction_is_symmetric_and_positive(probs in prop::collection::vec(0.0f64..=1.0, 9)) {
+        let c = extractor().extract(&probs).expect("valid probabilities");
+        prop_assert!(c.is_symmetric(1e-28));
+        for (_, _, v) in c.entries() {
+            prop_assert!(v > 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn raising_one_probability_never_raises_any_capacitance(
+        probs in prop::collection::vec(0.05f64..=0.9, 9),
+        via in 0usize..9,
+        bump in 0.01f64..0.1,
+    ) {
+        let ex = extractor();
+        let base = ex.extract(&probs).expect("valid");
+        let mut higher = probs.clone();
+        higher[via] = (higher[via] + bump).min(1.0);
+        let after = ex.extract(&higher).expect("valid");
+        for (i, j, v) in after.entries() {
+            prop_assert!(
+                v <= base[(i, j)] + 1e-25,
+                "C[{i},{j}] grew: {v:.3e} > {:.3e}", base[(i, j)]
+            );
+        }
+    }
+
+    #[test]
+    fn linear_model_brackets_the_extraction(
+        probs in prop::collection::vec(0.0f64..=1.0, 9),
+    ) {
+        // The linear model is exact at the endpoints and within a few
+        // percent everywhere (the paper's regression claim).
+        let ex = extractor();
+        let model = LinearCapModel::fit(&ex).expect("fit");
+        let exact = ex.extract(&probs).expect("valid");
+        let approx = model.capacitance_at_probs(&probs);
+        for (i, j, v) in exact.entries() {
+            let rel = (approx[(i, j)] - v).abs() / v;
+            prop_assert!(rel < 0.10, "C[{i},{j}] relative error {rel:.4}");
+        }
+    }
+
+    #[test]
+    fn probabilities_only_affect_their_via(
+        probs in prop::collection::vec(0.1f64..=0.9, 9),
+        via in 0usize..9,
+    ) {
+        let ex = extractor();
+        let base = ex.extract(&probs).expect("valid");
+        let mut changed = probs.clone();
+        changed[via] = 1.0 - changed[via];
+        let after = ex.extract(&changed).expect("valid");
+        for (i, j, v) in after.entries() {
+            if i != via && j != via {
+                prop_assert!(
+                    (v - base[(i, j)]).abs() < 1e-12 * v.abs().max(1e-30),
+                    "unrelated entry ({i},{j}) moved"
+                );
+            }
+        }
+    }
+}

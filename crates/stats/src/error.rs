@@ -1,0 +1,76 @@
+//! Error type for stream construction and combination.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or combining [`BitStream`]s.
+///
+/// [`BitStream`]: crate::BitStream
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// Stream width must be between 1 and 64 bits.
+    InvalidWidth {
+        /// The requested width.
+        width: usize,
+    },
+    /// A word does not fit into the stream width.
+    WordTooWide {
+        /// Index of the offending word.
+        index: usize,
+        /// The offending word.
+        word: u64,
+        /// The stream width.
+        width: usize,
+    },
+    /// Streams combined word-by-word must share one width.
+    WidthMismatch {
+        /// Width of the first stream.
+        first: usize,
+        /// Width of the mismatching stream.
+        other: usize,
+    },
+    /// At least one stream is required for a combination.
+    NoStreams,
+    /// A PGM image could not be decoded.
+    PgmParse {
+        /// Human-readable description of the malformed input.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidWidth { width } => {
+                write!(f, "stream width {width} is outside the supported range 1..=64")
+            }
+            StatsError::WordTooWide { index, word, width } => write!(
+                f,
+                "word {word:#x} at position {index} does not fit into {width} bits"
+            ),
+            StatsError::WidthMismatch { first, other } => write!(
+                f,
+                "cannot combine streams of different widths ({first} and {other})"
+            ),
+            StatsError::NoStreams => write!(f, "at least one stream is required"),
+            StatsError::PgmParse { detail } => write!(f, "malformed PGM image: {detail}"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(StatsError::InvalidWidth { width: 0 }.to_string().contains("width 0"));
+        assert!(StatsError::NoStreams.to_string().contains("at least one"));
+        let e = StatsError::WordTooWide { index: 7, word: 0x1ff, width: 8 };
+        assert!(e.to_string().contains("position 7"));
+        let e = StatsError::WidthMismatch { first: 8, other: 16 };
+        assert!(e.to_string().contains("8 and 16"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Audio-like DSP streams — the "important data type in SoCs" family
+//! of the paper's Sec. 4, complementing the Gaussian model with a
+//! structured, band-limited source.
+//!
+//! The signal is a sum of amplitude-modulated harmonics over a slowly
+//! wandering fundamental (a voiced-speech/music caricature) plus a
+//! noise floor: mean-free, strongly temporally correlated, with the
+//! MSB sign-extension structure both systematic assignments feed on.
+
+use crate::gen::{quantize_signed, standard_normal};
+use crate::{BitStream, StatsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An audio-like harmonic source quantised to two's complement.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_stats::gen::AudioSource;
+/// use tsv3d_stats::SwitchingStats;
+///
+/// # fn main() -> Result<(), tsv3d_stats::StatsError> {
+/// let src = AudioSource::new(16)?;
+/// let stats = SwitchingStats::from_stream(&src.generate(1, 20_000)?);
+/// // Band-limited ⇒ the sign bit switches rarely.
+/// assert!(stats.self_switching(15) < 0.25);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AudioSource {
+    width: usize,
+    /// Peak amplitude as a fraction of full scale.
+    amplitude: f64,
+    /// Fundamental frequency as a fraction of the sample rate.
+    fundamental: f64,
+}
+
+impl AudioSource {
+    /// Creates a source with a 0.6 full-scale peak and a fundamental
+    /// near 1/50 of the sample rate (≈ 880 Hz at 44.1 kHz).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidWidth`] for unsupported widths.
+    pub fn new(width: usize) -> Result<Self, StatsError> {
+        if width == 0 || width > 64 {
+            return Err(StatsError::InvalidWidth { width });
+        }
+        Ok(Self {
+            width,
+            amplitude: 0.6,
+            fundamental: 0.02,
+        })
+    }
+
+    /// Sets the peak amplitude (fraction of full scale, clamped to
+    /// `[0, 1]`).
+    pub fn with_amplitude(mut self, amplitude: f64) -> Self {
+        self.amplitude = amplitude.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the fundamental frequency as a fraction of the sample rate
+    /// (clamped to `(0, 0.5)`).
+    pub fn with_fundamental(mut self, f: f64) -> Self {
+        self.fundamental = f.clamp(1e-6, 0.499);
+        self
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Generates `len` samples, deterministically for a given seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (none in practice).
+    pub fn generate(&self, seed: u64, len: usize) -> Result<BitStream, StatsError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stream = BitStream::new(self.width)?;
+        // Three harmonics with slowly wandering amplitudes and a pitch
+        // drift; relative levels 1 : 0.5 : 0.25.
+        let mut phase = rng.gen::<f64>() * std::f64::consts::TAU;
+        let mut pitch = self.fundamental;
+        let mut envelopes = [1.0f64, 0.5, 0.25];
+        for _ in 0..len {
+            pitch = (pitch + 1e-5 * standard_normal(&mut rng))
+                .clamp(self.fundamental * 0.5, self.fundamental * 2.0);
+            phase += std::f64::consts::TAU * pitch;
+            for (k, e) in envelopes.iter_mut().enumerate() {
+                let target = [1.0, 0.5, 0.25][k];
+                *e = (*e + 0.002 * standard_normal(&mut rng)).clamp(0.2 * target, 2.0 * target);
+            }
+            let mut x = 0.0;
+            for (k, &e) in envelopes.iter().enumerate() {
+                x += e * ((k + 1) as f64 * phase).sin();
+            }
+            // Normalise the 1.75-peak harmonic stack and add a floor.
+            let sample =
+                self.amplitude * x / 1.75 + 0.002 * standard_normal(&mut rng);
+            stream.push(quantize_signed(sample.clamp(-1.0, 1.0), self.width))?;
+        }
+        Ok(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwitchingStats;
+
+    #[test]
+    fn signal_is_mean_free_and_band_limited() {
+        let s = AudioSource::new(16).unwrap().generate(3, 30_000).unwrap();
+        let stats = SwitchingStats::from_stream(&s);
+        // Sign bit balanced and slow.
+        assert!((stats.bit_probability(15) - 0.5).abs() < 0.1);
+        assert!(stats.self_switching(15) < 0.25);
+        // LSB is effectively random.
+        assert!((stats.self_switching(0) - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn msbs_are_spatially_correlated() {
+        let s = AudioSource::new(16).unwrap().generate(7, 30_000).unwrap();
+        let stats = SwitchingStats::from_stream(&s);
+        assert!(stats.coupling_switching(15, 14) > 0.05);
+    }
+
+    #[test]
+    fn amplitude_controls_msb_activity() {
+        let quiet = AudioSource::new(16).unwrap().with_amplitude(0.05);
+        let loud = AudioSource::new(16).unwrap().with_amplitude(0.9);
+        let act = |src: &AudioSource| {
+            let s = src.generate(5, 20_000).unwrap();
+            SwitchingStats::from_stream(&s).self_switching(13)
+        };
+        assert!(act(&quiet) < act(&loud));
+    }
+
+    #[test]
+    fn deterministic_and_validated() {
+        let src = AudioSource::new(12).unwrap();
+        assert_eq!(src.generate(9, 200).unwrap(), src.generate(9, 200).unwrap());
+        assert!(AudioSource::new(0).is_err());
+        assert!(AudioSource::new(65).is_err());
+        assert_eq!(AudioSource::new(8).unwrap().with_amplitude(5.0).amplitude, 1.0);
+    }
+}

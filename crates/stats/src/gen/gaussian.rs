@@ -1,0 +1,180 @@
+//! Gaussian (normally distributed) DSP pattern source with optional
+//! temporal correlation — the workload of the paper's Fig. 3.
+
+use crate::gen::{quantize_signed, standard_normal};
+use crate::{BitStream, StatsError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Source of `width`-bit two's-complement words sampled from a Gaussian
+/// process.
+///
+/// The process is a first-order autoregression
+/// `x_t = ρ·x_{t−1} + √(1−ρ²)·w_t` with `w_t ~ N(0, σ²)`, so the
+/// marginal distribution is `N(mean, σ²)` for every lag-1 correlation
+/// `ρ ∈ (−1, 1)`. With `ρ = 0` the samples are temporally uncorrelated
+/// (Fig. 3.a); negative and positive `ρ` reproduce Figs. 3.b–3.e.
+///
+/// `sigma` and `mean` are expressed in LSBs of the quantised word, as in
+/// the paper's σ axis.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_stats::gen::GaussianSource;
+/// use tsv3d_stats::SwitchingStats;
+///
+/// # fn main() -> Result<(), tsv3d_stats::StatsError> {
+/// let src = GaussianSource::new(16, 1000.0);
+/// let stream = src.generate(7, 4000)?;
+/// let stats = SwitchingStats::from_stream(&stream);
+/// // LSBs of a Gaussian signal are effectively random: E{Δb²} ≈ 1/2.
+/// assert!((stats.self_switching(0) - 0.5).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianSource {
+    /// Word width in bits (two's complement).
+    pub width: usize,
+    /// Standard deviation of the marginal distribution, in LSBs.
+    pub sigma: f64,
+    /// Mean of the marginal distribution, in LSBs.
+    pub mean: f64,
+    /// Lag-1 temporal correlation coefficient `ρ ∈ (−1, 1)`.
+    pub rho: f64,
+}
+
+impl GaussianSource {
+    /// A mean-free, temporally uncorrelated source.
+    pub fn new(width: usize, sigma: f64) -> Self {
+        Self {
+            width,
+            sigma,
+            mean: 0.0,
+            rho: 0.0,
+        }
+    }
+
+    /// Sets the lag-1 temporal correlation.
+    pub fn with_correlation(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Sets the marginal mean (in LSBs).
+    pub fn with_mean(mut self, mean: f64) -> Self {
+        self.mean = mean;
+        self
+    }
+
+    /// Generates `len` quantised words, deterministically for a given
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidWidth`] for unsupported widths.
+    pub fn generate(&self, seed: u64, len: usize) -> Result<BitStream, StatsError> {
+        if self.width == 0 || self.width > 64 {
+            return Err(StatsError::InvalidWidth { width: self.width });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let full_scale = ((1u128 << (self.width - 1)) - 1) as f64;
+        let innovation = (1.0 - self.rho * self.rho).max(0.0).sqrt();
+        let mut stream = BitStream::new(self.width)?;
+        let mut x = standard_normal(&mut rng);
+        for _ in 0..len {
+            let value = self.mean + self.sigma * x;
+            stream.push(quantize_signed(value / full_scale, self.width))?;
+            x = self.rho * x + innovation * standard_normal(&mut rng);
+        }
+        Ok(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwitchingStats;
+
+    fn signed_value(word: u64, width: usize) -> i64 {
+        let shift = 64 - width;
+        ((word << shift) as i64) >> shift
+    }
+
+    #[test]
+    fn marginal_moments_match_parameters() {
+        let src = GaussianSource::new(16, 500.0).with_mean(200.0);
+        let s = src.generate(3, 30_000).unwrap();
+        let vals: Vec<f64> = s.iter().map(|w| signed_value(w, 16) as f64).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!((mean - 200.0).abs() < 15.0, "mean = {mean}");
+        assert!((var.sqrt() - 500.0).abs() < 15.0, "sigma = {}", var.sqrt());
+    }
+
+    #[test]
+    fn correlation_matches_rho() {
+        for &rho in &[-0.6, 0.0, 0.7] {
+            let src = GaussianSource::new(16, 3000.0).with_correlation(rho);
+            let s = src.generate(11, 30_000).unwrap();
+            let vals: Vec<f64> = s.iter().map(|w| signed_value(w, 16) as f64).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            let cov = vals
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>()
+                / (vals.len() - 1) as f64;
+            let got = cov / var;
+            assert!((got - rho).abs() < 0.05, "rho = {rho}: got {got}");
+        }
+    }
+
+    #[test]
+    fn msbs_of_small_sigma_signal_rarely_switch() {
+        // With σ ≪ full scale, the MSBs mirror the (rarely changing) sign
+        // and switch much less than the LSBs.
+        let src = GaussianSource::new(16, 100.0).with_correlation(0.9);
+        let stats = SwitchingStats::from_stream(&src.generate(5, 20_000).unwrap());
+        assert!(stats.self_switching(15) < 0.3);
+        assert!((stats.self_switching(0) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn msb_pairs_strongly_correlated_for_mean_free_signal() {
+        // Paper Sec. 4: sign extension makes MSB pairs strongly
+        // positively correlated for zero-mean normal data.
+        let src = GaussianSource::new(16, 1000.0);
+        let stats = SwitchingStats::from_stream(&src.generate(9, 20_000).unwrap());
+        assert!(stats.coupling_switching(15, 14) > 0.3);
+        // LSB pairs are essentially uncorrelated.
+        assert!(stats.coupling_switching(0, 1).abs() < 0.05);
+    }
+
+    #[test]
+    fn bit_probabilities_balanced_for_mean_free_signal() {
+        let src = GaussianSource::new(16, 2000.0);
+        let stats = SwitchingStats::from_stream(&src.generate(13, 20_000).unwrap());
+        for i in 0..16 {
+            assert!(
+                (stats.bit_probability(i) - 0.5).abs() < 0.05,
+                "bit {i}: {}",
+                stats.bit_probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let src = GaussianSource::new(12, 300.0).with_correlation(0.5);
+        assert_eq!(src.generate(1, 100).unwrap(), src.generate(1, 100).unwrap());
+        assert_ne!(src.generate(1, 100).unwrap(), src.generate(2, 100).unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_width() {
+        assert!(GaussianSource::new(0, 1.0).generate(0, 10).is_err());
+        assert!(GaussianSource::new(65, 1.0).generate(0, 10).is_err());
+    }
+}

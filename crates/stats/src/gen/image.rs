@@ -1,0 +1,453 @@
+//! Synthetic image-sensor workloads — the VSoC streams of Sec. 5.1.
+//!
+//! The paper uses real pictures "of cars, people and landscapes" read out
+//! through a Bayer colour-filter array. What the assignment exploits is
+//! the *strong correlation of adjacent pixels*, which turns into temporal
+//! pattern correlation of the raster-scanned TSV stream. This module
+//! substitutes the photographs with synthetic scenes that have the same
+//! property: smooth 2-D random fields (filtered noise) with
+//! scene-dependent structure, tunable spatial correlation and the full
+//! Bayer readout pipeline (parallel, multiplexed and grayscale modes).
+
+use crate::gen::{quantize_unsigned, standard_normal, GrayFrame};
+use crate::{BitStream, StatsError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scene family mimicking the paper's picture classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SceneKind {
+    /// Smooth gradients with a bright upper half (sky over ground).
+    Landscape,
+    /// A bright central blob over a darker background (people).
+    Portrait,
+    /// Blocky piecewise-constant regions (cars, buildings).
+    Urban,
+}
+
+/// A synthetic Bayer-pattern RGB image sensor.
+///
+/// Pixels are generated scene by scene; each 2×2 Bayer cell yields one
+/// red, two green and one blue 8-bit sample. The three readout modes of
+/// Sec. 5.1 are provided:
+///
+/// * [`rgb_parallel_stream`](ImageSensor::rgb_parallel_stream) — all four
+///   colour components of a cell in one 32-bit word per cycle;
+/// * [`rgb_mux_stream`](ImageSensor::rgb_mux_stream) — the components one
+///   after another over an 8-bit bundle (pixel correlation is lost, as
+///   the paper observes);
+/// * [`grayscale_stream`](ImageSensor::grayscale_stream) — one 8-bit luma
+///   value per cell.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_stats::gen::ImageSensor;
+///
+/// # fn main() -> Result<(), tsv3d_stats::StatsError> {
+/// let sensor = ImageSensor::new(32, 24);
+/// let s = sensor.rgb_parallel_stream(42)?;
+/// assert_eq!(s.width(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageSensor {
+    width: usize,
+    height: usize,
+    scenes: Vec<SceneKind>,
+    smoothing: usize,
+    /// User-supplied luminance frames replacing the synthetic scenes
+    /// (resampled to the sensor resolution).
+    custom: Option<Vec<GrayFrame>>,
+}
+
+impl ImageSensor {
+    /// Creates a sensor of `width × height` pixels (rounded down to even
+    /// numbers for the Bayer grid) capturing one scene of each kind.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width: (width & !1).max(2),
+            height: (height & !1).max(2),
+            scenes: vec![SceneKind::Landscape, SceneKind::Portrait, SceneKind::Urban],
+            smoothing: 6,
+            custom: None,
+        }
+    }
+
+    /// Replaces the captured scene list.
+    pub fn with_scenes(mut self, scenes: Vec<SceneKind>) -> Self {
+        self.scenes = scenes;
+        self
+    }
+
+    /// Sets the number of blur passes controlling the pixel correlation
+    /// length.
+    pub fn with_smoothing(mut self, passes: usize) -> Self {
+        self.smoothing = passes;
+        self
+    }
+
+    /// Replaces the synthetic scenes with user-supplied luminance frames
+    /// (e.g. decoded from PGM via [`GrayFrame::from_pgm`]); each frame
+    /// is resampled to the sensor resolution and treated as grayscale
+    /// (all three colour planes follow the supplied luminance).
+    pub fn with_custom_frames(mut self, frames: Vec<GrayFrame>) -> Self {
+        self.custom = Some(frames);
+        self
+    }
+
+    /// Sensor width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sensor height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Generates the luminance field of one frame, row-major, in
+    /// `[0, 1]`: the custom frame if one was supplied, a synthetic
+    /// scene otherwise.
+    fn frame_luma(&self, kind: SceneKind, seed: u64, frame: usize) -> Vec<f64> {
+        if let Some(frames) = &self.custom {
+            if !frames.is_empty() {
+                return frames[frame % frames.len()]
+                    .resampled(self.width, self.height)
+                    .expect("sensor dimensions are non-zero")
+                    .luma()
+                    .to_vec();
+            }
+        }
+        self.luminance_field(kind, seed)
+    }
+
+    /// Generates a synthetic luminance field, row-major, in `[0, 1]`.
+    fn luminance_field(&self, kind: SceneKind, seed: u64) -> Vec<f64> {
+        let (w, h) = (self.width, self.height);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut field: Vec<f64> = (0..w * h).map(|_| standard_normal(&mut rng)).collect();
+
+        // Separable box blur to create spatial correlation.
+        for _ in 0..self.smoothing {
+            let mut next = field.clone();
+            for y in 0..h {
+                for x in 0..w {
+                    let xm = x.saturating_sub(1);
+                    let xp = (x + 1).min(w - 1);
+                    next[y * w + x] = (field[y * w + xm] + field[y * w + x] + field[y * w + xp]) / 3.0;
+                }
+            }
+            field = next.clone();
+            for y in 0..h {
+                for x in 0..w {
+                    let ym = y.saturating_sub(1);
+                    let yp = (y + 1).min(h - 1);
+                    next[y * w + x] = (field[ym * w + x] + field[y * w + x] + field[yp * w + x]) / 3.0;
+                }
+            }
+            field = next;
+        }
+
+        // Normalise the texture to roughly ±0.5.
+        let max_abs = field.iter().fold(1e-9f64, |m, v| m.max(v.abs()));
+        for v in field.iter_mut() {
+            *v = *v / max_abs * 0.5;
+        }
+
+        // Scene structure.
+        for y in 0..h {
+            for x in 0..w {
+                let fx = x as f64 / (w - 1).max(1) as f64;
+                let fy = y as f64 / (h - 1).max(1) as f64;
+                let structure = match kind {
+                    SceneKind::Landscape => 0.9 - 0.6 * fy + 0.1 * (fx * 6.0).sin(),
+                    SceneKind::Portrait => {
+                        let dx = fx - 0.5;
+                        let dy = fy - 0.45;
+                        0.3 + 0.6 * (-(dx * dx + dy * dy) * 12.0).exp()
+                    }
+                    SceneKind::Urban => {
+                        // Deterministic blocky brightness per 8×8 block.
+                        let bx = x / 8;
+                        let by = y / 8;
+                        let hash = bx.wrapping_mul(2654435761).wrapping_add(by.wrapping_mul(40503))
+                            ^ seed as usize;
+                        0.25 + 0.5 * ((hash >> 3) % 97) as f64 / 96.0
+                    }
+                };
+                // Combine structure and texture, then stretch the
+                // contrast so the pixel histogram spans the full range
+                // like a typical photograph.
+                let v = structure + field[y * w + x] * 0.45;
+                field[y * w + x] = ((v - 0.5) * 1.2 + 0.5).clamp(0.0, 1.0);
+            }
+        }
+        field
+    }
+
+    /// Full-colour planes of one scene: `(r, g, b)` row-major in `[0, 1]`.
+    ///
+    /// Chroma is strong: real Bayer colour components differ markedly
+    /// from each other even where luminance is smooth, which is exactly
+    /// why multiplexing the components destroys the temporal correlation
+    /// (Sec. 5.1). Each plane stays *spatially* smooth, so same-colour
+    /// samples of adjacent cells remain correlated.
+    fn color_planes(&self, kind: SceneKind, seed: u64, frame: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let luma = self.frame_luma(kind, seed, frame);
+        // Custom frames are grayscale: all three colour planes follow
+        // the supplied luminance.
+        if self.custom.as_ref().is_some_and(|f| !f.is_empty()) {
+            return (luma.clone(), luma.clone(), luma);
+        }
+        // Synthetic scenes get independent smooth chroma fields.
+        let chroma_u = self.luminance_field(kind, seed ^ 0x9E37_79B9_7F4A_7C15);
+        let chroma_v = self.luminance_field(kind, seed ^ 0xD1B5_4A32_D192_ED03);
+        let n = luma.len();
+        let mut r = Vec::with_capacity(n);
+        let mut g = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        for i in 0..n {
+            r.push((0.25 * luma[i] + 0.75 * chroma_u[i]).clamp(0.0, 1.0));
+            g.push(luma[i]);
+            b.push((0.25 * luma[i] + 0.75 * chroma_v[i]).clamp(0.0, 1.0));
+        }
+        (r, g, b)
+    }
+
+    /// 8-bit Bayer samples of one scene, one `(R, G1, G2, B)` tuple per
+    /// 2×2 cell in raster order.
+    fn bayer_cells(&self, kind: SceneKind, seed: u64, frame: usize) -> Vec<(u8, u8, u8, u8)> {
+        let (r, g, b) = self.color_planes(kind, seed, frame);
+        let w = self.width;
+        let mut cells = Vec::with_capacity((self.height / 2) * (w / 2));
+        for cy in 0..self.height / 2 {
+            for cx in 0..w / 2 {
+                let (y0, x0) = (2 * cy, 2 * cx);
+                let rv = quantize_unsigned(r[y0 * w + x0], 8) as u8;
+                let g1 = quantize_unsigned(g[y0 * w + x0 + 1], 8) as u8;
+                let g2 = quantize_unsigned(g[(y0 + 1) * w + x0], 8) as u8;
+                let bv = quantize_unsigned(b[(y0 + 1) * w + x0 + 1], 8) as u8;
+                cells.push((rv, g1, g2, bv));
+            }
+        }
+        cells
+    }
+
+    /// All scenes' (or custom frames') Bayer cells concatenated in
+    /// capture order.
+    fn all_cells(&self, seed: u64) -> Vec<(u8, u8, u8, u8)> {
+        let mut cells = Vec::new();
+        let frame_count = self
+            .custom
+            .as_ref()
+            .map_or(self.scenes.len(), |f| f.len().max(1));
+        for k in 0..frame_count {
+            let scene = self.scenes[k % self.scenes.len()];
+            cells.extend(self.bayer_cells(scene, seed.wrapping_add(k as u64 * 7919), k));
+        }
+        cells
+    }
+
+    /// 32-bit stream transmitting all four colour components of each
+    /// Bayer cell in parallel (`R` in bits 0–7, `G1` 8–15, `G2` 16–23,
+    /// `B` 24–31).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (none in practice).
+    pub fn rgb_parallel_stream(&self, seed: u64) -> Result<BitStream, StatsError> {
+        let mut s = BitStream::new(32)?;
+        for (r, g1, g2, b) in self.all_cells(seed) {
+            let word = r as u64 | (g1 as u64) << 8 | (g2 as u64) << 16 | (b as u64) << 24;
+            s.push(word)?;
+        }
+        Ok(s)
+    }
+
+    /// 8-bit stream transmitting the colour components one after another
+    /// (`R, G1, G2, B, R, …`) — the "RGB Mux." mode in which the pixel
+    /// correlation is lost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (none in practice).
+    pub fn rgb_mux_stream(&self, seed: u64) -> Result<BitStream, StatsError> {
+        let mut s = BitStream::new(8)?;
+        for (r, g1, g2, b) in self.all_cells(seed) {
+            s.push(r as u64)?;
+            s.push(g1 as u64)?;
+            s.push(g2 as u64)?;
+            s.push(b as u64)?;
+        }
+        Ok(s)
+    }
+
+    /// 8-bit grayscale stream (cell luma, ITU-style weights over the
+    /// Bayer components).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (none in practice).
+    pub fn grayscale_stream(&self, seed: u64) -> Result<BitStream, StatsError> {
+        let mut s = BitStream::new(8)?;
+        for (r, g1, g2, b) in self.all_cells(seed) {
+            let luma = 0.299 * r as f64 + 0.587 * (g1 as f64 + g2 as f64) / 2.0 + 0.114 * b as f64;
+            s.push(luma.round().clamp(0.0, 255.0) as u64)?;
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwitchingStats;
+
+    fn sensor() -> ImageSensor {
+        ImageSensor::new(48, 32)
+    }
+
+    #[test]
+    fn stream_lengths_match_cell_counts() {
+        let s = sensor();
+        let cells_per_scene = (48 / 2) * (32 / 2);
+        assert_eq!(s.rgb_parallel_stream(1).unwrap().len(), 3 * cells_per_scene);
+        assert_eq!(s.rgb_mux_stream(1).unwrap().len(), 3 * cells_per_scene * 4);
+        assert_eq!(s.grayscale_stream(1).unwrap().len(), 3 * cells_per_scene);
+    }
+
+    #[test]
+    fn odd_dimensions_round_down() {
+        let s = ImageSensor::new(33, 25);
+        assert_eq!(s.width(), 32);
+        assert_eq!(s.height(), 24);
+    }
+
+    #[test]
+    fn adjacent_cells_are_correlated() {
+        // The premise of Sec. 5.1: raster-scanned pixels are temporally
+        // correlated, so the MSBs of the parallel stream switch rarely.
+        let stats = SwitchingStats::from_stream(&sensor().rgb_parallel_stream(7).unwrap());
+        // MSB of the red channel (bit 7).
+        assert!(
+            stats.self_switching(7) < 0.35,
+            "red MSB switches {}",
+            stats.self_switching(7)
+        );
+        // And much less than the red LSB.
+        assert!(stats.self_switching(7) < stats.self_switching(0));
+    }
+
+    #[test]
+    fn multiplexing_destroys_temporal_correlation() {
+        // Paper Sec. 5.1: "due to the multiplexing, the pixel correlation
+        // is lost". The muxed stream's MSB switches far more than the
+        // parallel stream's.
+        let s = sensor();
+        let par = SwitchingStats::from_stream(&s.rgb_parallel_stream(7).unwrap());
+        let mux = SwitchingStats::from_stream(&s.rgb_mux_stream(7).unwrap());
+        assert!(mux.self_switching(7) > 1.5 * par.self_switching(7));
+    }
+
+    #[test]
+    fn pixel_values_span_a_reasonable_range() {
+        let s = sensor().grayscale_stream(3).unwrap();
+        let max = s.iter().max().unwrap();
+        let min = s.iter().min().unwrap();
+        assert!(max > 150, "max = {max}");
+        assert!(min < 120, "min = {min}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = sensor();
+        assert_eq!(s.rgb_mux_stream(5).unwrap(), s.rgb_mux_stream(5).unwrap());
+        assert_ne!(s.rgb_mux_stream(5).unwrap(), s.rgb_mux_stream(6).unwrap());
+    }
+
+    #[test]
+    fn scene_kinds_produce_distinct_content() {
+        let base = ImageSensor::new(32, 32);
+        let a = base
+            .clone()
+            .with_scenes(vec![SceneKind::Landscape])
+            .grayscale_stream(1)
+            .unwrap();
+        let b = base
+            .with_scenes(vec![SceneKind::Urban])
+            .grayscale_stream(1)
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn green_channels_of_a_cell_are_similar() {
+        // Both greens sample the same smooth luma field one pixel apart,
+        // so they should rarely differ by much.
+        let s = sensor().rgb_parallel_stream(11).unwrap();
+        let mut close = 0usize;
+        for w in s.iter() {
+            let g1 = (w >> 8) & 0xFF;
+            let g2 = (w >> 16) & 0xFF;
+            if (g1 as i64 - g2 as i64).abs() < 32 {
+                close += 1;
+            }
+        }
+        assert!(close as f64 / s.len() as f64 > 0.9);
+    }
+}
+
+#[cfg(test)]
+mod custom_frame_tests {
+    use super::*;
+    use crate::gen::GrayFrame;
+    use crate::SwitchingStats;
+
+    #[test]
+    fn custom_frames_drive_the_grayscale_stream() {
+        // A constant mid-gray frame must dominate the luma (chroma and
+        // texture are absent from the gray pipeline).
+        let frame = GrayFrame::from_luma(8, 8, vec![0.5; 64]).unwrap();
+        let sensor = ImageSensor::new(8, 8).with_custom_frames(vec![frame]);
+        let s = sensor.grayscale_stream(1).unwrap();
+        assert_eq!(s.len(), 16); // one frame of 4x4 cells
+        for w in s.iter() {
+            assert!((w as i64 - 128).abs() <= 1, "gray value {w}");
+        }
+    }
+
+    #[test]
+    fn custom_frames_cycle_when_fewer_than_scenes() {
+        let bright = GrayFrame::from_luma(4, 4, vec![1.0; 16]).unwrap();
+        let dark = GrayFrame::from_luma(4, 4, vec![0.0; 16]).unwrap();
+        let sensor = ImageSensor::new(8, 8).with_custom_frames(vec![bright, dark]);
+        let s = sensor.grayscale_stream(1).unwrap();
+        // Two frames of 16 cells each.
+        assert_eq!(s.len(), 32);
+        let first_frame_mean: f64 =
+            s.iter().take(16).map(|w| w as f64).sum::<f64>() / 16.0;
+        let second_frame_mean: f64 =
+            s.iter().skip(16).map(|w| w as f64).sum::<f64>() / 16.0;
+        assert!(first_frame_mean > 200.0 && second_frame_mean < 55.0);
+    }
+
+    #[test]
+    fn pgm_frame_retains_spatial_correlation() {
+        // A smooth gradient PGM keeps the MSBs of the parallel stream
+        // quiet, like the synthetic scenes do.
+        let mut pgm = String::from("P2\n32 32\n255\n");
+        for y in 0..32 {
+            for x in 0..32 {
+                pgm.push_str(&format!("{} ", (x + y) * 4));
+            }
+            pgm.push('\n');
+        }
+        let frame = GrayFrame::from_pgm(pgm.as_bytes()).unwrap();
+        let sensor = ImageSensor::new(32, 32).with_custom_frames(vec![frame]);
+        let stats = SwitchingStats::from_stream(&sensor.rgb_parallel_stream(3).unwrap());
+        // Green MSB (bit 15) tracks the smooth luma.
+        assert!(stats.self_switching(15) < 0.3, "{}", stats.self_switching(15));
+    }
+}

@@ -1,0 +1,301 @@
+//! Synthetic MEMS sensor workloads — the smartphone traces of Sec. 5.2.
+//!
+//! The paper records a magnetometer, an accelerometer and a gyroscope
+//! (three axes each, 16-bit) "in various daily use scenarios". The
+//! properties the assignment exploits are: per-axis signals are
+//! approximately normally distributed around a slowly varying operating
+//! point and temporally correlated; interleaving the axes destroys the
+//! temporal correlation but preserves the distribution; RMS streams are
+//! unsigned (not mean-free) and spatially correlated. The synthetic
+//! models below reproduce exactly these properties: slow orientation
+//! random walks, burst-gated motion noise and additive sensor noise.
+
+use crate::gen::{quantize_signed, quantize_unsigned, standard_normal};
+use crate::{BitStream, StatsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three smartphone sensor types of Sec. 5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorKind {
+    /// Gravity projection plus motion bursts.
+    Accelerometer,
+    /// Near-zero baseline with rotation bursts.
+    Gyroscope,
+    /// Slowly rotating earth-field projection.
+    Magnetometer,
+}
+
+/// A three-axis, 16-bit MEMS sensor trace generator.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_stats::gen::{MemsSensor, SensorKind};
+///
+/// # fn main() -> Result<(), tsv3d_stats::StatsError> {
+/// let gyro = MemsSensor::new(SensorKind::Gyroscope);
+/// let xyz = gyro.xyz_stream(3)?;
+/// assert_eq!(xyz.width(), 16);
+/// assert_eq!(xyz.len(), 3 * gyro.samples());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemsSensor {
+    kind: SensorKind,
+    samples: usize,
+}
+
+/// Word width of every MEMS stream (paper Sec. 5.2: 16-bit resolution).
+pub const MEMS_WIDTH: usize = 16;
+
+impl MemsSensor {
+    /// Creates a generator with the paper's per-sensor block length of
+    /// 3 900 samples (Sec. 7).
+    pub fn new(kind: SensorKind) -> Self {
+        Self {
+            kind,
+            samples: 3_900,
+        }
+    }
+
+    /// Overrides the number of samples per axis.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// The sensor type.
+    pub fn kind(&self) -> SensorKind {
+        self.kind
+    }
+
+    /// Samples per axis.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Generates the three axis traces in physical units normalised to
+    /// `[-1, 1]` full scale.
+    pub fn axes(&self, seed: u64) -> [Vec<f64>; 3] {
+        let mut rng = StdRng::seed_from_u64(seed ^ (self.kind as u64) << 32);
+        let n = self.samples;
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        let mut z = Vec::with_capacity(n);
+
+        // Slow orientation random walk shared by all sensors.
+        let mut theta: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+        let mut phi: f64 = rng.gen::<f64>() * std::f64::consts::PI;
+        // Burst gate (random telegraph) and band-limited burst noise.
+        let mut burst_on = false;
+        let mut bx = 0.0f64;
+        let mut by = 0.0f64;
+        let mut bz = 0.0f64;
+
+        for _ in 0..n {
+            theta += 0.01 * standard_normal(&mut rng);
+            phi += 0.006 * standard_normal(&mut rng);
+            if rng.gen::<f64>() < 0.01 {
+                burst_on = !burst_on;
+            }
+            let burst_sigma = if burst_on { 0.12 } else { 0.01 };
+            bx = 0.9 * bx + burst_sigma * standard_normal(&mut rng);
+            by = 0.9 * by + burst_sigma * standard_normal(&mut rng);
+            bz = 0.9 * bz + burst_sigma * standard_normal(&mut rng);
+
+            let (sx, sy, sz) = match self.kind {
+                SensorKind::Accelerometer => {
+                    // Gravity projection (≈0.5 full scale for ±2 g range)
+                    // plus motion bursts and sensor noise.
+                    let gx = 0.5 * phi.sin() * theta.cos();
+                    let gy = 0.5 * phi.sin() * theta.sin();
+                    let gz = 0.5 * phi.cos();
+                    (gx + bx, gy + by, gz + bz)
+                }
+                SensorKind::Gyroscope => {
+                    // Rotation rate on a ±2000 °/s full scale: everyday
+                    // motion peaks at tens of °/s, a few percent of FS.
+                    (0.4 * bx, 0.4 * by, 0.3 * bz)
+                }
+                SensorKind::Magnetometer => {
+                    // Earth field (≈50 µT) on a ±4900 µT full scale is
+                    // only ≈1 % of FS, rotating with the orientation.
+                    let mx = 0.05 * phi.cos() * theta.cos();
+                    let my = 0.05 * phi.cos() * theta.sin();
+                    let mz = 0.05 * phi.sin();
+                    (mx + 0.01 * bx, my + 0.01 * by, mz + 0.01 * bz)
+                }
+            };
+            let noise = match self.kind {
+                SensorKind::Magnetometer => 0.001,
+                _ => 0.004,
+            };
+            x.push((sx + noise * standard_normal(&mut rng)).clamp(-1.0, 1.0));
+            y.push((sy + noise * standard_normal(&mut rng)).clamp(-1.0, 1.0));
+            z.push((sz + noise * standard_normal(&mut rng)).clamp(-1.0, 1.0));
+        }
+        [x, y, z]
+    }
+
+    /// 16-bit stream of a single axis (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (none in practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis > 2`.
+    pub fn axis_stream(&self, axis: usize, seed: u64) -> Result<BitStream, StatsError> {
+        assert!(axis < 3, "axis index {axis} out of range");
+        let axes = self.axes(seed);
+        let mut s = BitStream::new(MEMS_WIDTH)?;
+        for &v in &axes[axis] {
+            s.push(quantize_signed(v, MEMS_WIDTH))?;
+        }
+        Ok(s)
+    }
+
+    /// 16-bit stream with the x, y and z samples regularly interleaved
+    /// ("XYZ" in Fig. 5) — the interleaving destroys temporal correlation
+    /// while keeping the near-normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (none in practice).
+    pub fn xyz_stream(&self, seed: u64) -> Result<BitStream, StatsError> {
+        let axes = self.axes(seed);
+        let mut s = BitStream::new(MEMS_WIDTH)?;
+        for t in 0..self.samples {
+            for axis in &axes {
+                s.push(quantize_signed(axis[t], MEMS_WIDTH))?;
+            }
+        }
+        Ok(s)
+    }
+
+    /// 16-bit unsigned stream of the per-sample RMS magnitude
+    /// `√(x² + y² + z²)` ("RMS" in Fig. 5) — unsigned, not mean-free,
+    /// temporally correlated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (none in practice).
+    pub fn rms_stream(&self, seed: u64) -> Result<BitStream, StatsError> {
+        let [x, y, z] = self.axes(seed);
+        let mut s = BitStream::new(MEMS_WIDTH)?;
+        let full = 3f64.sqrt();
+        for t in 0..self.samples {
+            let rms = (x[t] * x[t] + y[t] * y[t] + z[t] * z[t]).sqrt() / full;
+            s.push(quantize_unsigned(rms, MEMS_WIDTH))?;
+        }
+        Ok(s)
+    }
+}
+
+/// Pattern-by-pattern multiplex of several sensors' XYZ-interleaved
+/// streams over one TSV array ("All Mux." in Fig. 5).
+///
+/// # Errors
+///
+/// [`StatsError::NoStreams`] for an empty sensor list; otherwise
+/// propagates stream errors.
+pub fn all_sensors_mux(sensors: &[MemsSensor], seed: u64) -> Result<BitStream, StatsError> {
+    if sensors.is_empty() {
+        return Err(StatsError::NoStreams);
+    }
+    let streams: Vec<BitStream> = sensors
+        .iter()
+        .enumerate()
+        .map(|(k, s)| s.xyz_stream(seed.wrapping_add(k as u64 * 104_729)))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&BitStream> = streams.iter().collect();
+    BitStream::multiplex(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwitchingStats;
+
+    fn signed_value(word: u64) -> i64 {
+        ((word << 48) as i64) >> 48
+    }
+
+    #[test]
+    fn default_block_length_matches_paper() {
+        assert_eq!(MemsSensor::new(SensorKind::Gyroscope).samples(), 3_900);
+    }
+
+    #[test]
+    fn axis_streams_are_temporally_correlated() {
+        let s = MemsSensor::new(SensorKind::Accelerometer)
+            .with_samples(8000)
+            .axis_stream(0, 5)
+            .unwrap();
+        let stats = SwitchingStats::from_stream(&s);
+        // MSB (sign + slow gravity) switches rarely.
+        assert!(stats.self_switching(15) < 0.2, "{}", stats.self_switching(15));
+    }
+
+    #[test]
+    fn interleaving_reduces_temporal_correlation() {
+        let sensor = MemsSensor::new(SensorKind::Accelerometer).with_samples(6000);
+        let single = SwitchingStats::from_stream(&sensor.axis_stream(0, 5).unwrap());
+        let xyz = SwitchingStats::from_stream(&sensor.xyz_stream(5).unwrap());
+        // High-order data bits switch much more often once axes are mixed.
+        assert!(xyz.self_switching(13) > 2.0 * single.self_switching(13).max(0.01));
+    }
+
+    #[test]
+    fn gyroscope_is_near_zero_mean() {
+        let s = MemsSensor::new(SensorKind::Gyroscope)
+            .with_samples(6000)
+            .axis_stream(1, 9)
+            .unwrap();
+        let mean: f64 =
+            s.iter().map(|w| signed_value(w) as f64).sum::<f64>() / s.len() as f64 / 32767.0;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn rms_stream_is_unsigned_and_biased() {
+        // Sec. 5.2: RMS patterns are unsigned (no zero mean), so the MSB
+        // probability is far from 1/2 for gravity-dominated sensors.
+        let s = MemsSensor::new(SensorKind::Accelerometer)
+            .with_samples(6000)
+            .rms_stream(2)
+            .unwrap();
+        let stats = SwitchingStats::from_stream(&s);
+        // All values non-negative by construction; top bit biased.
+        assert!((stats.bit_probability(15) - 0.5).abs() > 0.2);
+    }
+
+    #[test]
+    fn all_mux_interleaves_three_sensors() {
+        let sensors = [
+            MemsSensor::new(SensorKind::Magnetometer).with_samples(100),
+            MemsSensor::new(SensorKind::Accelerometer).with_samples(100),
+            MemsSensor::new(SensorKind::Gyroscope).with_samples(100),
+        ];
+        let m = all_sensors_mux(&sensors, 1).unwrap();
+        assert_eq!(m.len(), 3 * 300);
+        assert!(all_sensors_mux(&[], 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = MemsSensor::new(SensorKind::Magnetometer).with_samples(500);
+        assert_eq!(s.xyz_stream(4).unwrap(), s.xyz_stream(4).unwrap());
+        assert_ne!(s.xyz_stream(4).unwrap(), s.xyz_stream(5).unwrap());
+    }
+
+    #[test]
+    fn sensors_produce_distinct_traces() {
+        let a = MemsSensor::new(SensorKind::Accelerometer).with_samples(200);
+        let g = MemsSensor::new(SensorKind::Gyroscope).with_samples(200);
+        assert_ne!(a.xyz_stream(3).unwrap(), g.xyz_stream(3).unwrap());
+    }
+}

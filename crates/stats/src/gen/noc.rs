@@ -1,0 +1,217 @@
+//! Bursty network-on-chip traffic — the workload context of the
+//! paper's Sec. 7 coupling-invert experiment.
+//!
+//! NoC links are not continuously loaded: flits arrive in bursts
+//! separated by idle periods in which the link holds its last value (or
+//! an idle pattern). This on/off (Markov-modulated) source captures
+//! that structure: a two-state Markov chain gates a uniform flit
+//! generator, and idle cycles repeat the previous word — which *creates*
+//! temporal correlation that the bit-to-TSV assignment (and the MOS
+//! effect, through the idle-pattern probabilities) can exploit even for
+//! otherwise random payloads.
+
+use crate::{BitStream, StatsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the link behaves during idle cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdlePolicy {
+    /// The link holds the last transmitted flit (no switching).
+    HoldLast,
+    /// The link returns to an all-zero idle pattern.
+    Zero,
+    /// The link returns to an all-one idle pattern (the MOS-friendly
+    /// choice: idle vias sit depleted at low capacitance).
+    One,
+}
+
+/// A Markov-modulated on/off flit source.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_stats::gen::{IdlePolicy, NocTraffic};
+/// use tsv3d_stats::SwitchingStats;
+///
+/// # fn main() -> Result<(), tsv3d_stats::StatsError> {
+/// let src = NocTraffic::new(8, 0.3)?; // 30 % offered load
+/// let stream = src.generate(7, 10_000)?;
+/// let stats = SwitchingStats::from_stream(&stream);
+/// // Idle holds cut the switching well below the uniform 1/2.
+/// assert!(stats.self_switching(0) < 0.4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocTraffic {
+    width: usize,
+    /// Long-run fraction of busy cycles.
+    load: f64,
+    /// Mean burst length in flits.
+    mean_burst: f64,
+    idle: IdlePolicy,
+}
+
+impl NocTraffic {
+    /// Creates a source of `width`-bit flits with the given offered
+    /// load (fraction of busy cycles, clamped into `[0.01, 1.0]`) and a
+    /// default mean burst length of 8 flits, holding the last flit when
+    /// idle.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidWidth`] for unsupported widths.
+    pub fn new(width: usize, load: f64) -> Result<Self, StatsError> {
+        if width == 0 || width > 64 {
+            return Err(StatsError::InvalidWidth { width });
+        }
+        Ok(Self {
+            width,
+            load: load.clamp(0.01, 1.0),
+            mean_burst: 8.0,
+            idle: IdlePolicy::HoldLast,
+        })
+    }
+
+    /// Sets the mean burst length in flits (≥ 1).
+    pub fn with_mean_burst(mut self, flits: f64) -> Self {
+        self.mean_burst = flits.max(1.0);
+        self
+    }
+
+    /// Sets the idle-cycle policy.
+    pub fn with_idle_policy(mut self, idle: IdlePolicy) -> Self {
+        self.idle = idle;
+        self
+    }
+
+    /// Flit width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Offered load (busy-cycle fraction).
+    pub fn load(&self) -> f64 {
+        self.load
+    }
+
+    /// Generates `len` cycles of link traffic, deterministically for a
+    /// given seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (none in practice).
+    pub fn generate(&self, seed: u64, len: usize) -> Result<BitStream, StatsError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        // Two-state Markov chain with the requested stationary load and
+        // mean busy-run length.
+        let p_leave_busy = 1.0 / self.mean_burst;
+        let p_leave_idle = if self.load >= 1.0 {
+            1.0
+        } else {
+            (p_leave_busy * self.load / (1.0 - self.load)).min(1.0)
+        };
+        let idle_word = match self.idle {
+            IdlePolicy::Zero => 0u64,
+            IdlePolicy::One => mask,
+            IdlePolicy::HoldLast => 0u64, // placeholder, overwritten below
+        };
+        let mut busy = rng.gen::<f64>() < self.load;
+        let mut last = idle_word;
+        let mut stream = BitStream::new(self.width)?;
+        for _ in 0..len {
+            let word = if busy {
+                let flit = rng.gen::<u64>() & mask;
+                last = flit;
+                flit
+            } else {
+                match self.idle {
+                    IdlePolicy::HoldLast => last,
+                    IdlePolicy::Zero => 0,
+                    IdlePolicy::One => mask,
+                }
+            };
+            stream.push(word)?;
+            let leave = if busy { p_leave_busy } else { p_leave_idle };
+            if rng.gen::<f64>() < leave {
+                busy = !busy;
+            }
+        }
+        Ok(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwitchingStats;
+
+    #[test]
+    fn load_controls_activity() {
+        let lo = NocTraffic::new(8, 0.1).unwrap().generate(3, 30_000).unwrap();
+        let hi = NocTraffic::new(8, 0.9).unwrap().generate(3, 30_000).unwrap();
+        let act = |s: &BitStream| {
+            let st = SwitchingStats::from_stream(s);
+            (0..8).map(|i| st.self_switching(i)).sum::<f64>()
+        };
+        assert!(act(&lo) < 0.5 * act(&hi), "{} vs {}", act(&lo), act(&hi));
+    }
+
+    #[test]
+    fn busy_fraction_matches_load() {
+        // With the Zero idle policy, busy cycles are (almost surely)
+        // non-zero words.
+        let s = NocTraffic::new(16, 0.3)
+            .unwrap()
+            .with_idle_policy(IdlePolicy::Zero)
+            .generate(9, 50_000)
+            .unwrap();
+        let busy = s.iter().filter(|&w| w != 0).count() as f64 / s.len() as f64;
+        assert!((busy - 0.3).abs() < 0.05, "busy fraction {busy}");
+    }
+
+    #[test]
+    fn idle_one_raises_bit_probabilities() {
+        let zero = NocTraffic::new(8, 0.3)
+            .unwrap()
+            .with_idle_policy(IdlePolicy::Zero)
+            .generate(5, 20_000)
+            .unwrap();
+        let one = NocTraffic::new(8, 0.3)
+            .unwrap()
+            .with_idle_policy(IdlePolicy::One)
+            .generate(5, 20_000)
+            .unwrap();
+        let p = |s: &BitStream| SwitchingStats::from_stream(s).bit_probability(0);
+        assert!(p(&one) > 0.6 && p(&zero) < 0.4);
+    }
+
+    #[test]
+    fn longer_bursts_mean_longer_holds() {
+        // Same load, longer bursts ⇒ longer idle runs too ⇒ raw word
+        // repeats are more common under HoldLast.
+        let short = NocTraffic::new(8, 0.5).unwrap().with_mean_burst(2.0);
+        let long = NocTraffic::new(8, 0.5).unwrap().with_mean_burst(32.0);
+        let repeats = |src: &NocTraffic| {
+            let s = src.generate(11, 30_000).unwrap();
+            s.words().windows(2).filter(|w| w[0] == w[1]).count()
+        };
+        assert!(repeats(&long) > repeats(&short));
+    }
+
+    #[test]
+    fn deterministic_and_validated() {
+        let src = NocTraffic::new(8, 0.4).unwrap();
+        assert_eq!(src.generate(1, 100).unwrap(), src.generate(1, 100).unwrap());
+        assert!(NocTraffic::new(0, 0.5).is_err());
+        assert!(NocTraffic::new(65, 0.5).is_err());
+        // Load clamping.
+        assert_eq!(NocTraffic::new(8, 7.0).unwrap().load(), 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Uniformly random word streams — the uncoded baseline of Sec. 7's
+//! network-on-chip experiment.
+
+use crate::{BitStream, StatsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Source of independent, uniformly distributed `width`-bit words.
+///
+/// Every bit has probability 1/2, self-switching 1/2 and no correlation
+/// with any other bit — the stream a bit-to-TSV assignment alone cannot
+/// improve, which is why Sec. 7 pairs it with the coupling-invert code.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_stats::gen::UniformSource;
+///
+/// # fn main() -> Result<(), tsv3d_stats::StatsError> {
+/// let s = UniformSource::new(7)?.generate(99, 1000)?;
+/// assert_eq!(s.width(), 7);
+/// assert_eq!(s.len(), 1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformSource {
+    width: usize,
+}
+
+impl UniformSource {
+    /// Creates a uniform source of the given word width.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidWidth`] unless `1 <= width <= 64`.
+    pub fn new(width: usize) -> Result<Self, StatsError> {
+        if width == 0 || width > 64 {
+            return Err(StatsError::InvalidWidth { width });
+        }
+        Ok(Self { width })
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Generates `len` words, deterministically for a given seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (none in practice).
+    pub fn generate(&self, seed: u64, len: usize) -> Result<BitStream, StatsError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let mut stream = BitStream::new(self.width)?;
+        for _ in 0..len {
+            stream.push(rng.gen::<u64>() & mask)?;
+        }
+        Ok(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwitchingStats;
+
+    #[test]
+    fn all_bits_behave_like_fair_coins() {
+        let s = UniformSource::new(8).unwrap().generate(17, 30_000).unwrap();
+        let stats = SwitchingStats::from_stream(&s);
+        for i in 0..8 {
+            assert!((stats.bit_probability(i) - 0.5).abs() < 0.02);
+            assert!((stats.self_switching(i) - 0.5).abs() < 0.02);
+            for j in 0..8 {
+                if i != j {
+                    assert!(stats.coupling_switching(i, j).abs() < 0.03);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let src = UniformSource::new(16).unwrap();
+        assert_eq!(src.generate(3, 50).unwrap(), src.generate(3, 50).unwrap());
+        assert_ne!(src.generate(3, 50).unwrap(), src.generate(4, 50).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        assert!(UniformSource::new(0).is_err());
+        assert!(UniformSource::new(65).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Sequential (program-counter-like) streams with a branch probability —
+//! the workload of the paper's Fig. 2.
+
+use crate::{BitStream, StatsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Source of address-like words: the word increments by one each cycle
+/// and, with the *branch probability*, jumps to a uniformly random value
+/// instead.
+///
+/// The resulting patterns are equally distributed (every value is equally
+/// likely in steady state) but temporally correlated — the lower the
+/// branch probability, the stronger the correlation. This is exactly the
+/// family the paper uses to validate the Spiral assignment: LSBs toggle
+/// almost every cycle, MSBs only on carries or branches.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_stats::gen::SequentialSource;
+/// use tsv3d_stats::SwitchingStats;
+///
+/// # fn main() -> Result<(), tsv3d_stats::StatsError> {
+/// let src = SequentialSource::new(16, 0.01)?;
+/// let stats = SwitchingStats::from_stream(&src.generate(1, 10_000)?);
+/// // Bit 0 toggles every increment; bit 12 almost never.
+/// assert!(stats.self_switching(0) > 0.95);
+/// assert!(stats.self_switching(12) < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialSource {
+    width: usize,
+    branch_probability: f64,
+}
+
+impl SequentialSource {
+    /// Creates a source of `width`-bit sequential words with the given
+    /// branch probability in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidWidth`] for unsupported widths. Branch
+    /// probabilities are clamped into `[0, 1]`.
+    pub fn new(width: usize, branch_probability: f64) -> Result<Self, StatsError> {
+        if width == 0 || width > 64 {
+            return Err(StatsError::InvalidWidth { width });
+        }
+        Ok(Self {
+            width,
+            branch_probability: branch_probability.clamp(0.0, 1.0),
+        })
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The branch probability.
+    pub fn branch_probability(&self) -> f64 {
+        self.branch_probability
+    }
+
+    /// Generates `len` words, deterministically for a given seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (none in practice).
+    pub fn generate(&self, seed: u64, len: usize) -> Result<BitStream, StatsError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let mut stream = BitStream::new(self.width)?;
+        let mut addr: u64 = rng.gen::<u64>() & mask;
+        for _ in 0..len {
+            stream.push(addr)?;
+            if rng.gen::<f64>() < self.branch_probability {
+                addr = rng.gen::<u64>() & mask;
+            } else {
+                addr = addr.wrapping_add(1) & mask;
+            }
+        }
+        Ok(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwitchingStats;
+
+    #[test]
+    fn zero_branch_probability_counts_up() {
+        let src = SequentialSource::new(8, 0.0).unwrap();
+        let s = src.generate(4, 10).unwrap();
+        for t in 1..10 {
+            assert_eq!(s.word(t), (s.word(t - 1) + 1) & 0xFF);
+        }
+    }
+
+    #[test]
+    fn branch_probability_one_is_uniform_random() {
+        let src = SequentialSource::new(16, 1.0).unwrap();
+        let stats = SwitchingStats::from_stream(&src.generate(8, 20_000).unwrap());
+        for i in 0..16 {
+            assert!(
+                (stats.self_switching(i) - 0.5).abs() < 0.05,
+                "bit {i}: {}",
+                stats.self_switching(i)
+            );
+        }
+    }
+
+    #[test]
+    fn self_switching_decreases_towards_msb() {
+        let src = SequentialSource::new(16, 0.001).unwrap();
+        let stats = SwitchingStats::from_stream(&src.generate(2, 50_000).unwrap());
+        // Carry-chain: each higher bit toggles half as often.
+        assert!(stats.self_switching(0) > 0.9);
+        assert!(stats.self_switching(1) < 0.6);
+        assert!(stats.self_switching(4) < 0.1);
+        assert!(stats.self_switching(2) > stats.self_switching(6));
+    }
+
+    #[test]
+    fn probability_clamped() {
+        let src = SequentialSource::new(8, 7.0).unwrap();
+        assert_eq!(src.branch_probability(), 1.0);
+        let src = SequentialSource::new(8, -1.0).unwrap();
+        assert_eq!(src.branch_probability(), 0.0);
+    }
+
+    #[test]
+    fn equally_distributed_bit_probabilities() {
+        let src = SequentialSource::new(12, 0.05).unwrap();
+        let stats = SwitchingStats::from_stream(&src.generate(21, 40_000).unwrap());
+        for i in 0..12 {
+            assert!(
+                (stats.bit_probability(i) - 0.5).abs() < 0.08,
+                "bit {i}: {}",
+                stats.bit_probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let src = SequentialSource::new(10, 0.1).unwrap();
+        assert_eq!(src.generate(5, 64).unwrap(), src.generate(5, 64).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        assert!(SequentialSource::new(0, 0.5).is_err());
+        assert!(SequentialSource::new(65, 0.5).is_err());
+        assert!(SequentialSource::new(64, 0.5).is_ok());
+    }
+}

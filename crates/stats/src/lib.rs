@@ -1,0 +1,48 @@
+//! Bit-level data streams, switching statistics and synthetic workload
+//! generators for TSV low-power coding.
+//!
+//! The power model of the DAC'18 paper consumes three statistical
+//! quantities of the bit stream crossing a TSV array (Eqs. 1–3):
+//!
+//! * the *self-switching* probabilities `E{Δb_i²}`,
+//! * the *coupling-switching* expectations `E{Δb_i Δb_j}`, and
+//! * the *1-bit probabilities* `E{b_i}` (through the MOS effect,
+//!   Eqs. 6–9).
+//!
+//! [`BitStream`] represents a stream of up-to-64-bit words and
+//! [`SwitchingStats`] estimates all three quantities from it; the
+//! [`dbt`] module provides the same quantities in *closed form* for
+//! Gaussian DSP signals (the dual-bit-type model of Ref. \[18\]), so
+//! assignments can be designed with no sample data at all. The
+//! [`gen`] module synthesises every workload class the paper evaluates:
+//! temporally correlated sequential streams (Fig. 2), Gaussian DSP
+//! patterns (Fig. 3), image-sensor readout (Fig. 4, Sec. 5.1), MEMS
+//! sensor traces (Fig. 5, Sec. 5.2) and uniform random data (Sec. 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use tsv3d_stats::{BitStream, SwitchingStats};
+//!
+//! # fn main() -> Result<(), tsv3d_stats::StatsError> {
+//! // A 2-bit stream: 00 → 01 → 11 → 10.
+//! let stream = BitStream::from_words(2, vec![0b00, 0b01, 0b11, 0b10])?;
+//! let stats = SwitchingStats::from_stream(&stream);
+//! // Bit 0 toggles on transitions 1 and 3 of 3.
+//! assert!((stats.self_switching(0) - 2.0 / 3.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbt;
+mod error;
+pub mod gen;
+mod stream;
+mod switching;
+
+pub use error::StatsError;
+pub use stream::BitStream;
+pub use switching::SwitchingStats;

@@ -1,0 +1,82 @@
+//! 3-D network-on-chip walkthrough (paper Secs. 6–7): a 2-D link code
+//! (coupling-invert) crosses a TSV link, and the bit-to-TSV assignment
+//! recovers the efficiency the metal-wire code lacks in 3-D — verified
+//! at circuit level.
+//!
+//! Run with: `cargo run --release -p tsv3d-experiments --example noc_link`
+
+use tsv3d_circuit::{DriverModel, TsvLink};
+use tsv3d_codec::CouplingInvert;
+use tsv3d_core::{optimize, AssignmentProblem};
+use tsv3d_experiments::common::assign_stream;
+use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry, TsvRcNetlist};
+use tsv3d_stats::gen::{IdlePolicy, NocTraffic};
+use tsv3d_stats::{BitStream, SwitchingStats};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A router forwards bursty 7-bit flit traffic (60 % load, idle
+    // cycles hold the last flit); the 2-D links use coupling-invert
+    // coding, and re-coding just for the short 3-D hop would be too
+    // expensive — so the coded flits cross the TSVs as-is.
+    let flits = NocTraffic::new(7, 0.6)?.generate(99, 8_000)?;
+    let coded = CouplingInvert::new(7)?.encode(&flits)?;
+    // Plus a rarely asserted control flag (9 lines on a 3×3 bundle).
+    let words: Vec<u64> = coded
+        .iter()
+        .enumerate()
+        .map(|(t, w)| w | u64::from(t % 10_000 == 9_999) << 8)
+        .collect();
+    let stream = BitStream::from_words(9, words)?;
+
+    let array = TsvArray::new(3, 3, TsvGeometry::itrs_2018_min())?;
+
+    // Optimal assignment from the stream statistics.
+    let cap = LinearCapModel::fit(&Extractor::new(array.clone()))?;
+    let problem = AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap)?;
+    let best = optimize::anneal(&problem, &optimize::AnnealOptions::default())?;
+    let assigned = assign_stream(&stream, &best.assignment);
+
+    // Circuit-level check, MOS effect included: extract the capacitances
+    // at each variant's line probabilities, then integrate the supply
+    // energy at 3 GHz.
+    let simulate = |s: &BitStream| -> Result<f64, Box<dyn std::error::Error>> {
+        let stats = SwitchingStats::from_stream(s);
+        let cap = Extractor::new(array.clone()).extract(stats.bit_probabilities())?;
+        let link = TsvLink::new(
+            TsvRcNetlist::from_extraction(&array, cap),
+            DriverModel::ptm_22nm_strength6(),
+        )?;
+        Ok(link.simulate(s, 3.0e9)?.mean_power())
+    };
+
+    let p_plain = simulate(&stream)?;
+    let p_assigned = simulate(&assigned)?;
+
+    println!("coupling-invert coded 7-bit flits over a 3x3 TSV bundle, 3 GHz:");
+    println!("  natural line order:     {:.3} uW", p_plain * 1e6);
+    println!("  optimal assignment:     {:.3} uW", p_assigned * 1e6);
+    println!(
+        "  reduction:              {:.1} %   (paper reports 11.2 % for this setup)",
+        (1.0 - p_assigned / p_plain) * 100.0
+    );
+    println!();
+    println!("inversions chosen by the optimiser (realised as inverting TSV drivers):");
+    let inverted: Vec<usize> = (0..9).filter(|&b| best.assignment.is_inverted(b)).collect();
+    println!("  bits {:?}", inverted);
+
+    // Bonus: the idle-pattern choice is itself a power knob. Idling at
+    // all-ones keeps the vias depleted (low capacitance, MOS effect).
+    println!();
+    println!("idle-pattern study (same traffic, uncoded, identity assignment):");
+    for (label, policy) in [
+        ("hold last flit", IdlePolicy::HoldLast),
+        ("idle at all-0 ", IdlePolicy::Zero),
+        ("idle at all-1 ", IdlePolicy::One),
+    ] {
+        let raw = NocTraffic::new(9, 0.6)?
+            .with_idle_policy(policy)
+            .generate(99, 8_000)?;
+        println!("  {label}: {:.3} uW", simulate(&raw)? * 1e6);
+    }
+    Ok(())
+}

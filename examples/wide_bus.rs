@@ -1,0 +1,61 @@
+//! Wide-bus walkthrough: a 32-bit word crosses the die boundary through
+//! two 4×4 TSV arrays. Which bits *share* a bundle matters: packing
+//! correlated bits together lets the per-bundle assignment (paper
+//! Eq. 10) exploit their coupling.
+//!
+//! Run with: `cargo run --release -p tsv3d-experiments --example wide_bus`
+
+use tsv3d_core::bundles::{assign_bus, Partition};
+use tsv3d_core::optimize::AnnealOptions;
+use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+use tsv3d_stats::gen::GaussianSource;
+use tsv3d_stats::SwitchingStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 32-bit mean-free DSP word with moderate temporal correlation.
+    let stream = GaussianSource::new(32, 2.0e8)
+        .with_correlation(0.4)
+        .generate(7, 20_000)?;
+    let stats = SwitchingStats::from_stream(&stream);
+
+    // Two identical 4×4 arrays carry 16 bits each.
+    let cap = LinearCapModel::fit(&Extractor::new(TsvArray::new(
+        4,
+        4,
+        TsvGeometry::itrs_2018_min(),
+    )?))?;
+    let opts = AnnealOptions::default();
+
+    // Three bundle layouts: bit-striped (a lane-striped router's
+    // output), contiguous halves, and correlation clustering.
+    let striped = Partition::striped(32, 2)?;
+    let contiguous = Partition::contiguous(32, &[16, 16])?;
+    let clustered = Partition::correlation_clustered(&stats, &[16, 16])?;
+
+    let plan_striped = assign_bus(&stats, &striped, &cap, &opts)?;
+    let plan_contig = assign_bus(&stats, &contiguous, &cap, &opts)?;
+    let plan_clust = assign_bus(&stats, &clustered, &cap, &opts)?;
+
+    println!("32-bit bus over two 4x4 arrays (r = 1 um, d = 4 um)\n");
+    let show = |label: &str, plan: &tsv3d_core::bundles::BusAssignment| {
+        println!(
+            "{label:<28} {:.4e} + {:.4e} = {:.4e}",
+            plan.bundle_powers[0], plan.bundle_powers[1], plan.total_power
+        );
+    };
+    show("bit-striped (even/odd):", &plan_striped);
+    show("contiguous halves:", &plan_contig);
+    show("correlation-clustered:", &plan_clust);
+    println!(
+        "\nclustering saves {:.1} % vs the striped layout ({:.1} % vs contiguous —",
+        (1.0 - plan_clust.total_power / plan_striped.total_power) * 100.0,
+        (1.0 - plan_clust.total_power / plan_contig.total_power) * 100.0
+    );
+    println!("here the MSBs are already contiguous, so those two nearly coincide);");
+    println!("striping splits the correlated sign bits across arrays and wastes them.");
+    println!("\nbundle 0 of the clustered plan carries bits:");
+    println!("  {:?}", clustered.group(0));
+    println!("(the sign-extension MSBs travel together, so their mutual coupling");
+    println!("can be matched to the array's strongest capacitances)");
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Integration tests tying the abstract power model ⟨T, C⟩ to the
+//! transient circuit simulator — the validation loop of the paper's
+//! Sec. 7.
+
+use tsv3d_circuit::{DriverModel, TsvLink};
+use tsv3d_core::{optimize, AssignmentProblem};
+use tsv3d_experiments::common;
+use tsv3d_experiments::fig6;
+use tsv3d_model::{Extractor, TsvArray, TsvGeometry, TsvRcNetlist};
+use tsv3d_stats::gen::SequentialSource;
+use tsv3d_stats::{BitStream, SwitchingStats};
+
+/// Simulates a stream on a 3×3 link and returns the dynamic energy.
+fn dynamic_energy(stream: &BitStream) -> f64 {
+    let array = TsvArray::new(3, 3, TsvGeometry::itrs_2018_min()).expect("valid array");
+    let stats = SwitchingStats::from_stream(stream);
+    let cap = Extractor::new(array.clone())
+        .extract(stats.bit_probabilities())
+        .expect("valid probabilities");
+    let link = TsvLink::new(
+        TsvRcNetlist::from_extraction(&array, cap),
+        DriverModel::ptm_22nm_strength6(),
+    )
+    .expect("valid driver");
+    link.simulate(stream, 3.0e9).expect("widths match").dynamic_energy()
+}
+
+#[test]
+fn model_power_ranking_matches_circuit_ranking() {
+    // Take one stream, three assignments (optimal, identity, worst);
+    // the circuit simulator must rank them the same way as ⟨T', C'⟩.
+    let stream = SequentialSource::new(9, 0.02).unwrap().generate(7, 3_000).unwrap();
+    let problem = common::problem(
+        &stream,
+        common::cap_model(3, 3, TsvGeometry::itrs_2018_min()),
+    );
+    let best = optimize::anneal(&problem, &common::anneal_options_quick()).unwrap();
+    let worst = optimize::worst_case(&problem, &common::anneal_options_quick()).unwrap();
+
+    let e_best = dynamic_energy(&common::assign_stream(&stream, &best.assignment));
+    let e_identity = dynamic_energy(&stream);
+    let e_worst = dynamic_energy(&common::assign_stream(&stream, &worst.assignment));
+
+    assert!(
+        e_best < e_identity && e_identity <= e_worst * 1.001,
+        "circuit ranking broken: best {e_best:.3e}, identity {e_identity:.3e}, worst {e_worst:.3e}"
+    );
+}
+
+#[test]
+fn model_predicts_circuit_energy_ratio() {
+    // The normalised model power ratio between two assignments should
+    // approximate the simulated dynamic-energy ratio (the model ignores
+    // driver parasitics, so agreement within ~15 % is expected).
+    let stream = SequentialSource::new(9, 0.05).unwrap().generate(3, 3_000).unwrap();
+    let problem = common::problem(
+        &stream,
+        common::cap_model(3, 3, TsvGeometry::itrs_2018_min()),
+    );
+    let best = optimize::anneal(&problem, &common::anneal_options_quick()).unwrap();
+
+    let model_ratio = best.power / problem.identity_power();
+    let circuit_ratio =
+        dynamic_energy(&common::assign_stream(&stream, &best.assignment)) / dynamic_energy(&stream);
+    assert!(
+        (model_ratio - circuit_ratio).abs() < 0.15,
+        "model ratio {model_ratio:.3} vs circuit ratio {circuit_ratio:.3}"
+    );
+}
+
+#[test]
+fn fig6_gray_combination_more_than_doubles_plain_gray() {
+    // Sec. 7's Gray-coding story, at reduced scale: Gray alone helps the
+    // multiplexed sensor stream less than Gray + optimal assignment.
+    let samples = 300;
+    let mux = fig6::point(fig6::Fig6Stream::SensorMux, samples, true);
+    let gray = fig6::point(fig6::Fig6Stream::SensorMuxGray, samples, true);
+    let gray_alone = 1.0 - gray.power_plain_mw / mux.power_plain_mw;
+    let gray_plus_opt = 1.0 - gray.power_assigned_mw / mux.power_plain_mw;
+    assert!(
+        gray_plus_opt > gray_alone,
+        "gray+opt {gray_plus_opt:.3} must beat gray alone {gray_alone:.3}"
+    );
+}
+
+#[test]
+fn fig6_correlator_combination_beats_correlator_alone() {
+    let samples = 300;
+    let rgb = fig6::point(fig6::Fig6Stream::RgbMuxRedundant, samples, true);
+    let corr = fig6::point(fig6::Fig6Stream::RgbMuxCorrelator, samples, true);
+    let corr_alone = 1.0 - corr.power_plain_mw / rgb.power_plain_mw;
+    let corr_plus_opt = 1.0 - corr.power_assigned_mw / rgb.power_plain_mw;
+    assert!(corr_alone > 0.0, "correlator itself must help: {corr_alone:.3}");
+    assert!(
+        corr_plus_opt > corr_alone,
+        "corr+opt {corr_plus_opt:.3} must beat correlator alone {corr_alone:.3}"
+    );
+}
+
+#[test]
+fn leakage_scales_with_time_not_activity() {
+    let quiet = BitStream::from_words(9, vec![0; 200]).unwrap();
+    let busy = BitStream::from_words(9, (0..200).map(|t| if t % 2 == 0 { 0 } else { 0x1FF }).collect()).unwrap();
+    let array = TsvArray::new(3, 3, TsvGeometry::itrs_2018_min()).unwrap();
+    let cap = Extractor::new(array.clone()).extract(&[0.5; 9]).unwrap();
+    let mk = || {
+        TsvLink::new(
+            TsvRcNetlist::from_extraction(&array, cap.clone()),
+            DriverModel::ptm_22nm_strength6(),
+        )
+        .unwrap()
+    };
+    let r_quiet = mk().simulate(&quiet, 3.0e9).unwrap();
+    let r_busy = mk().simulate(&busy, 3.0e9).unwrap();
+    assert!((r_quiet.leakage_energy() - r_busy.leakage_energy()).abs() < 1e-20);
+    assert!(r_busy.dynamic_energy() > 10.0 * r_quiet.dynamic_energy().max(1e-18));
+}

@@ -1,0 +1,112 @@
+//! Integration tests of the coding layer with the statistics and the
+//! assignment optimiser — the paper's Sec. 6 claims.
+
+use tsv3d_codec::{apply_mask, invert_mask, Correlator, GrayCodec};
+use tsv3d_core::optimize;
+use tsv3d_experiments::common;
+use tsv3d_model::TsvGeometry;
+use tsv3d_stats::gen::{GaussianSource, ImageSensor, MemsSensor, SensorKind};
+use tsv3d_stats::SwitchingStats;
+
+#[test]
+fn gray_coding_makes_msbs_of_gaussian_data_nearly_stable_zero() {
+    // Sec. 6: "Gray coding results in bits nearly stable on logical 0
+    // for this kind of data" (spatially correlated MSBs).
+    let data = GaussianSource::new(16, 400.0)
+        .with_correlation(0.6)
+        .generate(11, 20_000)
+        .unwrap();
+    let coded = GrayCodec::new(16).unwrap().encode(&data).unwrap();
+    let stats = SwitchingStats::from_stream(&coded);
+    assert!(stats.bit_probability(14) < 0.1, "{}", stats.bit_probability(14));
+    assert!(stats.self_switching(14) < 0.2);
+}
+
+#[test]
+fn negated_gray_restores_one_probabilities_for_the_mos_effect() {
+    let data = GaussianSource::new(16, 400.0)
+        .with_correlation(0.6)
+        .generate(11, 20_000)
+        .unwrap();
+    let plain = GrayCodec::new(16).unwrap().encode(&data).unwrap();
+    let negated = GrayCodec::new(16).unwrap().negated().encode(&data).unwrap();
+    let sp = SwitchingStats::from_stream(&plain);
+    let sn = SwitchingStats::from_stream(&negated);
+    // Same switching, complementary probabilities.
+    for i in 0..16 {
+        assert!((sp.self_switching(i) - sn.self_switching(i)).abs() < 1e-12);
+        assert!((sp.bit_probability(i) + sn.bit_probability(i) - 1.0).abs() < 1e-12);
+    }
+    // And the negated variant round-trips.
+    assert_eq!(
+        GrayCodec::new(16).unwrap().negated().decode(&negated).unwrap(),
+        data
+    );
+}
+
+#[test]
+fn optimiser_inversions_can_be_folded_into_a_mask() {
+    // Sec. 6: inversions are realised by inverting buffers or hidden in
+    // the coder. Folding them into a per-line XOR mask must reproduce
+    // exactly the optimiser's predicted power.
+    let stream = MemsSensor::new(SensorKind::Magnetometer)
+        .with_samples(2_000)
+        .xyz_stream(5)
+        .unwrap();
+    let problem = common::problem(
+        &stream,
+        common::cap_model(4, 4, TsvGeometry::wide_2018()),
+    );
+    let best = optimize::anneal(&problem, &common::anneal_options_quick()).unwrap();
+
+    // Physical route A: generic signed rewiring.
+    let rewired = common::assign_stream(&stream, &best.assignment);
+
+    // Physical route B: permutation without signs, then the XOR mask.
+    let unsigned = tsv3d_core::SignedPerm::from_parts(
+        best.assignment.lines().to_vec(),
+        vec![false; 16],
+    )
+    .unwrap();
+    let permuted = common::assign_stream(&stream, &unsigned);
+    let line_inverted: Vec<bool> = (0..16)
+        .map(|line| best.assignment.is_inverted(best.assignment.bit_of_line(line)))
+        .collect();
+    let masked = apply_mask(&permuted, invert_mask(&line_inverted)).unwrap();
+
+    assert_eq!(rewired, masked, "mask folding must equal signed rewiring");
+}
+
+#[test]
+fn correlator_raises_the_assignment_gain_for_muxed_pixels() {
+    // Sec. 7: the correlator "increases the potential gain of a
+    // bit-to-TSV assignment".
+    let mux = ImageSensor::new(64, 48).rgb_mux_stream(9).unwrap();
+    let coded = Correlator::new(8, 4).unwrap().encode(&mux).unwrap();
+
+    let gain = |s: &tsv3d_stats::BitStream| {
+        let p = common::problem(s, common::cap_model(2, 4, TsvGeometry::itrs_2018_min()));
+        let best = optimize::anneal(&p, &common::anneal_options_quick()).unwrap();
+        let rnd = optimize::random_mean(&p, 200, 1).unwrap();
+        common::reduction_pct(best.power, rnd)
+    };
+    let g_raw = gain(&mux);
+    let g_coded = gain(&coded);
+    assert!(
+        g_coded > g_raw,
+        "correlated stream must be more exploitable: raw {g_raw:.2} % vs coded {g_coded:.2} %"
+    );
+}
+
+#[test]
+fn decoders_recover_streams_after_assignment_masking() {
+    // Full TX→RX path: encode, mask-invert (assignment), transmit,
+    // unmask, decode.
+    let data = GaussianSource::new(12, 300.0).generate(3, 4_000).unwrap();
+    let codec = GrayCodec::new(12).unwrap();
+    let coded = codec.encode(&data).unwrap();
+    let mask = invert_mask(&[true, false, true, true, false, false, true, false, true, true, false, true]);
+    let on_wire = apply_mask(&coded, mask).unwrap();
+    let received = apply_mask(&on_wire, mask).unwrap();
+    assert_eq!(codec.decode(&received).unwrap(), data);
+}

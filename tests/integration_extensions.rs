@@ -1,0 +1,149 @@
+//! Integration tests of the beyond-the-paper extensions: exact solving,
+//! closed-form statistics, bus partitioning, interchange formats and
+//! the one-call flow.
+
+use tsv3d_core::bundles::{assign_bus, Partition};
+use tsv3d_core::{optimize, AssignmentProblem, SignedPerm};
+use tsv3d_experiments::common;
+use tsv3d_experiments::flow::{normalized_to_watts, Flow};
+use tsv3d_model::{io, Extractor, LinearCapModel, TsvArray, TsvGeometry, TsvRcNetlist};
+use tsv3d_stats::dbt::DualBitTypeModel;
+use tsv3d_stats::gen::{GaussianSource, GrayFrame, ImageSensor, NocTraffic};
+use tsv3d_stats::SwitchingStats;
+
+#[test]
+fn dbt_designed_assignment_works_on_real_streams() {
+    // Design the assignment from the closed-form DBT statistics alone
+    // (no sample data), then evaluate it on an actual sampled stream:
+    // it must capture most of the empirically optimal gain.
+    let cap = common::cap_model(4, 4, TsvGeometry::wide_2018());
+    let analytic = DualBitTypeModel::new(16, 1000.0)
+        .unwrap()
+        .with_correlation(0.4)
+        .stats();
+    let design_problem = AssignmentProblem::new(analytic, cap.clone()).unwrap();
+    let designed = optimize::anneal(&design_problem, &common::anneal_options_quick())
+        .unwrap()
+        .assignment;
+
+    let stream = GaussianSource::new(16, 1000.0)
+        .with_correlation(0.4)
+        .generate(17, 20_000)
+        .unwrap();
+    let real_problem =
+        AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap).unwrap();
+    let empirical_best = optimize::anneal(&real_problem, &common::anneal_options_quick())
+        .unwrap()
+        .power;
+    let random = optimize::random_mean(&real_problem, 300, 5).unwrap();
+
+    let designed_power = real_problem.power(&designed);
+    let designed_gain = 1.0 - designed_power / random;
+    let best_gain = 1.0 - empirical_best / random;
+    assert!(designed_gain > 0.0, "DBT design must beat random");
+    assert!(
+        designed_gain > 0.5 * best_gain,
+        "DBT design captures most of the gain: {designed_gain:.3} vs {best_gain:.3}"
+    );
+}
+
+#[test]
+fn csv_imported_model_reproduces_the_native_optimum() {
+    // Export → import → identical optimisation outcome.
+    let cap = common::cap_model(3, 3, TsvGeometry::itrs_2018_min());
+    let c_r = io::matrix_from_csv(&io::matrix_to_csv(cap.c_r())).unwrap();
+    let delta_c = io::matrix_from_csv(&io::matrix_to_csv(cap.delta_c())).unwrap();
+    let imported = LinearCapModel::from_parts(c_r, delta_c);
+
+    let stream = NocTraffic::new(9, 0.5).unwrap().generate(3, 10_000).unwrap();
+    let stats = SwitchingStats::from_stream(&stream);
+    let native = AssignmentProblem::new(stats.clone(), cap).unwrap();
+    let round_tripped = AssignmentProblem::new(stats, imported).unwrap();
+
+    let a = optimize::greedy_two_opt(&native);
+    let b = optimize::greedy_two_opt(&round_tripped);
+    assert_eq!(a.assignment, b.assignment);
+    assert!((a.power - b.power).abs() < 1e-9 * a.power.abs());
+}
+
+#[test]
+fn spice_export_matches_internal_network_element_count() {
+    let array = TsvArray::new(3, 3, TsvGeometry::itrs_2018_min()).unwrap();
+    let cap = Extractor::new(array.clone()).extract(&[0.5; 9]).unwrap();
+    let net = TsvRcNetlist::from_extraction(&array, cap);
+    let spice = io::to_spice(&net, "bundle", 3);
+    // 9 ladders × 3 sections of R+L; caps: 9 grounds × 4 levels + 36
+    // couplings × 4 levels.
+    assert_eq!(spice.matches("\nR").count(), 27);
+    assert_eq!(spice.matches("\nL").count(), 27);
+    assert_eq!(spice.matches("\nC").count(), 36 + 144);
+}
+
+#[test]
+fn bus_partitioning_and_flow_agree_on_single_bundle() {
+    // A one-bundle "bus" must reproduce the plain flow's optimum.
+    let stream = GaussianSource::new(9, 40.0).generate(2, 10_000).unwrap();
+    let stats = SwitchingStats::from_stream(&stream);
+    let cap = common::cap_model(3, 3, TsvGeometry::itrs_2018_min());
+    let partition = Partition::contiguous(9, &[9]).unwrap();
+    let opts = common::anneal_options_quick();
+    let bus = assign_bus(&stats, &partition, &cap, &opts).unwrap();
+    let problem = AssignmentProblem::new(stats, cap).unwrap();
+    let single = optimize::anneal(&problem, &opts).unwrap();
+    assert!((bus.total_power - single.power).abs() < 1e-9 * single.power.abs());
+}
+
+#[test]
+fn assignment_text_form_survives_the_full_loop() {
+    // Optimise, serialise, parse, re-evaluate: identical power.
+    let stream = NocTraffic::new(9, 0.4).unwrap().generate(8, 8_000).unwrap();
+    let problem = common::problem(
+        &stream,
+        common::cap_model(3, 3, TsvGeometry::itrs_2018_min()),
+    );
+    let best = optimize::anneal(&problem, &common::anneal_options_quick()).unwrap();
+    let text = best.assignment.to_string();
+    let parsed: SignedPerm = text.parse().unwrap();
+    assert_eq!(problem.power(&parsed), best.power);
+}
+
+#[test]
+fn flow_facade_runs_on_pgm_backed_image_data() {
+    // Custom-image path through the high-level facade.
+    let mut pgm = String::from("P2\n16 16\n255\n");
+    for y in 0..16 {
+        for x in 0..16 {
+            pgm.push_str(&format!("{} ", (x * y * 255) / 225));
+        }
+    }
+    let frame = GrayFrame::from_pgm(pgm.as_bytes()).unwrap();
+    let sensor = ImageSensor::new(16, 16).with_custom_frames(vec![frame]);
+    let stream = sensor
+        .grayscale_stream(1)
+        .unwrap()
+        .with_stable_lines(&[false])
+        .unwrap();
+    let flow = Flow::new(3, 3, TsvGeometry::itrs_2018_min())
+        .unwrap()
+        .with_anneal_options(common::anneal_options_quick());
+    let report = flow.analyze(&stream).unwrap();
+    assert!(report.optimal_power <= report.random_power);
+    // Eq. 1 conversion is sane: femto-farad scale × 1 V² × 3 GHz ⇒ µW.
+    let watts = normalized_to_watts(report.optimal_power, 1.0, 3.0e9);
+    assert!(watts > 1e-8 && watts < 1e-2, "{watts:.3e} W");
+}
+
+#[test]
+fn pareto_weight_zero_equals_plain_power_annealing_quality() {
+    let stream = GaussianSource::new(9, 40.0).generate(12, 8_000).unwrap();
+    let problem = common::problem(
+        &stream,
+        common::cap_model(3, 3, TsvGeometry::wide_2018()),
+    );
+    let opts = common::anneal_options_quick();
+    let plain = optimize::anneal(&problem, &opts).unwrap();
+    let weighted = optimize::anneal_objective(&problem, |a| problem.power(a), &opts).unwrap();
+    // Same objective, both near-optimal: within a percent of each other.
+    let rel = (weighted.power - plain.power).abs() / plain.power;
+    assert!(rel < 0.01, "rel = {rel:.4}");
+}

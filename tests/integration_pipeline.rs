@@ -1,0 +1,141 @@
+//! End-to-end integration: generator → statistics → capacitance model →
+//! optimiser, crossing every library crate.
+
+use tsv3d_core::{optimize, AssignmentProblem, SignedPerm};
+use tsv3d_experiments::common;
+use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+use tsv3d_stats::gen::{GaussianSource, SequentialSource, UniformSource};
+use tsv3d_stats::SwitchingStats;
+
+fn problem_for(stream: &tsv3d_stats::BitStream, rows: usize, cols: usize) -> AssignmentProblem {
+    let cap = LinearCapModel::fit(&Extractor::new(
+        TsvArray::new(rows, cols, TsvGeometry::wide_2018()).expect("valid array"),
+    ))
+    .expect("fit succeeds");
+    AssignmentProblem::new(SwitchingStats::from_stream(stream), cap).expect("sizes match")
+}
+
+#[test]
+fn full_pipeline_optimum_dominates_alternatives() {
+    let stream = SequentialSource::new(9, 0.02)
+        .unwrap()
+        .generate(1, 20_000)
+        .unwrap();
+    // Limit the inversion freedom so 9!·2^4 stays inside the exhaustive
+    // budget (the sequential stream is balanced, so inversions barely
+    // matter anyway).
+    let mut flags = vec![false; 9];
+    for bit in 0..4 {
+        flags[bit] = true;
+    }
+    let problem = problem_for(&stream, 3, 3).with_invertible(flags).unwrap();
+    let exact = optimize::exhaustive(&problem).unwrap();
+    // Exhaustive must dominate everything else on a 9-bit bundle.
+    let annealed = optimize::anneal(&problem, &common::anneal_options()).unwrap();
+    let greedy = optimize::greedy_two_opt(&problem);
+    let identity = problem.identity_power();
+    assert!(exact.power <= annealed.power * (1.0 + 1e-9));
+    assert!(exact.power <= greedy.power * (1.0 + 1e-9));
+    assert!(exact.power <= identity);
+    // And the annealer gets within a fraction of a percent of exact.
+    assert!((annealed.power - exact.power) / exact.power < 5e-3);
+}
+
+#[test]
+fn physical_assignment_agrees_with_model_transformation() {
+    // The deepest cross-crate invariant: transforming the statistics
+    // via the signed permutation (model side) must give exactly the
+    // power of the physically re-wired stream (generator side).
+    let stream = GaussianSource::new(16, 2500.0)
+        .with_correlation(0.4)
+        .generate(5, 8_000)
+        .unwrap();
+    let problem = problem_for(&stream, 4, 4);
+    let best = optimize::anneal(&problem, &common::anneal_options_quick()).unwrap();
+
+    let rewired = common::assign_stream(&stream, &best.assignment);
+    let rewired_problem = problem_for(&rewired, 4, 4);
+    let physical = rewired_problem.identity_power();
+
+    assert!(
+        (best.power - physical).abs() < 1e-9 * physical.abs(),
+        "model {:.6e} vs physical {physical:.6e}",
+        best.power
+    );
+}
+
+#[test]
+fn uniform_random_data_leaves_nothing_to_reorder() {
+    // With i.i.d. fair-coin bits every assignment is statistically
+    // equivalent; the optimiser's gain over random must be tiny.
+    let stream = UniformSource::new(9).unwrap().generate(3, 40_000).unwrap();
+    let problem = problem_for(&stream, 3, 3);
+    let best = optimize::anneal(&problem, &common::anneal_options_quick()).unwrap();
+    let random = optimize::random_mean(&problem, 300, 3).unwrap();
+    let gain = (1.0 - best.power / random) * 100.0;
+    assert!(gain < 3.0, "gain on uniform data was {gain:.2} %");
+}
+
+#[test]
+fn inversion_constraints_survive_the_whole_stack() {
+    let stream = SequentialSource::new(9, 0.1)
+        .unwrap()
+        .generate(2, 5_000)
+        .unwrap();
+    let cap = LinearCapModel::fit(&Extractor::new(
+        TsvArray::new(3, 3, TsvGeometry::wide_2018()).unwrap(),
+    ))
+    .unwrap();
+    let flags = vec![true, false, true, false, true, false, true, false, true];
+    let problem = AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap)
+        .unwrap()
+        .with_invertible(flags.clone())
+        .unwrap();
+    for result in [
+        optimize::anneal(&problem, &common::anneal_options_quick()).unwrap(),
+        optimize::exhaustive(&problem).unwrap(),
+    ] {
+        for (bit, &may_invert) in flags.iter().enumerate() {
+            assert!(
+                may_invert || !result.assignment.is_inverted(bit),
+                "bit {bit} inverted despite constraint"
+            );
+        }
+    }
+}
+
+#[test]
+fn stable_line_inversion_is_exploited() {
+    // A line stuck at 0 should be driven inverted (ε = +1/2 shrinks its
+    // capacitances) whenever inversions are allowed.
+    let words: Vec<u64> = SequentialSource::new(8, 0.05)
+        .unwrap()
+        .generate(9, 10_000)
+        .unwrap()
+        .iter()
+        .collect();
+    let stream = tsv3d_stats::BitStream::from_words(8, words)
+        .unwrap()
+        .with_stable_lines(&[false])
+        .unwrap();
+    let problem = problem_for(&stream, 3, 3);
+    let best = optimize::exhaustive(&problem);
+    // 9! · 2^9 is above the exhaustive budget, so anneal instead.
+    let best = match best {
+        Ok(r) => r,
+        Err(_) => optimize::anneal(&problem, &common::anneal_options()).unwrap(),
+    };
+    assert!(
+        best.assignment.is_inverted(8),
+        "the stable-at-0 line should be transmitted inverted"
+    );
+}
+
+#[test]
+fn signed_perm_reexport_matches_matrix_crate() {
+    // The core crate re-exports the matrix crate's SignedPerm; both
+    // paths must be the same type.
+    let a: SignedPerm = tsv3d_matrix::SignedPerm::identity(4);
+    let b = SignedPerm::identity(4);
+    assert_eq!(a, b);
+}
