@@ -5,6 +5,7 @@ use crate::mna::Netlist;
 use crate::{CircuitError, DriverModel};
 use tsv3d_model::TsvRcNetlist;
 use tsv3d_stats::BitStream;
+use tsv3d_telemetry::{TelemetryHandle, Value};
 
 /// A complete TSV link ready for transient simulation: every via is
 /// expanded into an `sections`-section RLC π ladder (matching the
@@ -236,6 +237,25 @@ impl TsvLink {
     /// non-positive clock, or a singular-matrix error for degenerate
     /// netlists.
     pub fn simulate(&self, stream: &BitStream, clock: f64) -> Result<EnergyReport, CircuitError> {
+        self.simulate_with_telemetry(stream, clock, &TelemetryHandle::disabled())
+    }
+
+    /// [`simulate`](TsvLink::simulate) with instrumentation: wraps the
+    /// run in a `circuit.simulate` span, reports energy-integration
+    /// progress (`circuit.progress`, ≈16 times per stream), accumulates
+    /// `circuit.cycles`/`circuit.steps` counters and emits a final
+    /// `circuit.energy` event. The returned [`EnergyReport`] is
+    /// identical to the uninstrumented one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`simulate`](TsvLink::simulate).
+    pub fn simulate_with_telemetry(
+        &self,
+        stream: &BitStream,
+        clock: f64,
+        tel: &TelemetryHandle,
+    ) -> Result<EnergyReport, CircuitError> {
         let n = self.netlist.len();
         if stream.width() != n {
             return Err(CircuitError::WidthMismatch {
@@ -246,16 +266,19 @@ impl TsvLink {
         if clock <= 0.0 {
             return Err(CircuitError::NonPositiveParameter { name: "clock" });
         }
+        let _span = tel.span("circuit.simulate");
+        let observe = tel.is_enabled();
 
         let (net, drives) = self.build_network();
 
         let period = 1.0 / clock;
         let h = period / self.steps_per_cycle as f64;
-        let mut sim = net.transient(h)?;
+        let mut sim = net.transient_with_telemetry(h, tel)?;
 
         let vdd = self.driver.vdd;
+        let progress_every = (stream.len() / 16).max(1);
         let mut dynamic_energy = 0.0;
-        for word in stream.iter() {
+        for (cycle, word) in stream.iter().enumerate() {
             // Switch the rails to this word's levels.
             let mut up = Vec::with_capacity(n);
             for (i, &d) in drives.iter().enumerate() {
@@ -271,9 +294,33 @@ impl TsvLink {
                     dynamic_energy += sim.drive_current(d) * vdd * h;
                 }
             }
+            if observe && (cycle + 1) % progress_every == 0 {
+                tel.event(
+                    "circuit.progress",
+                    &[
+                        ("cycle", Value::from(cycle + 1)),
+                        ("cycles_total", Value::from(stream.len())),
+                        ("dynamic_energy_j", Value::from(dynamic_energy)),
+                    ],
+                );
+            }
         }
         let total_time = stream.len() as f64 * period;
         let leakage_energy = n as f64 * self.driver.leakage * vdd * total_time;
+        if observe {
+            tel.add("circuit.cycles", stream.len() as u64);
+            tel.add("circuit.steps", sim.steps_taken());
+            tel.event(
+                "circuit.energy",
+                &[
+                    ("dynamic_energy_j", Value::from(dynamic_energy)),
+                    ("leakage_energy_j", Value::from(leakage_energy)),
+                    ("cycles", Value::from(stream.len())),
+                    ("steps", Value::from(sim.steps_taken())),
+                    ("clock_hz", Value::from(clock)),
+                ],
+            );
+        }
         Ok(EnergyReport {
             dynamic_energy,
             leakage_energy,
@@ -436,6 +483,31 @@ mod tests {
         // Scaling to 32 b from 2 b multiplies by 16.
         let p = r.power_scaled_to(2.0, 32.0);
         assert!((p - r.mean_power() * 16.0).abs() < 1e-12 * p.abs());
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_energy_and_tallies_the_run() {
+        let link = link(1, 2);
+        let words: Vec<u64> = (0..40).map(|t| if t % 2 == 0 { 0b01 } else { 0b10 }).collect();
+        let s = stream(2, &words);
+        let plain = link.simulate(&s, 3.0e9).unwrap();
+        let tel = TelemetryHandle::with_sink(Box::new(tsv3d_telemetry::NullSink));
+        let observed = link.simulate_with_telemetry(&s, 3.0e9, &tel).unwrap();
+        // Exact field-wise equality: instrumentation must not perturb
+        // a single integration step.
+        assert_eq!(plain, observed);
+        assert_eq!(tel.counter_value("circuit.cycles"), Some(40));
+        assert_eq!(tel.counter_value("circuit.steps"), Some(40 * 24));
+        assert_eq!(
+            tel.histogram("circuit.step_seconds").map(|h| h.count()),
+            Some(40 * 24),
+            "every step's solve time is recorded"
+        );
+        assert_eq!(
+            tel.histogram("circuit.lu_factor").map(|h| h.count()),
+            Some(1),
+            "one LU factorisation per simulate call"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! needed, which keeps the TSV π ladders compact.
 
 use crate::CircuitError;
+use tsv3d_telemetry::{TelemetryHandle, Value};
 
 /// A linear circuit under construction (node 0 = ground).
 ///
@@ -140,6 +141,24 @@ impl Netlist {
     /// singular (e.g. a node with no DC path to ground), or
     /// [`CircuitError::NonPositiveParameter`] for a non-positive step.
     pub fn transient(&self, h: f64) -> Result<Transient, CircuitError> {
+        self.transient_with_telemetry(h, &TelemetryHandle::disabled())
+    }
+
+    /// [`Netlist::transient`] with instrumentation: times the dense LU
+    /// factorisation (`circuit.lu_factor` span), emits a
+    /// `circuit.transient_built` event with the system's size, and
+    /// makes the returned [`Transient`] record per-step solve timings
+    /// while `tel` is enabled. Simulated voltages and currents are
+    /// unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::transient`].
+    pub fn transient_with_telemetry(
+        &self,
+        h: f64,
+        tel: &TelemetryHandle,
+    ) -> Result<Transient, CircuitError> {
         if h <= 0.0 {
             return Err(CircuitError::NonPositiveParameter { name: "h" });
         }
@@ -169,7 +188,22 @@ impl Netlist {
         for &(a, b, r, l) in &self.rl_branches {
             stamp(a, b, 1.0 / (r + l / h), &mut g);
         }
-        let lu = LuFactors::factor(g, n)?;
+        let lu = {
+            let _span = tel.span("circuit.lu_factor");
+            LuFactors::factor(g, n)?
+        };
+        if tel.is_enabled() {
+            tel.event(
+                "circuit.transient_built",
+                &[
+                    ("nodes", Value::from(n)),
+                    ("capacitors", Value::from(self.capacitors.len())),
+                    ("rl_branches", Value::from(self.rl_branches.len())),
+                    ("drives", Value::from(self.drives.len())),
+                    ("h", Value::from(h)),
+                ],
+            );
+        }
         Ok(Transient {
             netlist: self.clone(),
             h,
@@ -178,6 +212,8 @@ impl Netlist {
             rails: self.drives.iter().map(|&(_, _, r)| r).collect(),
             rhs: vec![0.0; n],
             branch_currents: vec![0.0; self.rl_branches.len()],
+            steps: 0,
+            tel: tel.clone(),
         })
     }
 }
@@ -195,12 +231,22 @@ pub struct Transient {
     rhs: Vec<f64>,
     /// Inductor branch currents (one per RL branch), A, flowing a → b.
     branch_currents: Vec<f64>,
+    /// Backward-Euler steps taken so far.
+    steps: u64,
+    /// Instrumentation handle (disabled unless built via
+    /// [`Netlist::transient_with_telemetry`]).
+    tel: TelemetryHandle,
 }
 
 impl Transient {
     /// The integration step, s.
     pub fn h(&self) -> f64 {
         self.h
+    }
+
+    /// Number of [`step`](Transient::step) calls so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
     }
 
     /// Voltage of a node (0 = ground ⇒ 0.0).
@@ -247,6 +293,12 @@ impl Transient {
 
     /// Advances the simulation by one backward-Euler step.
     pub fn step(&mut self) {
+        self.steps += 1;
+        let solve_timer = if self.tel.is_enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let n = self.netlist.nodes;
         for x in self.rhs.iter_mut() {
             *x = 0.0;
@@ -282,6 +334,10 @@ impl Transient {
             let v_ab = self.voltage(a) - self.voltage(b);
             self.branch_currents[k] =
                 (v_ab + (l / self.h) * self.branch_currents[k]) / (r + l / self.h);
+        }
+        if let Some(start) = solve_timer {
+            self.tel
+                .record("circuit.step_seconds", start.elapsed().as_secs_f64());
         }
     }
 }
@@ -332,6 +388,9 @@ impl LuFactors {
     }
 
     /// Solves `A x = b` in place.
+    // Index arithmetic mirrors the dense row-major LU layout; iterator
+    // forms of the substitution loops obscure the triangular structure.
+    #[allow(clippy::needless_range_loop)]
     pub(crate) fn solve(&self, b: &mut [f64]) {
         let n = self.n;
         assert_eq!(b.len(), n, "rhs size mismatch");

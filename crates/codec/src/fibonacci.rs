@@ -211,6 +211,6 @@ mod tests {
     fn overhead_grows_with_payload() {
         // The rate loss of the Fibonacci base: ~44 % more lines at 16 b.
         let w16 = FibonacciCac::new(16).unwrap().coded_width();
-        assert!(w16 >= 22 && w16 <= 24, "16-bit payload uses {w16} lines");
+        assert!((22..=24).contains(&w16), "16-bit payload uses {w16} lines");
     }
 }

@@ -71,7 +71,7 @@ impl Partition {
     /// [`CoreError::FlagCountMismatch`] if `width` is not divisible by
     /// `bundles` (or `bundles` is zero).
     pub fn striped(width: usize, bundles: usize) -> Result<Self, CoreError> {
-        if bundles == 0 || width % bundles != 0 {
+        if bundles == 0 || !width.is_multiple_of(bundles) {
             return Err(CoreError::FlagCountMismatch {
                 got: bundles,
                 expected: width,
@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn contiguous_partition_covers_all_bits_once() {
         let p = Partition::contiguous(32, &[16, 16]).unwrap();
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for g in 0..p.len() {
             for &b in p.group(g) {
                 assert!(!seen[b]);
@@ -270,7 +270,7 @@ mod tests {
     fn clustered_partition_covers_all_bits_once() {
         let stats = stats32();
         let p = Partition::correlation_clustered(&stats, &[16, 16]).unwrap();
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for g in 0..2 {
             assert_eq!(p.group(g).len(), 16);
             for &b in p.group(g) {

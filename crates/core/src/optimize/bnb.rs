@@ -19,6 +19,7 @@
 use crate::optimize::OptimizeResult;
 use crate::{AssignmentProblem, CoreError};
 use tsv3d_matrix::SignedPerm;
+use tsv3d_telemetry::{TelemetryHandle, Value};
 
 /// Options for [`branch_and_bound`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,10 +67,18 @@ struct Searcher<'a> {
     nodes: u64,
     node_limit: u64,
     exhausted: bool,
+    /// Instrumentation (cheap local tallies, flushed to the handle by
+    /// the caller; the search itself is telemetry-free when disabled).
+    tel: &'a TelemetryHandle,
+    observe: bool,
+    pruned_by_cost: u64,
+    pruned_by_bound: u64,
+    leaves: u64,
+    incumbents: u64,
 }
 
 impl<'a> Searcher<'a> {
-    fn new(problem: &'a AssignmentProblem, node_limit: u64) -> Self {
+    fn new(problem: &'a AssignmentProblem, node_limit: u64, tel: &'a TelemetryHandle) -> Self {
         let n = problem.n();
         let stats = problem.stats();
         let ts: Vec<f64> = (0..n).map(|i| stats.self_switching(i)).collect();
@@ -110,6 +119,12 @@ impl<'a> Searcher<'a> {
             nodes: 0,
             node_limit,
             exhausted: false,
+            tel,
+            observe: tel.is_enabled(),
+            pruned_by_cost: 0,
+            pruned_by_bound: 0,
+            leaves: 0,
+            incumbents: 0,
         }
     }
 
@@ -233,7 +248,18 @@ impl<'a> Searcher<'a> {
             return;
         }
         if free_bits.is_empty() {
+            self.leaves += 1;
             if prefix_cost < self.best_power {
+                self.incumbents += 1;
+                if self.observe {
+                    self.tel.event(
+                        "bnb.incumbent",
+                        &[
+                            ("power", Value::from(prefix_cost)),
+                            ("nodes", Value::from(self.nodes)),
+                        ],
+                    );
+                }
                 self.best_power = prefix_cost;
                 let n = self.problem.n();
                 let mut line_of_bit = vec![0usize; n];
@@ -257,8 +283,7 @@ impl<'a> Searcher<'a> {
         let pinned_bit_for_line = (0..self.problem.n())
             .find(|&b| self.problem.pin_of(b) == Some(line));
         let mut moves: Vec<(f64, usize, f64)> = Vec::new();
-        for idx in 0..free_bits.len() {
-            let bit = free_bits[idx];
+        for &bit in free_bits.iter() {
             match pinned_bit_for_line {
                 Some(p) if p != bit => continue,
                 None if self.problem.pin_of(bit).is_some() => continue,
@@ -281,6 +306,7 @@ impl<'a> Searcher<'a> {
             }
             let new_cost = prefix_cost + cost;
             if new_cost >= self.best_power {
+                self.pruned_by_cost += 1;
                 continue;
             }
             let pos = free_bits
@@ -290,8 +316,16 @@ impl<'a> Searcher<'a> {
             free_bits.swap_remove(pos);
             placed.push((line, bit, sign));
             let bound = self.remainder_bound(placed, free_bits);
+            if self.observe && self.best_power.is_finite() && self.best_power != 0.0 {
+                // Bound quality: (prefix + bound) / incumbent — values
+                // ≥ 1 prune, values near 1 are tight.
+                self.tel
+                    .record("bnb.bound_ratio", (new_cost + bound) / self.best_power);
+            }
             if new_cost + bound < self.best_power {
                 self.search(placed, free_bits, new_cost);
+            } else {
+                self.pruned_by_bound += 1;
             }
             placed.pop();
             free_bits.push(bit);
@@ -334,10 +368,30 @@ pub fn branch_and_bound(
     problem: &AssignmentProblem,
     options: &BnbOptions,
 ) -> Result<BnbOutcome, CoreError> {
+    branch_and_bound_with_telemetry(problem, options, &TelemetryHandle::disabled())
+}
+
+/// [`branch_and_bound`] with search instrumentation.
+///
+/// Accumulates `bnb.*` counters (nodes, cost/bound prunes, leaves,
+/// incumbents), records the `bnb.bound_ratio` quality histogram, and
+/// emits `bnb.incumbent` events plus a final `bnb.done` event.
+/// Telemetry never influences the search order or pruning, so the
+/// returned [`BnbOutcome`] is identical to [`branch_and_bound`]'s.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyBudget`] if the node limit is zero.
+pub fn branch_and_bound_with_telemetry(
+    problem: &AssignmentProblem,
+    options: &BnbOptions,
+    tel: &TelemetryHandle,
+) -> Result<BnbOutcome, CoreError> {
     if options.node_limit == 0 {
         return Err(CoreError::EmptyBudget);
     }
-    let mut searcher = Searcher::new(problem, options.node_limit);
+    let _span = tel.span("core.bnb");
+    let mut searcher = Searcher::new(problem, options.node_limit, tel);
     // Seed the incumbent with the (pin-respecting) base assignment so
     // pruning can start immediately.
     let base = problem.base_assignment();
@@ -349,11 +403,31 @@ pub fn branch_and_bound(
 
     let assignment = searcher.best.expect("an incumbent always exists");
     let power = problem.power(&assignment);
-    Ok(BnbOutcome {
+    let outcome = BnbOutcome {
         result: OptimizeResult { assignment, power },
         proven_optimal: !searcher.exhausted,
         nodes: searcher.nodes,
-    })
+    };
+    if searcher.observe {
+        tel.add("bnb.nodes", searcher.nodes);
+        tel.add("bnb.pruned_by_cost", searcher.pruned_by_cost);
+        tel.add("bnb.pruned_by_bound", searcher.pruned_by_bound);
+        tel.add("bnb.leaves", searcher.leaves);
+        tel.add("bnb.incumbents", searcher.incumbents);
+        tel.event(
+            "bnb.done",
+            &[
+                ("nodes", Value::from(searcher.nodes)),
+                ("pruned_by_cost", Value::from(searcher.pruned_by_cost)),
+                ("pruned_by_bound", Value::from(searcher.pruned_by_bound)),
+                ("leaves", Value::from(searcher.leaves)),
+                ("incumbents", Value::from(searcher.incumbents)),
+                ("proven_optimal", Value::from(outcome.proven_optimal)),
+                ("best_power", Value::from(power)),
+            ],
+        );
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]

@@ -21,12 +21,13 @@
 
 mod bnb;
 
-pub use bnb::{branch_and_bound, BnbOptions, BnbOutcome};
+pub use bnb::{branch_and_bound, branch_and_bound_with_telemetry, BnbOptions, BnbOutcome};
 
 use crate::{AssignmentProblem, CoreError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tsv3d_matrix::SignedPerm;
+use tsv3d_telemetry::{TelemetryHandle, Value};
 
 /// An optimisation outcome: the assignment and its normalised power.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,9 +165,32 @@ pub fn anneal(
     problem: &AssignmentProblem,
     options: &AnnealOptions,
 ) -> Result<OptimizeResult, CoreError> {
+    anneal_with_telemetry(problem, options, &TelemetryHandle::disabled())
+}
+
+/// [`anneal`] with per-epoch instrumentation.
+///
+/// Emits `anneal.epoch` events (temperature, current/best power,
+/// acceptance rate, move mix) roughly 32 times per restart, plus
+/// `anneal.calibrated` after the temperature probe, and accumulates
+/// `anneal.*` counters on the handle. Telemetry is purely
+/// observational: it never touches the RNG or the accept/reject
+/// decisions, so for a given seed the returned [`OptimizeResult`] is
+/// bit-identical to [`anneal`]'s whatever sink is attached.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyBudget`] if `iterations` or `restarts` is zero.
+pub fn anneal_with_telemetry(
+    problem: &AssignmentProblem,
+    options: &AnnealOptions,
+    tel: &TelemetryHandle,
+) -> Result<OptimizeResult, CoreError> {
     if options.iterations == 0 || options.restarts == 0 {
         return Err(CoreError::EmptyBudget);
     }
+    let _span = tel.span("core.anneal");
+    let observe = tel.is_enabled();
     let n = problem.n();
     let mut rng = StdRng::seed_from_u64(options.seed);
 
@@ -183,6 +207,18 @@ pub fn anneal(
     let t_start = 0.5 * spread;
     let t_end = 1e-5 * spread;
     let cooling = (t_end / t_start).powf(1.0 / options.iterations as f64);
+    if observe {
+        tel.event(
+            "anneal.calibrated",
+            &[
+                ("t_start", Value::from(t_start)),
+                ("t_end", Value::from(t_end)),
+                ("probe_spread", Value::from(spread)),
+                ("iterations", Value::from(options.iterations)),
+                ("restarts", Value::from(options.restarts)),
+            ],
+        );
+    }
 
     let flip_candidates: Vec<usize> = (0..n).filter(|&i| problem.is_invertible(i)).collect();
     let free_lines = problem.free_lines();
@@ -194,8 +230,10 @@ pub fn anneal(
         return Ok(OptimizeResult { assignment: a, power });
     }
 
+    // Epoch granularity of the per-restart telemetry (≈32 reports).
+    let epoch_len = (options.iterations / 32).max(1);
     let mut best: Option<OptimizeResult> = None;
-    for _ in 0..options.restarts {
+    for restart in 0..options.restarts {
         let mut current = random_feasible(problem, &mut rng);
         let mut current_power = problem.power(&current);
         // Record the starting state so a best always exists even in the
@@ -208,7 +246,9 @@ pub fn anneal(
         }
         let mut temperature = t_start;
         let mut accepts_since_resync = 0u32;
-        for _ in 0..options.iterations {
+        // Per-epoch move mix, reset after each `anneal.epoch` event.
+        let (mut ep_swaps, mut ep_flips, mut ep_accepts) = (0u64, 0u64, 0u64);
+        for it in 0..options.iterations {
             // Propose a move and price it incrementally (O(n)).
             let flip = !flip_candidates.is_empty()
                 && (free_lines.len() < 2 || rng.gen_bool(0.3));
@@ -225,12 +265,20 @@ pub fn anneal(
                 swap_b = free_lines[rng.gen_range(0..free_lines.len())];
                 delta = problem.swap_lines_delta(&current, swap_a, swap_b);
             }
+            if observe {
+                if flip {
+                    ep_flips += 1;
+                } else {
+                    ep_swaps += 1;
+                }
+            }
             if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
                 match flip_bit {
                     Some(bit) => current.flip_bit(bit),
                     None => current.swap_lines(swap_a, swap_b),
                 }
                 current_power += delta;
+                ep_accepts += 1;
                 // Periodically recompute to cancel floating-point drift
                 // from the accumulated deltas.
                 accepts_since_resync += 1;
@@ -246,7 +294,35 @@ pub fn anneal(
                 }
             }
             temperature *= cooling;
+            if observe && ((it + 1) % epoch_len == 0 || it + 1 == options.iterations) {
+                let proposals = ep_swaps + ep_flips;
+                tel.event(
+                    "anneal.epoch",
+                    &[
+                        ("restart", Value::from(restart)),
+                        ("iteration", Value::from(it + 1)),
+                        ("temperature", Value::from(temperature)),
+                        ("current_power", Value::from(current_power)),
+                        (
+                            "best_power",
+                            Value::from(best.as_ref().map_or(f64::NAN, |b| b.power)),
+                        ),
+                        (
+                            "accept_rate",
+                            Value::from(ep_accepts as f64 / proposals.max(1) as f64),
+                        ),
+                        ("swap_moves", Value::from(ep_swaps)),
+                        ("flip_moves", Value::from(ep_flips)),
+                    ],
+                );
+                tel.add("anneal.proposals", proposals);
+                tel.add("anneal.accepts", ep_accepts);
+                tel.add("anneal.swap_moves", ep_swaps);
+                tel.add("anneal.flip_moves", ep_flips);
+                (ep_swaps, ep_flips, ep_accepts) = (0, 0, 0);
+            }
         }
+        tel.add("anneal.restarts", 1);
     }
     let mut best = best.expect("incumbent recorded at every restart start");
     // Report the exact power of the winning assignment (the tracked

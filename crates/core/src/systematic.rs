@@ -305,7 +305,7 @@ mod tests {
         let problem =
             AssignmentProblem::new(SwitchingStats::from_stream(&s), cap(3, 3)).unwrap();
         for a in [spiral(&problem), sawtooth(&problem)] {
-            let mut seen = vec![false; 9];
+            let mut seen = [false; 9];
             for bit in 0..9 {
                 let line = a.line_of_bit(bit);
                 assert!(!seen[line]);

@@ -4,9 +4,11 @@
 //! Usage: `cargo run --release -p tsv3d-experiments --bin fig2_sequential [--quick]`
 
 use tsv3d_experiments::fig2::{self, Fig2Array};
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
+    let tel = obs::for_binary("fig2_sequential");
     let quick = std::env::args().any(|a| a == "--quick");
     let cycles = if quick { 8_000 } else { 30_000 };
     println!("Fig. 2 — sequential data streams ({} cycles, reference: worst-case random assignment)\n", cycles);
@@ -15,13 +17,17 @@ fn main() {
             array.label(),
             &["P_red optimal [%]", "P_red Spiral [%]"],
         );
-        for p in fig2::sweep(array, cycles, quick) {
+        let sweep = {
+            let _span = tel.span("fig2.sweep");
+            fig2::sweep(array, cycles, quick)
+        };
+        for p in sweep {
             table.row(
                 &format!("branch p = {:>7.4}", p.branch_probability),
                 &[p.reduction_optimal, p.reduction_spiral],
             );
         }
-        println!("{}", table.render());
+        println!("{}", table.render_timed(&tel));
         let csv_name = format!("fig2_{}", array.label().split_whitespace().next().unwrap_or("array"));
         if let Ok(Some(path)) = table::write_csv_if_requested(&table, &csv_name) {
             println!("(csv written to {})", path.display());
@@ -29,4 +35,5 @@ fn main() {
     }
     println!("Paper shape: optimal ≈ Spiral across the sweep; the reduction shrinks as the");
     println!("branch probability approaches 1 (uncorrelated data leaves nothing to exploit).");
+    obs::finish(&tel);
 }

@@ -5,9 +5,11 @@
 //! Usage: `cargo run --release -p tsv3d-experiments --bin fig3_gaussian [--quick]`
 
 use tsv3d_experiments::fig3::{self, RHOS};
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
+    let tel = obs::for_binary("fig3_gaussian");
     let quick = std::env::args().any(|a| a == "--quick");
     let cycles = if quick { 10_000 } else { 30_000 };
     println!(
@@ -23,13 +25,13 @@ fn main() {
             &format!("Fig. {panel}  (rho = {rho:+.1})"),
             &["P_red optimal [%]", "P_red Sawtooth [%]", "P_red Spiral [%]"],
         );
-        for p in fig3::sweep(rho, cycles, quick) {
+        for p in fig3::sweep_with_telemetry(rho, cycles, quick, &tel) {
             table.row(
                 &format!("sigma = {:>7.0}", p.sigma),
                 &[p.reduction_optimal, p.reduction_sawtooth, p.reduction_spiral],
             );
         }
-        println!("{}", table.render());
+        println!("{}", table.render_timed(&tel));
         if let Ok(Some(path)) = table::write_csv_if_requested(&table, &format!("fig3_{panel}")) {
             println!("(csv written to {})", path.display());
         }
@@ -37,4 +39,5 @@ fn main() {
     println!("Paper shape: Sawtooth ≈ optimal for rho <= 0 (biggest gains for negative rho);");
     println!("for positive rho neither systematic mapping reaches the optimum, but both beat");
     println!("poor assignments; gains shrink as sigma approaches full scale.");
+    obs::finish(&tel);
 }

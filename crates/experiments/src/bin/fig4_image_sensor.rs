@@ -4,10 +4,12 @@
 //! Usage: `cargo run --release -p tsv3d-experiments --bin fig4_image_sensor [--quick]`
 
 use tsv3d_experiments::fig4;
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::{self, TextTable};
 use tsv3d_stats::gen::ImageSensor;
 
 fn main() {
+    let tel = obs::for_binary("fig4_image_sensor");
     let quick = std::env::args().any(|a| a == "--quick");
     let sensor = if quick {
         ImageSensor::new(48, 32)
@@ -24,7 +26,11 @@ fn main() {
         "scenario / geometry",
         &["P_red optimal [%]", "P_red Spiral [%]"],
     );
-    for p in fig4::sweep(&sensor, quick) {
+    let sweep = {
+        let _span = tel.span("fig4.sweep");
+        fig4::sweep(&sensor, quick)
+    };
+    for p in sweep {
         let geom = format!(
             "r={:.0}um d={:.0}um",
             p.geometry.radius * 1e6,
@@ -35,11 +41,12 @@ fn main() {
             &[p.reduction_optimal, p.reduction_spiral],
         );
     }
-    println!("{}", table.render());
+    println!("{}", table.render_timed(&tel));
     if let Ok(Some(path)) = table::write_csv_if_requested(&table, "fig4_image_sensor") {
         println!("(csv written to {})", path.display());
     }
     println!("Paper shape: Spiral nearly optimal without stable lines (11-13 % reduction, ~5 %");
     println!("for the multiplexed colours); with stable lines the optimal assignment gains a");
     println!("few extra percentage points by exploiting inversions and stable-line coupling.");
+    obs::finish(&tel);
 }

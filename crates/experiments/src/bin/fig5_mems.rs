@@ -5,9 +5,11 @@
 //! Usage: `cargo run --release -p tsv3d-experiments --bin fig5_mems [--quick]`
 
 use tsv3d_experiments::fig5;
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
+    let tel = obs::for_binary("fig5_mems");
     let quick = std::env::args().any(|a| a == "--quick");
     let samples = if quick { 2_000 } else { 3_900 };
     println!(
@@ -19,17 +21,22 @@ fn main() {
         "scenario",
         &["P_red optimal [%]", "P_red Sawtooth [%]", "P_red Spiral [%]"],
     );
-    for p in fig5::sweep(samples, quick) {
+    let sweep = {
+        let _span = tel.span("fig5.sweep");
+        fig5::sweep(samples, quick)
+    };
+    for p in sweep {
         table.row(
             &p.scenario.label(),
             &[p.reduction_optimal, p.reduction_sawtooth, p.reduction_spiral],
         );
     }
-    println!("{}", table.render());
+    println!("{}", table.render_timed(&tel));
     if let Ok(Some(path)) = table::write_csv_if_requested(&table, "fig5_mems") {
         println!("(csv written to {})", path.display());
     }
     println!("Paper shape: interleaved (XYZ) streams — Sawtooth only slightly below optimal;");
     println!("RMS streams (unsigned, temporally correlated) — Spiral clearly beats Sawtooth");
     println!("but tops out lower than the interleaved case.");
+    obs::finish(&tel);
 }

@@ -6,9 +6,11 @@
 //! Usage: `cargo run --release -p tsv3d-experiments --bin fig6_circuit [--quick]`
 
 use tsv3d_experiments::fig6;
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
+    let tel = obs::for_binary("fig6_circuit");
     let quick = std::env::args().any(|a| a == "--quick");
     let samples = if quick { 600 } else { 3_900 };
     println!(
@@ -19,14 +21,17 @@ fn main() {
         "data stream",
         &["P plain [mW]", "P + opt. assignment [mW]", "reduction [%]"],
     );
-    let points = fig6::sweep(samples, quick);
+    let points = {
+        let _span = tel.span("fig6.sweep");
+        fig6::sweep(samples, quick)
+    };
     for p in &points {
         table.row(
             p.stream.label(),
             &[p.power_plain_mw, p.power_assigned_mw, p.reduction()],
         );
     }
-    println!("{}", table.render());
+    println!("{}", table.render_timed(&tel));
     if let Ok(Some(path)) = table::write_csv_if_requested(&table, "fig6_circuit") {
         println!("(csv written to {})", path.display());
     }
@@ -67,4 +72,5 @@ fn main() {
         "  RGB mux:     correlator + opt. assign.  {:6.1} %   (paper: 41.0 %)",
         (1.0 - corr.power_assigned_mw / rgb.power_plain_mw) * 100.0
     );
+    obs::finish(&tel);
 }

@@ -5,14 +5,19 @@
 //!
 //! Usage: `cargo run --release -p tsv3d-experiments --bin tab_businvert [--quick]`
 
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::TextTable;
 use tsv3d_experiments::tables;
 
 fn main() {
+    let tel = obs::for_binary("tab_businvert");
     let quick = std::env::args().any(|a| a == "--quick");
     let cycles = if quick { 3_000 } else { 20_000 };
     println!("Bus-invert on TSVs — uniform 8 b data, r=1um d=4um, 3 GHz ({cycles} cycles)\n");
-    let study = tables::bus_invert_on_tsvs(cycles);
+    let study = {
+        let _span = tel.span("tab.businvert");
+        tables::bus_invert_on_tsvs(cycles)
+    };
     let mut table = TextTable::new("variant", &["power [mW @ 8b/cyc]", "Σ self-switching"]);
     table.row("plain 8b on 2x4", &[study.plain_mw, study.plain_switching]);
     table.row("bus-invert 9b on 3x3", &[study.coded_mw, study.coded_switching]);
@@ -20,7 +25,7 @@ fn main() {
         "bus-invert + opt. assignment",
         &[study.coded_assigned_mw, study.coded_switching],
     );
-    println!("{}", table.render());
+    println!("{}", table.render_timed(&tel));
     println!(
         "switching saved by the code: {:.1} %   TSV power saved by the code: {:.1} %",
         (1.0 - study.coded_switching / study.plain_switching) * 100.0,
@@ -30,4 +35,5 @@ fn main() {
         "extra saving from the bit-to-TSV assignment (free): {:.1} %",
         study.assignment_gain_pct()
     );
+    obs::finish(&tel);
 }

@@ -4,18 +4,25 @@
 //!
 //! Usage: `cargo run --release -p tsv3d-experiments --bin tab_capmodel`
 
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::TextTable;
 use tsv3d_experiments::tables;
 use tsv3d_model::TsvGeometry;
 
 fn main() {
+    let tel = obs::for_binary("tab_capmodel");
     println!("Secs. 2-4 — capacitance-model validation (4x4 arrays)\n");
     let mut table = TextTable::new(
         "quantity",
         &["r=1um d=4um", "r=2um d=8um", "paper/ref"],
     );
-    let a = tables::cap_model_checks(TsvGeometry::itrs_2018_min());
-    let b = tables::cap_model_checks(TsvGeometry::wide_2018());
+    let (a, b) = {
+        let _span = tel.span("tab.capmodel");
+        (
+            tables::cap_model_checks(TsvGeometry::itrs_2018_min()),
+            tables::cap_model_checks(TsvGeometry::wide_2018()),
+        )
+    };
     table.row(
         "linear C(p) fit NRMSE [%]",
         &[a.linear_nrmse * 100.0, b.linear_nrmse * 100.0, 2.0],
@@ -32,8 +39,9 @@ fn main() {
         "direct/diagonal coupling",
         &[a.direct_to_diagonal, b.direct_to_diagonal, 1.0],
     );
-    println!("{}", table.render());
+    println!("{}", table.render_timed(&tel));
     println!("Expected structure: NRMSE small (near-linear C(p)); sizeable MOS reduction");
     println!("(up to ~40 % for the minimum geometry); corner totals below middle totals");
     println!("(< 1.0); direct couplings clearly above diagonal ones (> 1.0).");
+    obs::finish(&tel);
 }

@@ -6,9 +6,11 @@
 //! Usage: `cargo run --release -p tsv3d-experiments --bin tab_crosstalk [--quick]`
 
 use tsv3d_experiments::crosstalk;
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
+    let tel = obs::for_binary("tab_crosstalk");
     let quick = std::env::args().any(|a| a == "--quick");
     let cycles = if quick { 2_000 } else { 20_000 };
     println!("Crosstalk study — uniform 8 b data, r=1um d=4um, 3 GHz ({cycles} cycles)\n");
@@ -16,7 +18,11 @@ fn main() {
         "variant",
         &["lines", "P [mW @8b/cyc]", "observed dV/Vdd", "worst-case dV/Vdd"],
     );
-    for p in crosstalk::study(cycles, quick) {
+    let study = {
+        let _span = tel.span("tab.crosstalk");
+        crosstalk::study(cycles, quick)
+    };
+    for p in study {
         table.row(
             p.label,
             &[
@@ -27,7 +33,7 @@ fn main() {
             ],
         );
     }
-    println!("{}", table.render());
+    println!("{}", table.render_timed(&tel));
     if let Ok(Some(path)) = table::write_csv_if_requested(&table, "tab_crosstalk") {
         println!("(csv written to {})", path.display());
     }
@@ -35,4 +41,5 @@ fn main() {
     println!("which does not map onto the 2-D TSV array — the observed victim noise stays");
     println!("in the same band while the 4 extra TSVs cost ~30 % power. The assignment");
     println!("reduces power on the original array with no SI penalty (paper Sec. 1).");
+    obs::finish(&tel);
 }

@@ -5,15 +5,21 @@
 //! Usage: `cargo run --release -p tsv3d-experiments --bin tab_geometry [--quick]`
 
 use tsv3d_experiments::geometry;
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
+    let tel = obs::for_binary("tab_geometry");
     let quick = std::env::args().any(|a| a == "--quick");
     let cycles = if quick { 6_000 } else { 30_000 };
     println!("Geometry sweep — 4x4 array, sequential stream (branch p = 0.01), {cycles} cycles");
     println!("(reference: worst-case random assignment)\n");
     let mut table = TextTable::new("geometry", &["P_red optimal [%]", "P_red Spiral [%]"]);
-    for p in geometry::sweep(cycles, quick) {
+    let sweep = {
+        let _span = tel.span("tab.geometry");
+        geometry::sweep(cycles, quick)
+    };
+    for p in sweep {
         table.row(
             &format!(
                 "r = {:.1} um, d = {:4.1} um",
@@ -23,10 +29,11 @@ fn main() {
             &[p.reduction_optimal, p.reduction_spiral],
         );
     }
-    println!("{}", table.render());
+    println!("{}", table.render_timed(&tel));
     if let Ok(Some(path)) = table::write_csv_if_requested(&table, "tab_geometry") {
         println!("(csv written to {})", path.display());
     }
     println!("Paper claim: thicker TSVs / wider pitches gain even more (up to 48 % quoted");
     println!("for r = 2 um, d = 8 um at circuit level).");
+    obs::finish(&tel);
 }

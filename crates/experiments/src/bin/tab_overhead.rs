@@ -4,18 +4,24 @@
 //!
 //! Usage: `cargo run --release -p tsv3d-experiments --bin tab_overhead`
 
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::TextTable;
 use tsv3d_experiments::tables;
 
 fn main() {
+    let tel = obs::for_binary("tab_overhead");
     println!("Sec. 3 — local-routing overhead, 3x3 array, r=2um, minimum pitch 8um");
     println!("(all {} assignments, Manhattan escape-routing model)\n", 362_880);
-    let stats = tables::routing_overhead();
+    let stats = {
+        let _span = tel.span("tab.overhead");
+        tables::routing_overhead()
+    };
     let mut table = TextTable::new("quantity", &["ours [%]", "paper [%]"]);
     table.row("worst-case parasitic increase", &[stats.max * 100.0, 0.4]);
     table.row("mean parasitic increase", &[stats.mean * 100.0, 0.2]);
     table.row("std of parasitic increase", &[stats.std * 100.0, 0.1]);
-    println!("{}", table.render());
+    println!("{}", table.render_timed(&tel));
     println!("Claim reproduced: the local bit-to-TSV reassignment is negligible against the");
     println!("TSV-dominated path parasitics (all numbers well below a few percent).");
+    obs::finish(&tel);
 }

@@ -4,22 +4,28 @@
 //!
 //! Usage: `cargo run --release -p tsv3d-experiments --bin tab_pareto [--quick]`
 
+use tsv3d_experiments::obs;
 use tsv3d_experiments::pareto;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
+    let tel = obs::for_binary("tab_pareto");
     let quick = std::env::args().any(|a| a == "--quick");
     let cycles = if quick { 8_000 } else { 20_000 };
     println!("Power/SI trade-off — Gaussian 16 b (rho = 0.4), 4x4 r=1um d=4um ({cycles} cycles)");
     println!("(objective: P + lambda * crosstalk_activity; reductions vs mean random)\n");
     let mut t = TextTable::new("lambda", &["P_red [%]", "X_red [%]"]);
-    for p in pareto::sweep(cycles, quick) {
+    let sweep = {
+        let _span = tel.span("tab.pareto");
+        pareto::sweep(cycles, quick)
+    };
+    for p in sweep {
         t.row(
             &format!("{:4.1}", p.lambda),
             &[p.power_reduction, p.crosstalk_reduction],
         );
     }
-    println!("{}", t.render());
+    println!("{}", t.render_timed(&tel));
     if let Ok(Some(path)) = table::write_csv_if_requested(&t, "tab_pareto") {
         println!("(csv written to {})", path.display());
     }
@@ -28,4 +34,5 @@ fn main() {
     println!("objectives (both penalise opposite transitions on strong couplings), so the");
     println!("power-optimal assignment is SI-friendly for free — no CAC overhead needed");
     println!("to avoid worsening crosstalk.");
+    obs::finish(&tel);
 }

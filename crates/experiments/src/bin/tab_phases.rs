@@ -4,18 +4,23 @@
 //!
 //! Usage: `cargo run --release -p tsv3d-experiments --bin tab_phases [--quick]`
 
+use tsv3d_experiments::obs;
 use tsv3d_experiments::phases;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
+    let tel = obs::for_binary("tab_phases");
     let quick = std::env::args().any(|a| a == "--quick");
     let samples = if quick { 800 } else { 3_900 };
     println!("Phased workload study — Sensor Seq. (9 phases x {samples} cycles), 4x4 r=2um d=8um\n");
-    let s = phases::study(samples, quick);
+    let s = {
+        let _span = tel.span("tab.phases");
+        phases::study(samples, quick)
+    };
     let mut t = TextTable::new("mapping", &["P_red vs random [%]"]);
     t.row("fixed (paper's setting)", &[s.fixed_reduction()]);
     t.row("re-optimized per phase", &[s.per_phase_reduction()]);
-    println!("{}", t.render());
+    println!("{}", t.render_timed(&tel));
     if let Ok(Some(path)) = table::write_csv_if_requested(&t, "tab_phases") {
         println!("(csv written to {})", path.display());
     }
@@ -26,4 +31,5 @@ fn main() {
     );
     println!("Reading: the fixed mapping keeps most of the reconfigurable upper bound,");
     println!("supporting the paper's zero-overhead design point.");
+    obs::finish(&tel);
 }

@@ -4,17 +4,23 @@
 //!
 //! Usage: `cargo run --release -p tsv3d-experiments --bin tab_redundancy [--quick]`
 
+use tsv3d_experiments::obs;
 use tsv3d_experiments::redundancy;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
+    let tel = obs::for_binary("tab_redundancy");
     let quick = std::env::args().any(|a| a == "--quick");
     println!("Redundant-via repair — RGB mux + spare on 3x3, r=1um d=4um\n");
     let mut t = TextTable::new(
         "failed via",
         &["healthy", "naive repair", "re-optimized", "naive +%", "reopt gain %"],
     );
-    for s in redundancy::sweep(quick) {
+    let sweep = {
+        let _span = tel.span("tab.redundancy");
+        redundancy::sweep(quick)
+    };
+    for s in sweep {
         t.row(
             &format!("via {} ({})", s.failed_via, match s.failed_via {
                 0 | 2 | 6 | 8 => "corner",
@@ -30,7 +36,7 @@ fn main() {
             ],
         );
     }
-    println!("{}", t.render());
+    println!("{}", t.render_timed(&tel));
     println!("(powers in fF of normalised switched capacitance)");
     if let Ok(Some(path)) = table::write_csv_if_requested(&t, "tab_redundancy") {
         println!("(csv written to {})", path.display());
@@ -39,4 +45,5 @@ fn main() {
     println!("placement; re-optimising with the dead via pinned to the spare line");
     println!("recovers most of it — the repair should re-run the assignment, not");
     println!("just patch the routing.");
+    obs::finish(&tel);
 }

@@ -4,10 +4,12 @@
 //!
 //! Usage: `cargo run --release -p tsv3d-experiments --bin tab_variation [--quick]`
 
+use tsv3d_experiments::obs;
 use tsv3d_experiments::table::{self, TextTable};
 use tsv3d_experiments::variation;
 
 fn main() {
+    let tel = obs::for_binary("tab_variation");
     let quick = std::env::args().any(|a| a == "--quick");
     let instances = if quick { 6 } else { 20 };
     println!("Process-variation robustness — 4x4 r=1um d=4um, sequential stream");
@@ -17,7 +19,10 @@ fn main() {
         &["nominal assign. [%]", "re-optimized [%]", "worst nominal [%]"],
     );
     for sigma in [0.05, 0.10, 0.20] {
-        let s = variation::study(sigma, instances, quick);
+        let s = {
+            let _span = tel.span("tab.variation");
+            variation::study(sigma, instances, quick)
+        };
         t.row(
             &format!("{:.0} %", sigma * 100.0),
             &[
@@ -27,10 +32,11 @@ fn main() {
             ],
         );
     }
-    println!("{}", t.render());
+    println!("{}", t.render_timed(&tel));
     if let Ok(Some(path)) = table::write_csv_if_requested(&t, "tab_variation") {
         println!("(csv written to {})", path.display());
     }
     println!("Reading: the design-time assignment is robust — it keeps nearly the whole");
     println!("gain under realistic capacitance jitter, so no per-die tuning is needed.");
+    obs::finish(&tel);
 }

@@ -35,6 +35,7 @@
 
 use tsv3d_core::{optimize, systematic, AssignmentProblem, SignedPerm};
 use tsv3d_experiments::common;
+use tsv3d_experiments::obs::{self, TelemetryHandle};
 use tsv3d_model::{
     io, noise, Extractor, PositionClass, TsvArray, TsvGeometry, TsvRcNetlist,
 };
@@ -191,12 +192,17 @@ fn generate_stream(opts: &Options) -> Result<BitStream, String> {
     }
 }
 
-fn solve(problem: &AssignmentProblem, method: Method) -> Result<(SignedPerm, &'static str), String> {
+fn solve(
+    problem: &AssignmentProblem,
+    method: Method,
+    tel: &TelemetryHandle,
+) -> Result<(SignedPerm, &'static str), String> {
+    let _span = tel.span("cli.solve");
     match method {
-        Method::Anneal => optimize::anneal(problem, &common::anneal_options())
+        Method::Anneal => optimize::anneal_with_telemetry(problem, &common::anneal_options(), tel)
             .map(|r| (r.assignment, "simulated annealing"))
             .map_err(|e| e.to_string()),
-        Method::Bnb => optimize::branch_and_bound(problem, &Default::default())
+        Method::Bnb => optimize::branch_and_bound_with_telemetry(problem, &Default::default(), tel)
             .map(|o| {
                 (
                     o.result.assignment,
@@ -263,7 +269,7 @@ fn report_assignment(
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn run(tel: &TelemetryHandle) -> Result<(), String> {
     let opts = parse_args()?;
     let array =
         TsvArray::new(opts.rows, opts.cols, opts.geometry).map_err(|e| e.to_string())?;
@@ -271,13 +277,16 @@ fn run() -> Result<(), String> {
 
     match opts.command {
         Command::Assign => {
-            let stream = generate_stream(&opts)?;
-            let problem = AssignmentProblem::new(
-                SwitchingStats::from_stream(&stream),
-                common::cap_model(opts.rows, opts.cols, opts.geometry),
-            )
-            .map_err(|e| e.to_string())?;
-            let (assignment, method_name) = solve(&problem, opts.method)?;
+            let problem = {
+                let _span = tel.span("cli.problem_build");
+                let stream = generate_stream(&opts)?;
+                AssignmentProblem::new(
+                    SwitchingStats::from_stream(&stream),
+                    common::cap_model(opts.rows, opts.cols, opts.geometry),
+                )
+                .map_err(|e| e.to_string())?
+            };
+            let (assignment, method_name) = solve(&problem, opts.method, tel)?;
             report_assignment(&opts, &array, &problem, &assignment, method_name)
         }
         Command::Eval => {
@@ -341,7 +350,10 @@ fn run() -> Result<(), String> {
 }
 
 fn main() {
-    if let Err(message) = run() {
+    let tel = obs::for_binary("tsv3d");
+    let outcome = run(&tel);
+    obs::finish(&tel);
+    if let Err(message) = outcome {
         eprintln!("error: {message}");
         eprintln!("run `tsv3d assign` with no options for defaults; see the module docs for usage");
         std::process::exit(1);

@@ -11,6 +11,7 @@ use crate::common;
 use tsv3d_core::{optimize, systematic};
 use tsv3d_model::TsvGeometry;
 use tsv3d_stats::gen::GaussianSource;
+use tsv3d_telemetry::{TelemetryHandle, Value};
 
 /// One point of Fig. 3.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,34 +36,110 @@ pub const RHOS: [f64; 5] = [0.0, -0.6, -0.3, 0.3, 0.6];
 
 /// Computes one Fig. 3 point.
 pub fn point(sigma: f64, rho: f64, cycles: usize, quick: bool) -> Fig3Point {
-    let stream = GaussianSource::new(16, sigma)
-        .with_correlation(rho)
-        .generate(0xF1_63, cycles)
-        .expect("generation succeeds");
-    let problem = common::problem(&stream, common::cap_model(4, 4, TsvGeometry::wide_2018()));
+    point_with_telemetry(sigma, rho, cycles, quick, &TelemetryHandle::disabled())
+}
+
+/// [`point`] with instrumentation: the generation/optimisation/baseline
+/// stages report spans on `tel`, the optimiser streams its per-epoch
+/// telemetry, and an *anytime* node-capped branch-and-bound cross-check
+/// runs alongside the annealer. The cross-check only runs when `tel` is
+/// enabled — B&B is deterministic and RNG-free, so gating it cannot
+/// perturb the annealed result — keeping the default runtime unchanged.
+pub fn point_with_telemetry(
+    sigma: f64,
+    rho: f64,
+    cycles: usize,
+    quick: bool,
+    tel: &TelemetryHandle,
+) -> Fig3Point {
+    let problem = {
+        let _span = tel.span("flow.problem_build");
+        let stream = GaussianSource::new(16, sigma)
+            .with_correlation(rho)
+            .generate(0xF1_63, cycles)
+            .expect("generation succeeds");
+        common::problem(&stream, common::cap_model(4, 4, TsvGeometry::wide_2018()))
+    };
     let opts = if quick {
         common::anneal_options_quick()
     } else {
         common::anneal_options()
     };
-    let optimal = optimize::anneal(&problem, &opts).expect("non-empty budget").power;
-    let sawtooth = problem.power(&systematic::sawtooth(&problem));
-    let spiral = problem.power(&systematic::spiral(&problem));
-    let random = optimize::random_mean(&problem, 300, 0xF1_63).expect("non-empty budget");
-    Fig3Point {
+    let optimal = {
+        let _span = tel.span("flow.optimize");
+        optimize::anneal_with_telemetry(&problem, &opts, tel)
+            .expect("non-empty budget")
+            .power
+    };
+    if tel.is_enabled() {
+        // A full 16-line exact search is intractable; a small node budget
+        // still exercises the bound machinery and yields an incumbent to
+        // sanity-check the annealer against.
+        let bnb = optimize::branch_and_bound_with_telemetry(
+            &problem,
+            &optimize::BnbOptions { node_limit: 5_000 },
+            tel,
+        )
+        .expect("non-zero node budget");
+        tel.event(
+            "fig3.bnb_crosscheck",
+            &[
+                ("sigma", Value::from(sigma)),
+                ("rho", Value::from(rho)),
+                ("anneal_power", Value::from(optimal)),
+                ("bnb_power", Value::from(bnb.result.power)),
+                ("proven_optimal", Value::from(bnb.proven_optimal)),
+            ],
+        );
+    }
+    let (sawtooth, spiral) = {
+        let _span = tel.span("flow.systematic");
+        (
+            problem.power(&systematic::sawtooth(&problem)),
+            problem.power(&systematic::spiral(&problem)),
+        )
+    };
+    let random = {
+        let _span = tel.span("flow.random_baseline");
+        optimize::random_mean(&problem, 300, 0xF1_63).expect("non-empty budget")
+    };
+    let p = Fig3Point {
         sigma,
         rho,
         reduction_optimal: common::reduction_pct(optimal, random),
         reduction_sawtooth: common::reduction_pct(sawtooth, random),
         reduction_spiral: common::reduction_pct(spiral, random),
+    };
+    if tel.is_enabled() {
+        tel.event(
+            "fig3.point",
+            &[
+                ("sigma", Value::from(sigma)),
+                ("rho", Value::from(rho)),
+                ("reduction_optimal_pct", Value::from(p.reduction_optimal)),
+                ("reduction_sawtooth_pct", Value::from(p.reduction_sawtooth)),
+                ("reduction_spiral_pct", Value::from(p.reduction_spiral)),
+            ],
+        );
     }
+    p
 }
 
 /// The full σ sweep for one correlation setting.
 pub fn sweep(rho: f64, cycles: usize, quick: bool) -> Vec<Fig3Point> {
+    sweep_with_telemetry(rho, cycles, quick, &TelemetryHandle::disabled())
+}
+
+/// [`sweep`] with instrumentation (see [`point_with_telemetry`]).
+pub fn sweep_with_telemetry(
+    rho: f64,
+    cycles: usize,
+    quick: bool,
+    tel: &TelemetryHandle,
+) -> Vec<Fig3Point> {
     SIGMAS
         .iter()
-        .map(|&s| point(s, rho, cycles, quick))
+        .map(|&s| point_with_telemetry(s, rho, cycles, quick, tel))
         .collect()
 }
 
@@ -91,6 +168,25 @@ mod tests {
         let pos = point(1000.0, 0.6, 10_000, true);
         assert!(neg.reduction_sawtooth > pos.reduction_sawtooth, "{neg:?} vs {pos:?}");
         assert!(neg.reduction_sawtooth > 0.0);
+    }
+
+    #[test]
+    fn instrumented_point_is_identical_and_runs_the_crosscheck() {
+        let plain = point(1000.0, 0.0, 4_000, true);
+        let tel = TelemetryHandle::with_sink(Box::new(tsv3d_telemetry::NullSink));
+        let observed = point_with_telemetry(1000.0, 0.0, 4_000, true, &tel);
+        assert_eq!(plain, observed);
+        assert!(tel.counter_value("anneal.proposals").unwrap_or(0) > 0);
+        assert!(tel.counter_value("bnb.nodes").unwrap_or(0) > 0);
+        for stage in [
+            "flow.problem_build",
+            "flow.optimize",
+            "core.bnb",
+            "flow.systematic",
+            "flow.random_baseline",
+        ] {
+            assert_eq!(tel.histogram(stage).map(|h| h.count()), Some(1), "{stage}");
+        }
     }
 
     #[test]

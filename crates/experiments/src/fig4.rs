@@ -136,7 +136,7 @@ pub fn build_problem(
 
 /// Computes one Fig. 4 bar group.
 pub fn point(scenario: Fig4Scenario, geometry: TsvGeometry, sensor: &ImageSensor, quick: bool) -> Fig4Point {
-    let problem = build_problem(scenario, geometry, sensor, 0xF1_64);
+    let problem = build_problem(scenario, geometry, sensor, 0xF164);
     let opts = if quick {
         common::anneal_options_quick()
     } else {
@@ -144,7 +144,7 @@ pub fn point(scenario: Fig4Scenario, geometry: TsvGeometry, sensor: &ImageSensor
     };
     let optimal = optimize::anneal(&problem, &opts).expect("non-empty budget").power;
     let spiral = problem.power(&systematic::spiral(&problem));
-    let random = optimize::random_mean(&problem, 300, 0xF1_64).expect("non-empty budget");
+    let random = optimize::random_mean(&problem, 300, 0xF164).expect("non-empty budget");
     Fig4Point {
         scenario,
         geometry,
@@ -199,13 +199,13 @@ mod tests {
         // scenario (which is the one lever multiplexing leaves intact).
         let s = sensor();
         let par = point(Fig4Scenario::RgbParallel, TsvGeometry::itrs_2018_min(), &s, true);
-        let mux_stream = s.rgb_mux_stream(0xF1_64).unwrap();
+        let mux_stream = s.rgb_mux_stream(0xF164).unwrap();
         let mux_problem = common::problem(
             &mux_stream,
             common::cap_model(2, 4, TsvGeometry::itrs_2018_min()),
         );
         let spiral = mux_problem.power(&tsv3d_core::systematic::spiral(&mux_problem));
-        let random = optimize::random_mean(&mux_problem, 300, 0xF1_64).unwrap();
+        let random = optimize::random_mean(&mux_problem, 300, 0xF164).unwrap();
         let mux_spiral_red = common::reduction_pct(spiral, random);
         assert!(
             mux_spiral_red < par.reduction_spiral,

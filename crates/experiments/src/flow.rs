@@ -10,6 +10,7 @@ use tsv3d_circuit::{DriverModel, TsvLink};
 use tsv3d_core::{optimize, systematic, AssignmentProblem, SignedPerm};
 use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry, TsvRcNetlist};
 use tsv3d_stats::{BitStream, SwitchingStats};
+use tsv3d_telemetry::{TelemetryHandle, Value};
 
 /// The analysis flow configuration.
 #[derive(Debug, Clone)]
@@ -19,6 +20,7 @@ pub struct Flow {
     anneal: optimize::AnnealOptions,
     clock: f64,
     circuit: bool,
+    tel: TelemetryHandle,
 }
 
 /// Everything the flow produces for one stream.
@@ -73,14 +75,39 @@ impl Flow {
         cols: usize,
         geometry: TsvGeometry,
     ) -> Result<Self, Box<dyn std::error::Error>> {
-        let array = TsvArray::new(rows, cols, geometry)?;
-        let cap = LinearCapModel::fit(&Extractor::new(array.clone()))?;
+        Self::with_telemetry(rows, cols, geometry, &TelemetryHandle::disabled())
+    }
+
+    /// [`Flow::new`] with instrumentation: the extraction stage of the
+    /// constructor and every stage of [`Flow::analyze`] report spans
+    /// (`flow.extract`, `flow.problem_build`, `flow.optimize`,
+    /// `flow.systematic`, `flow.random_baseline`,
+    /// `flow.circuit_validation`) on `tel`, and the optimiser streams
+    /// its per-epoch telemetry through the same handle. A disabled
+    /// handle reproduces [`Flow::new`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry/extraction errors as boxed errors.
+    pub fn with_telemetry(
+        rows: usize,
+        cols: usize,
+        geometry: TsvGeometry,
+        tel: &TelemetryHandle,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let (array, cap) = {
+            let _span = tel.span("flow.extract");
+            let array = TsvArray::new(rows, cols, geometry)?;
+            let cap = LinearCapModel::fit(&Extractor::new(array.clone()))?;
+            (array, cap)
+        };
         Ok(Self {
             array,
             cap,
             anneal: optimize::AnnealOptions::default(),
             clock: 3.0e9,
             circuit: false,
+            tel: tel.clone(),
         })
     }
 
@@ -108,14 +135,30 @@ impl Flow {
     ///
     /// Propagates dimension mismatches and simulator errors.
     pub fn analyze(&self, stream: &BitStream) -> Result<FlowReport, Box<dyn std::error::Error>> {
-        let stats = SwitchingStats::from_stream(stream);
-        let problem = AssignmentProblem::new(stats.clone(), self.cap.clone())?;
-        let best = optimize::anneal(&problem, &self.anneal)?;
-        let spiral_power = problem.power(&systematic::spiral(&problem));
-        let sawtooth_power = problem.power(&systematic::sawtooth(&problem));
-        let random_power = optimize::random_mean(&problem, 300, self.anneal.seed)?;
+        let tel = &self.tel;
+        let problem = {
+            let _span = tel.span("flow.problem_build");
+            let stats = SwitchingStats::from_stream(stream);
+            AssignmentProblem::new(stats, self.cap.clone())?
+        };
+        let best = {
+            let _span = tel.span("flow.optimize");
+            optimize::anneal_with_telemetry(&problem, &self.anneal, tel)?
+        };
+        let (spiral_power, sawtooth_power) = {
+            let _span = tel.span("flow.systematic");
+            (
+                problem.power(&systematic::spiral(&problem)),
+                problem.power(&systematic::sawtooth(&problem)),
+            )
+        };
+        let random_power = {
+            let _span = tel.span("flow.random_baseline");
+            optimize::random_mean(&problem, 300, self.anneal.seed)?
+        };
 
         let (circuit_power, circuit_power_plain) = if self.circuit {
+            let _span = tel.span("flow.circuit_validation");
             let simulate = |s: &BitStream| -> Result<f64, Box<dyn std::error::Error>> {
                 let probs = SwitchingStats::from_stream(s);
                 let cap = Extractor::new(self.array.clone())
@@ -124,13 +167,29 @@ impl Flow {
                     TsvRcNetlist::from_extraction(&self.array, cap),
                     DriverModel::ptm_22nm_strength6(),
                 )?;
-                Ok(link.simulate(s, self.clock)?.mean_power())
+                Ok(link.simulate_with_telemetry(s, self.clock, tel)?.mean_power())
             };
             let assigned = common::assign_stream(stream, &best.assignment);
             (Some(simulate(&assigned)?), Some(simulate(stream)?))
         } else {
             (None, None)
         };
+
+        if tel.is_enabled() {
+            tel.event(
+                "flow.report",
+                &[
+                    ("optimal_power", Value::from(best.power)),
+                    ("spiral_power", Value::from(spiral_power)),
+                    ("sawtooth_power", Value::from(sawtooth_power)),
+                    ("random_power", Value::from(random_power)),
+                    (
+                        "circuit_power_w",
+                        Value::from(circuit_power.unwrap_or(f64::NAN)),
+                    ),
+                ],
+            );
+        }
 
         Ok(FlowReport {
             optimal: best.assignment,
@@ -191,6 +250,41 @@ mod tests {
         let assigned = report.circuit_power.unwrap();
         let plain = report.circuit_power_plain.unwrap();
         assert!(assigned < plain, "assigned {assigned:.3e} !< plain {plain:.3e}");
+    }
+
+    #[test]
+    fn instrumented_flow_matches_uninstrumented_and_times_stages() {
+        let stream = SequentialSource::new(9, 0.02).unwrap().generate(1, 4_000).unwrap();
+        let plain = Flow::new(3, 3, TsvGeometry::itrs_2018_min())
+            .unwrap()
+            .with_anneal_options(common::anneal_options_quick())
+            .analyze(&stream)
+            .unwrap();
+        let tel = TelemetryHandle::with_sink(Box::new(tsv3d_telemetry::NullSink));
+        let observed = Flow::with_telemetry(3, 3, TsvGeometry::itrs_2018_min(), &tel)
+            .unwrap()
+            .with_anneal_options(common::anneal_options_quick())
+            .analyze(&stream)
+            .unwrap();
+        // Same seed ⇒ bit-identical results with or without telemetry.
+        assert_eq!(plain.optimal, observed.optimal);
+        assert_eq!(plain.optimal_power.to_bits(), observed.optimal_power.to_bits());
+        assert_eq!(plain.random_power.to_bits(), observed.random_power.to_bits());
+        // Every stage of the pipeline was timed exactly once.
+        for stage in [
+            "flow.extract",
+            "flow.problem_build",
+            "flow.optimize",
+            "flow.systematic",
+            "flow.random_baseline",
+        ] {
+            assert_eq!(
+                tel.histogram(stage).map(|h| h.count()),
+                Some(1),
+                "missing span for {stage}"
+            );
+        }
+        assert!(tel.counter_value("anneal.proposals").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -23,8 +23,10 @@
 //!
 //! The [`common`] module holds the shared plumbing (problem assembly,
 //! reduction bookkeeping, applying an assignment to a stream),
-//! [`flow`] the one-call analysis facade for downstream adopters, and
-//! [`table`] a small fixed-width table printer for the binaries.
+//! [`flow`] the one-call analysis facade for downstream adopters,
+//! [`table`] a small fixed-width table printer for the binaries, and
+//! [`obs`] the `TSV3D_TELEMETRY` observability switch shared by every
+//! binary (off by default; see the README's *Observability* section).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod obs;
 pub mod pareto;
 pub mod phases;
 pub mod redundancy;

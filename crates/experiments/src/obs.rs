@@ -1,0 +1,69 @@
+//! Observability plumbing shared by every experiment binary.
+//!
+//! One call at the top of `main` turns the `TSV3D_TELEMETRY`
+//! environment switch into a [`TelemetryHandle`]:
+//!
+//! | `TSV3D_TELEMETRY` | behaviour |
+//! |---|---|
+//! | unset / `off` / `0` | disabled — zero overhead, byte-identical output |
+//! | `json` | JSON lines to `results/<binary>_telemetry.jsonl` (or `TSV3D_TELEMETRY_PATH`) |
+//! | `stderr` | human-readable events on stderr |
+//!
+//! ```no_run
+//! let tel = tsv3d_experiments::obs::for_binary("fig3_gaussian");
+//! // ... run the experiment, passing `&tel` down ...
+//! tsv3d_experiments::obs::finish(&tel);
+//! ```
+
+pub use tsv3d_telemetry::{Span, TelemetryHandle, Value};
+
+/// Builds the process-wide telemetry handle for one experiment binary
+/// from the `TSV3D_TELEMETRY` environment switch and announces the run
+/// with a `run.start` event.
+pub fn for_binary(binary: &str) -> TelemetryHandle {
+    let tel = TelemetryHandle::from_env(binary);
+    if tel.is_enabled() {
+        tel.event("run.start", &[("binary", Value::from(binary))]);
+    }
+    tel
+}
+
+/// Ends an instrumented run: emits `run.done`, prints the aggregate
+/// summary (counters + timing digests) to stderr and flushes the sink.
+/// A disabled handle makes this a no-op.
+pub fn finish(tel: &TelemetryHandle) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.event(
+        "run.done",
+        &[("wall_seconds", Value::from(tel.elapsed_seconds()))],
+    );
+    eprintln!("{}", tel.summary());
+    tel.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_makes_finish_a_noop() {
+        // No env manipulation here (tests run in parallel): a disabled
+        // handle simply short-circuits.
+        let tel = TelemetryHandle::disabled();
+        finish(&tel); // must not print or panic
+        assert!(!tel.is_enabled());
+    }
+
+    #[test]
+    fn enabled_handle_survives_the_full_cycle() {
+        let tel = TelemetryHandle::with_sink(Box::new(tsv3d_telemetry::NullSink));
+        tel.add("demo.counter", 3);
+        {
+            let _s = tel.span("demo.stage");
+        }
+        finish(&tel);
+        assert_eq!(tel.counter_value("demo.counter"), Some(3));
+    }
+}

@@ -1,6 +1,7 @@
 //! A small fixed-width text-table printer for the experiment binaries.
 
 use std::fmt::Write as _;
+use tsv3d_telemetry::TelemetryHandle;
 
 /// A simple left-header, right-aligned-columns text table.
 ///
@@ -76,6 +77,24 @@ impl TextTable {
         out
     }
 
+    /// Renders the table like [`render`](TextTable::render), appending
+    /// a wall-clock timing footer when `tel` is enabled (i.e. when the
+    /// `TSV3D_TELEMETRY` switch is active). With telemetry off — the
+    /// default — the output is byte-identical to `render()`, keeping
+    /// recorded experiment outputs stable.
+    pub fn render_timed(&self, tel: &TelemetryHandle) -> String {
+        let mut out = self.render();
+        if tel.is_enabled() {
+            let _ = writeln!(
+                out,
+                "({} rows; +{:.3} s wall)",
+                self.rows.len(),
+                tel.elapsed_seconds()
+            );
+        }
+        out
+    }
+
     /// Renders the table as CSV (full precision).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -130,6 +149,18 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("x,a,b\n"));
         assert!(csv.contains("r1,1,2"));
+    }
+
+    #[test]
+    fn timed_render_is_identical_when_telemetry_is_off() {
+        let mut t = TextTable::new("x", &["a"]);
+        t.row("r1", &[1.0]);
+        let off = TelemetryHandle::disabled();
+        assert_eq!(t.render(), t.render_timed(&off));
+        let on = TelemetryHandle::with_sink(Box::new(tsv3d_telemetry::NullSink));
+        let timed = t.render_timed(&on);
+        assert!(timed.starts_with(&t.render()));
+        assert!(timed.contains("s wall)"), "footer missing: {timed}");
     }
 
     #[test]

@@ -76,13 +76,14 @@ impl TsvGeometry {
     /// [`ModelError::NonPositiveGeometry`] for non-positive parameters and
     /// [`ModelError::PitchTooSmall`] when vias would overlap.
     pub fn validate(&self) -> Result<(), ModelError> {
-        if !(self.radius > 0.0) {
+        // `<= 0.0 || is_nan` mirrors the old `!(x > 0.0)`: NaN must fail.
+        if self.radius <= 0.0 || self.radius.is_nan() {
             return Err(ModelError::NonPositiveGeometry { name: "radius" });
         }
-        if !(self.pitch > 0.0) {
+        if self.pitch <= 0.0 || self.pitch.is_nan() {
             return Err(ModelError::NonPositiveGeometry { name: "pitch" });
         }
-        if !(self.length > 0.0) {
+        if self.length <= 0.0 || self.length.is_nan() {
             return Err(ModelError::NonPositiveGeometry { name: "length" });
         }
         let min = 2.0 * self.oxide_outer_radius();

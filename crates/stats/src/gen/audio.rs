@@ -128,7 +128,11 @@ mod tests {
     fn msbs_are_spatially_correlated() {
         let s = AudioSource::new(16).unwrap().generate(7, 30_000).unwrap();
         let stats = SwitchingStats::from_stream(&s);
-        assert!(stats.coupling_switching(15, 14) > 0.05);
+        // Sign extension makes bits 15 and 14 toggle together: the
+        // sign bit is active, and its coupling with bit 14 is positive
+        // and captures essentially all of that activity.
+        assert!(stats.self_switching(15) > 0.02);
+        assert!(stats.coupling_switching(15, 14) > 0.9 * stats.self_switching(15));
     }
 
     #[test]

@@ -56,8 +56,8 @@ impl SwitchingStats {
 
         let len = stream.len();
         if len > 0 {
-            for i in 0..n {
-                probs[i] = stream.bit_probability(i);
+            for (i, p) in probs.iter_mut().enumerate() {
+                *p = stream.bit_probability(i);
             }
         }
         let mut joint = Matrix::zeros(n);

@@ -1,0 +1,436 @@
+//! `tsv3d-telemetry` — zero-dependency instrumentation for the tsv3d
+//! workspace.
+//!
+//! The optimisers (simulated annealing, branch-and-bound), the
+//! transient circuit engine and the experiment flow are hot loops that
+//! previously ran as black boxes. This crate provides the shared
+//! observability substrate they report into:
+//!
+//! * [`TelemetryHandle`] — a cheap, cloneable handle; a *disabled*
+//!   handle (the default everywhere) reduces every instrumentation
+//!   call to a branch on an `Option`, so uninstrumented runs pay
+//!   effectively nothing;
+//! * monotonic **span timers** ([`TelemetryHandle::span`]) feeding
+//!   per-name duration [`Histogram`]s;
+//! * **counters** ([`TelemetryHandle::add`]) and **value histograms**
+//!   ([`TelemetryHandle::record`]), log-bucketed;
+//! * a pluggable [`Sink`] for event streams: [`NullSink`] (default),
+//!   [`StderrSink`] (human-readable) and [`JsonLinesSink`]
+//!   (machine-readable `.jsonl`);
+//! * [`TelemetryHandle::from_env`] — the `TSV3D_TELEMETRY=json|stderr|off`
+//!   switch every reproduction binary uses.
+//!
+//! **Determinism contract:** telemetry only *observes*. No RNG draw,
+//! no floating-point value and no control-flow decision in the
+//! instrumented code may depend on the handle, so seeded runs produce
+//! bit-identical results with any sink attached (`tsv3d-core` enforces
+//! this with a property test).
+//!
+//! # Examples
+//!
+//! ```
+//! use tsv3d_telemetry::TelemetryHandle;
+//!
+//! let tel = TelemetryHandle::disabled();
+//! {
+//!     let _span = tel.span("stage.optimize"); // no-op: handle disabled
+//! }
+//! tel.add("nodes", 17);
+//! assert!(!tel.is_enabled());
+//! assert_eq!(tel.counter_value("nodes"), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod sink;
+
+pub use histogram::Histogram;
+pub use sink::{Event, JsonLinesSink, NullSink, Sink, StderrSink};
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A telemetry field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values serialise as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+struct Inner {
+    sink: Box<dyn Sink>,
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// Cheap, cloneable entry point to the telemetry registry.
+///
+/// A disabled handle (the workspace-wide default) makes every method a
+/// near-free early return; an enabled handle aggregates counters and
+/// histograms in a shared registry and forwards events to its sink.
+#[derive(Clone)]
+pub struct TelemetryHandle(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for TelemetryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for TelemetryHandle {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl TelemetryHandle {
+    /// The no-op handle: every instrumentation call is a cheap branch.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// An enabled handle forwarding events to `sink`.
+    pub fn with_sink(sink: Box<dyn Sink>) -> Self {
+        Self(Some(Arc::new(Inner {
+            sink,
+            epoch: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        })))
+    }
+
+    /// Builds a handle from the `TSV3D_TELEMETRY` environment switch:
+    ///
+    /// * `json` — [`JsonLinesSink`] writing
+    ///   `results/<context>_telemetry.jsonl` (or the file named by
+    ///   `TSV3D_TELEMETRY_PATH`);
+    /// * `stderr` — [`StderrSink`];
+    /// * `off`, empty or unset — disabled.
+    ///
+    /// Unknown values and sink-creation failures disable telemetry
+    /// with a warning on stderr rather than failing the run.
+    pub fn from_env(context: &str) -> Self {
+        match std::env::var("TSV3D_TELEMETRY").as_deref() {
+            Ok("json") => {
+                let path = std::env::var("TSV3D_TELEMETRY_PATH")
+                    .unwrap_or_else(|_| format!("results/{context}_telemetry.jsonl"));
+                match JsonLinesSink::create(&path) {
+                    Ok(sink) => Self::with_sink(Box::new(sink)),
+                    Err(err) => {
+                        eprintln!(
+                            "warning: TSV3D_TELEMETRY=json but `{path}` is not writable \
+                             ({err}); telemetry disabled"
+                        );
+                        Self::disabled()
+                    }
+                }
+            }
+            Ok("stderr") => Self::with_sink(Box::new(StderrSink)),
+            Ok("off") | Ok("") | Err(_) => Self::disabled(),
+            Ok(other) => {
+                eprintln!(
+                    "warning: unknown TSV3D_TELEMETRY value `{other}` \
+                     (expected json|stderr|off); telemetry disabled"
+                );
+                Self::disabled()
+            }
+        }
+    }
+
+    /// `true` when a sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.0 {
+            let mut counters = inner.counters.lock().expect("counter registry poisoned");
+            match counters.get_mut(name) {
+                Some(slot) => *slot += delta,
+                None => {
+                    counters.insert(name.to_string(), delta);
+                }
+            }
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn record(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.0 {
+            let mut histograms = inner.histograms.lock().expect("histogram registry poisoned");
+            match histograms.get_mut(name) {
+                Some(h) => h.record(value),
+                None => {
+                    let mut h = Histogram::new();
+                    h.record(value);
+                    histograms.insert(name.to_string(), h);
+                }
+            }
+        }
+    }
+
+    /// Emits a structured event to the sink.
+    pub fn event(&self, name: &str, fields: &[(&'static str, Value)]) {
+        if let Some(inner) = &self.0 {
+            inner.sink.emit(&Event {
+                elapsed: inner.epoch.elapsed().as_secs_f64(),
+                name,
+                fields,
+            });
+        }
+    }
+
+    /// Starts a monotonic span timer; on drop the duration is recorded
+    /// into histogram `name` and emitted as a `span` event.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            inner: self.0.as_ref().map(|inner| SpanInner {
+                registry: Arc::clone(inner),
+                name,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// The current value of counter `name` (`None` when disabled or
+    /// never incremented).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let inner = self.0.as_ref()?;
+        inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .get(name)
+            .copied()
+    }
+
+    /// A snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let inner = self.0.as_ref()?;
+        inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Seconds since the handle was created (0 when disabled).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |inner| inner.epoch.elapsed().as_secs_f64())
+    }
+
+    /// Renders a fixed-width, human-readable digest of every counter
+    /// and histogram — the "timing footer" the experiment binaries
+    /// append to their tables. Empty string when disabled.
+    pub fn summary(&self) -> String {
+        let Some(inner) = &self.0 else {
+            return String::new();
+        };
+        let counters = inner.counters.lock().expect("counter registry poisoned");
+        let histograms = inner.histograms.lock().expect("histogram registry poisoned");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "telemetry summary (wall {:.3} s)",
+            inner.epoch.elapsed().as_secs_f64()
+        );
+        if !counters.is_empty() {
+            let width = counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            let _ = writeln!(out, "  counters:");
+            for (name, value) in counters.iter() {
+                let _ = writeln!(out, "    {name:<width$}  {value}");
+            }
+        }
+        if !histograms.is_empty() {
+            let width = histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            let _ = writeln!(out, "  timings/values:");
+            for (name, h) in histograms.iter() {
+                let _ = writeln!(
+                    out,
+                    "    {name:<width$}  n={:<6} total {:<12.6e} mean {:<12.6e} \
+                     min {:<12.6e} max {:.6e}",
+                    h.count(),
+                    h.sum(),
+                    h.mean(),
+                    if h.count() == 0 { 0.0 } else { h.min() },
+                    if h.count() == 0 { 0.0 } else { h.max() },
+                );
+            }
+        }
+        out
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.0 {
+            inner.sink.flush();
+        }
+    }
+}
+
+struct SpanInner {
+    registry: Arc<Inner>,
+    name: &'static str,
+    start: Instant,
+}
+
+/// A running span timer; the measurement ends when it is dropped.
+///
+/// Returned by [`TelemetryHandle::span`]. For a disabled handle this
+/// is inert (not even the clock is read).
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(span) = self.inner.take() {
+            let seconds = span.start.elapsed().as_secs_f64();
+            {
+                let mut histograms = span
+                    .registry
+                    .histograms
+                    .lock()
+                    .expect("histogram registry poisoned");
+                match histograms.get_mut(span.name) {
+                    Some(h) => h.record(seconds),
+                    None => {
+                        let mut h = Histogram::new();
+                        h.record(seconds);
+                        histograms.insert(span.name.to_string(), h);
+                    }
+                }
+            }
+            span.registry.sink.emit(&Event {
+                elapsed: span.registry.epoch.elapsed().as_secs_f64(),
+                name: "span",
+                fields: &[
+                    ("name", Value::Str(span.name.to_string())),
+                    ("seconds", Value::F64(seconds)),
+                ],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = TelemetryHandle::disabled();
+        tel.add("c", 5);
+        tel.record("h", 1.0);
+        tel.event("e", &[("k", Value::U64(1))]);
+        drop(tel.span("s"));
+        assert_eq!(tel.counter_value("c"), None);
+        assert!(tel.histogram("h").is_none());
+        assert_eq!(tel.summary(), "");
+    }
+
+    #[test]
+    fn counters_and_histograms_aggregate() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        tel.add("nodes", 3);
+        tel.add("nodes", 4);
+        tel.record("gap", 0.5);
+        tel.record("gap", 2.0);
+        assert_eq!(tel.counter_value("nodes"), Some(7));
+        let h = tel.histogram("gap").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 2.5);
+        let summary = tel.summary();
+        assert!(summary.contains("nodes"), "{summary}");
+        assert!(summary.contains("gap"), "{summary}");
+    }
+
+    #[test]
+    fn spans_record_durations() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        {
+            let _span = tel.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let h = tel.histogram("work").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.002, "span measured {:.6}s", h.sum());
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        let clone = tel.clone();
+        clone.add("shared", 1);
+        tel.add("shared", 1);
+        assert_eq!(tel.counter_value("shared"), Some(2));
+    }
+}

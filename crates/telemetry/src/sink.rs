@@ -1,0 +1,176 @@
+//! Pluggable telemetry sinks: null, human-readable stderr, JSON lines.
+
+use crate::Value;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One emitted telemetry event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event<'a> {
+    /// Seconds since the owning handle was created.
+    pub elapsed: f64,
+    /// Event name, dot-separated (`"anneal.epoch"`).
+    pub name: &'a str,
+    /// Ordered key/value payload.
+    pub fields: &'a [(&'static str, Value)],
+}
+
+/// Destination of telemetry events.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event<'_>);
+
+    /// Flushes buffered output (a no-op for unbuffered sinks).
+    fn flush(&self) {}
+}
+
+/// Discards everything — the default, near-zero-overhead sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event<'_>) {}
+}
+
+/// Human-readable one-line-per-event output on stderr.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event<'_>) {
+        let mut line = format!("[telemetry +{:.6}s] {}", event.elapsed, event.name);
+        for (key, value) in event.fields {
+            line.push(' ');
+            line.push_str(key);
+            line.push('=');
+            match value {
+                Value::U64(v) => line.push_str(&v.to_string()),
+                Value::I64(v) => line.push_str(&v.to_string()),
+                Value::F64(v) => line.push_str(&format!("{v:.6e}")),
+                Value::Bool(v) => line.push_str(&v.to_string()),
+                Value::Str(v) => line.push_str(v),
+            }
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Machine-readable JSON-lines output (one object per event).
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    path: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesSink")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesSink {
+    /// Creates (truncating) a `.jsonl` file at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(Self {
+            out: Mutex::new(Box::new(BufWriter::new(file))),
+            path: Some(path.to_path_buf()),
+        })
+    }
+
+    /// Wraps an arbitrary writer (used by tests and in-memory capture).
+    pub fn with_writer(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(writer),
+            path: None,
+        }
+    }
+
+    /// The output path, when writing to a file.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn emit(&self, event: &Event<'_>) {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"t\":");
+        push_json_f64(&mut line, event.elapsed);
+        line.push_str(",\"event\":");
+        push_json_str(&mut line, event.name);
+        for (key, value) in event.fields {
+            line.push(',');
+            push_json_str(&mut line, key);
+            line.push(':');
+            match value {
+                Value::U64(v) => line.push_str(&v.to_string()),
+                Value::I64(v) => line.push_str(&v.to_string()),
+                Value::F64(v) => push_json_f64(&mut line, *v),
+                Value::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+                Value::Str(v) => push_json_str(&mut line, v),
+            }
+        }
+        line.push_str("}\n");
+        let mut out = self.out.lock().expect("telemetry writer poisoned");
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("telemetry writer poisoned").flush();
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+/// Appends `v` as a JSON number; non-finite values (which JSON cannot
+/// represent) become `null`.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{v}` prints shortest-round-trip for f64, always with enough
+        // precision to reparse exactly; integral values print without
+        // a fraction (`1`), which is still a valid JSON number.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `s` as a JSON string literal with full escaping.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,208 @@
+//! Integration tests: JSON-lines serialisation, escaping, and the
+//! stderr/null sink contracts.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use tsv3d_telemetry::{Event, JsonLinesSink, Sink, TelemetryHandle, Value};
+
+/// A `Write` handle into a shared buffer, so tests can inspect what a
+/// sink wrote after handing it ownership.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn new() -> Self {
+        Self(Arc::new(Mutex::new(Vec::new())))
+    }
+
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("sink wrote valid UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn emit(fields: &[(&'static str, Value)]) -> String {
+    let buf = SharedBuf::new();
+    let sink = JsonLinesSink::with_writer(Box::new(buf.clone()));
+    sink.emit(&Event {
+        elapsed: 0.25,
+        name: "test.event",
+        fields,
+    });
+    sink.flush();
+    buf.contents()
+}
+
+/// Minimal recursive JSON validator: checks the line is one
+/// syntactically valid object and returns the top-level keys in order.
+fn parse_json_object(line: &str) -> Vec<(String, String)> {
+    let line = line.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
+    let mut pairs = Vec::new();
+    let mut chars = line[1..line.len() - 1].chars().peekable();
+    loop {
+        match chars.peek() {
+            None => break,
+            Some(',') => {
+                chars.next();
+            }
+            _ => {}
+        }
+        // Key.
+        assert_eq!(chars.next(), Some('"'), "key must be a string");
+        let mut key = String::new();
+        loop {
+            match chars.next().expect("unterminated key") {
+                '"' => break,
+                '\\' => {
+                    key.push('\\');
+                    key.push(chars.next().expect("dangling escape"));
+                }
+                c => key.push(c),
+            }
+        }
+        assert_eq!(chars.next(), Some(':'), "missing colon after key {key}");
+        // Value: string, or a bare token up to `,`/end.
+        let mut value = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            value.push('"');
+            loop {
+                match chars.next().expect("unterminated string value") {
+                    '"' => break,
+                    '\\' => {
+                        value.push('\\');
+                        value.push(chars.next().expect("dangling escape"));
+                    }
+                    c => {
+                        assert!(
+                            (c as u32) >= 0x20,
+                            "raw control character {:#x} inside JSON string",
+                            c as u32
+                        );
+                        value.push(c);
+                    }
+                }
+            }
+            value.push('"');
+        } else {
+            while let Some(&c) = chars.peek() {
+                if c == ',' {
+                    break;
+                }
+                value.push(c);
+                chars.next();
+            }
+            let token = value.trim();
+            assert!(
+                token == "null"
+                    || token == "true"
+                    || token == "false"
+                    || token.parse::<f64>().is_ok(),
+                "invalid bare JSON token: {token}"
+            );
+        }
+        pairs.push((key, value));
+    }
+    pairs
+}
+
+#[test]
+fn events_serialise_to_one_json_object_per_line() {
+    let out = emit(&[
+        ("count", Value::U64(42)),
+        ("delta", Value::I64(-7)),
+        ("power", Value::F64(1.5e-13)),
+        ("done", Value::Bool(true)),
+        ("label", Value::Str("fig3".into())),
+    ]);
+    assert_eq!(out.lines().count(), 1);
+    let pairs = parse_json_object(&out);
+    let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["t", "event", "count", "delta", "power", "done", "label"]);
+    assert_eq!(pairs[2].1, "42");
+    assert_eq!(pairs[3].1, "-7");
+    assert_eq!(pairs[4].1.parse::<f64>().unwrap(), 1.5e-13);
+    assert_eq!(pairs[5].1, "true");
+    assert_eq!(pairs[6].1, "\"fig3\"");
+}
+
+#[test]
+fn strings_are_escaped() {
+    let out = emit(&[(
+        "msg",
+        Value::Str("say \"hi\"\\ path\nnext\ttab \u{01} end".into()),
+    )]);
+    let pairs = parse_json_object(&out);
+    let escaped = &pairs[2].1;
+    assert!(escaped.contains("\\\"hi\\\""), "quote escaping: {escaped}");
+    assert!(escaped.contains("\\\\ path"), "backslash escaping: {escaped}");
+    assert!(escaped.contains("\\n"), "newline escaping: {escaped}");
+    assert!(escaped.contains("\\t"), "tab escaping: {escaped}");
+    assert!(escaped.contains("\\u0001"), "control escaping: {escaped}");
+    assert!(!out.trim_end_matches('\n').contains('\n'), "stays one line");
+}
+
+#[test]
+fn non_finite_floats_become_null() {
+    let out = emit(&[
+        ("nan", Value::F64(f64::NAN)),
+        ("inf", Value::F64(f64::INFINITY)),
+        ("ninf", Value::F64(f64::NEG_INFINITY)),
+        ("fine", Value::F64(0.5)),
+    ]);
+    let pairs = parse_json_object(&out);
+    assert_eq!(pairs[2].1, "null");
+    assert_eq!(pairs[3].1, "null");
+    assert_eq!(pairs[4].1, "null");
+    assert_eq!(pairs[5].1, "0.5");
+}
+
+#[test]
+fn handle_with_json_sink_streams_events_and_spans() {
+    let buf = SharedBuf::new();
+    let tel =
+        TelemetryHandle::with_sink(Box::new(JsonLinesSink::with_writer(Box::new(buf.clone()))));
+    tel.event("run.start", &[("bin", Value::Str("test".into()))]);
+    {
+        let _span = tel.span("stage");
+    }
+    tel.flush();
+    let out = buf.contents();
+    assert_eq!(out.lines().count(), 2);
+    for line in out.lines() {
+        parse_json_object(line); // every line is valid JSON
+    }
+    assert!(out.contains("\"event\":\"run.start\""));
+    assert!(out.contains("\"event\":\"span\""));
+    assert!(out.contains("\"name\":\"stage\""));
+}
+
+#[test]
+fn json_file_sink_writes_jsonl_file() {
+    let dir = std::env::temp_dir().join(format!("tsv3d_tel_{}", std::process::id()));
+    let path = dir.join("nested/run_telemetry.jsonl");
+    {
+        let sink = JsonLinesSink::create(&path).expect("creates parent dirs");
+        assert_eq!(sink.path(), Some(path.as_path()));
+        sink.emit(&Event {
+            elapsed: 1.0,
+            name: "done",
+            fields: &[],
+        });
+    } // drop flushes
+    let contents = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(contents.lines().count(), 1);
+    parse_json_object(contents.lines().next().unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}

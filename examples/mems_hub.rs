@@ -15,8 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("16-bit MEMS links over a 4x4 array (r = 2 um, d = 8 um)\n");
     println!(
-        "{:<30} {:>10} {:>10} {:>10}  {}",
-        "stream", "optimal", "Sawtooth", "Spiral", "recommended"
+        "{:<30} {:>10} {:>10} {:>10}  recommended",
+        "stream", "optimal", "Sawtooth", "Spiral"
     );
 
     for (kind, name) in [

@@ -1,0 +1,201 @@
+//! Offline drop-in subset of the `criterion` crate (see
+//! `shims/README.md`).
+//!
+//! Provides just enough of the criterion 0.5 API for the workspace's
+//! `harness = false` bench targets to build and run offline:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up once and then timed
+//! over `sample_size` batches; the mean and best batch times are
+//! printed to stderr. Under `cargo test` (when the harness passes
+//! `--test`) each benchmark body runs exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// `true` when invoked by `cargo test` (smoke-test mode).
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            test_mode,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(id, self.test_mode, sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_benchmark(&label, self.criterion.test_mode, samples, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(label: &str, test_mode: bool, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        // Smoke-test: a single un-timed execution, like criterion's
+        // `cargo test` behaviour.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        eprintln!("bench {label}: ok (test mode)");
+        return;
+    }
+    // Warm-up round, then timed batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..sample_size {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        let per_iter = b.elapsed / b.iters.max(1) as u32;
+        total += per_iter;
+        best = best.min(per_iter);
+    }
+    let mean = total / sample_size.max(1) as u32;
+    eprintln!(
+        "bench {label}: mean {:.3} ms, best {:.3} ms ({sample_size} samples)",
+        mean.as_secs_f64() * 1e3,
+        best.as_secs_f64() * 1e3,
+    );
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `sample` (called `iters` times per batch).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut sample: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(sample());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_benchmark() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_sample_size: 3,
+        };
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.bench_function("one", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1, "test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn timed_mode_runs_warmup_plus_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            default_sample_size: 4,
+        };
+        let mut runs = 0;
+        c.bench_function("counted", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 5, "1 warm-up + 4 samples");
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline drop-in subset of the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the slice of the proptest API this workspace's
+//! property-based tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), [`strategy::Strategy`] with
+//! `prop_map`, range and tuple strategies, [`arbitrary::any`],
+//! [`strategy::Just`], `prop::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! deterministic seed derived from the test name (reproducible runs,
+//! no persistence files) and there is **no shrinking** — a failing
+//! case panics with its case number so it can be replayed.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(...)` works after
+/// `use proptest::prelude::*`, as with upstream proptest.
+pub mod prop {
+    pub use crate::arbitrary;
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property-based tests: `proptest! { #[test] fn f(x in s) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one plain `#[test]` fn per item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::new_value(&$strat, &mut __rng),)+
+                );
+                #[allow(unused_mut)]
+                let mut __run = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                if let Err(__msg) = __run() {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Fails the current proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the current proptest case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Fails the current proptest case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tuples_ranges_and_vec(
+            x in 0usize..10,
+            f in -2.0f64..=2.0,
+            v in prop::collection::vec(any::<bool>(), 1..5),
+            (a, b) in (0u64..100, Just(7u32)),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((-2.0..=2.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn prop_map_composes(n in (1usize..4).prop_map(|k| k * 2)) {
+            prop_assert!(n % 2 == 0 && (2..8).contains(&n));
+        }
+    }
+
+    // No `#[test]` on the inner fn: test items nested inside a test
+    // body are unnameable by the harness, so it is driven manually.
+    proptest! {
+        fn failing_inner(x in 0usize..5) {
+            prop_assert!(x < 3, "x was {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_reports_case() {
+        failing_inner();
+    }
+}

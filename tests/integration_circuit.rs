@@ -3,7 +3,7 @@
 //! Sec. 7.
 
 use tsv3d_circuit::{DriverModel, TsvLink};
-use tsv3d_core::{optimize, AssignmentProblem};
+use tsv3d_core::optimize;
 use tsv3d_experiments::common;
 use tsv3d_experiments::fig6;
 use tsv3d_model::{Extractor, TsvArray, TsvGeometry, TsvRcNetlist};

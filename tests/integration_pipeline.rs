@@ -25,9 +25,7 @@ fn full_pipeline_optimum_dominates_alternatives() {
     // budget (the sequential stream is balanced, so inversions barely
     // matter anyway).
     let mut flags = vec![false; 9];
-    for bit in 0..4 {
-        flags[bit] = true;
-    }
+    flags[..4].fill(true);
     let problem = problem_for(&stream, 3, 3).with_invertible(flags).unwrap();
     let exact = optimize::exhaustive(&problem).unwrap();
     // Exhaustive must dominate everything else on a 9-bit bundle.
