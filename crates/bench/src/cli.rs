@@ -1,0 +1,364 @@
+//! Implementation of the `tsv3d bench` and `tsv3d trace` subcommands.
+//!
+//! The multiplexer binary in `tsv3d-experiments` forwards its argument
+//! tail here; everything returns an exit code instead of calling
+//! `std::process::exit` so the logic stays testable in-process.
+//!
+//! Exit codes: `0` success, `1` failure (I/O, or a gated regression),
+//! `2` usage error.
+
+use crate::gate;
+use crate::harness::{measure, BenchOptions};
+use crate::registry;
+use crate::report::{self, BenchReport};
+use crate::trace;
+use std::path::{Path, PathBuf};
+
+/// Usage text of `tsv3d bench`.
+pub const BENCH_USAGE: &str = "\
+Usage: tsv3d bench [options]
+
+Runs the registered benchmark cases and writes one BENCH_<case>.json
+artifact per case (schema tsv3d-bench/v1).
+
+Options:
+  --quick               reduced budget (1 warmup + 5 iters) for smoke runs
+  --iters N             timed iterations per case (default 15)
+  --warmup N            warmup iterations per case (default 3)
+  --case SUBSTR         only run cases whose name contains SUBSTR
+  --out-dir DIR         artifact directory (default results/bench)
+  --baseline FILE       compare medians against a baseline artifact
+  --gate PCT            with --baseline: exit 1 if any case regresses
+                        by more than PCT percent
+  --write-baseline FILE also write a combined baseline artifact
+  --list                list the registered cases and exit
+";
+
+/// Usage text of `tsv3d trace`.
+pub const TRACE_USAGE: &str = "\
+Usage: tsv3d trace <file.jsonl> [--collapsed FILE]
+
+Aggregates a telemetry JSON-lines stream (TSV3D_TELEMETRY=json) into
+per-span rollups: count, total/self time, log2-histogram percentiles.
+Malformed or truncated lines are skipped and counted, never fatal.
+
+Options:
+  --collapsed FILE      also write flamegraph collapsed stacks
+                        (`parent;child self_ns` per line) to FILE
+";
+
+#[derive(Debug)]
+struct BenchArgs {
+    options: BenchOptions,
+    case_filter: Option<String>,
+    out_dir: PathBuf,
+    baseline: Option<PathBuf>,
+    gate_pct: Option<f64>,
+    write_baseline: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
+    let mut parsed = BenchArgs {
+        options: BenchOptions::default(),
+        case_filter: None,
+        out_dir: PathBuf::from("results/bench"),
+        baseline: None,
+        gate_pct: None,
+        write_baseline: None,
+        list: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let take_value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        match key {
+            "--quick" => {
+                parsed.options = BenchOptions::quick();
+                i += 1;
+            }
+            "--list" => {
+                parsed.list = true;
+                i += 1;
+            }
+            "--iters" => {
+                parsed.options.iters = take_value()?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+                if parsed.options.iters == 0 {
+                    return Err("--iters must be at least 1".to_string());
+                }
+                i += 2;
+            }
+            "--warmup" => {
+                parsed.options.warmup_iters = take_value()?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+                i += 2;
+            }
+            "--case" => {
+                parsed.case_filter = Some(take_value()?.clone());
+                i += 2;
+            }
+            "--out-dir" => {
+                parsed.out_dir = PathBuf::from(take_value()?);
+                i += 2;
+            }
+            "--baseline" => {
+                parsed.baseline = Some(PathBuf::from(take_value()?));
+                i += 2;
+            }
+            "--gate" => {
+                let pct: f64 = take_value()?
+                    .parse()
+                    .map_err(|e| format!("--gate: {e}"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err("--gate must be a non-negative percentage".to_string());
+                }
+                parsed.gate_pct = Some(pct);
+                i += 2;
+            }
+            "--write-baseline" => {
+                parsed.write_baseline = Some(PathBuf::from(take_value()?));
+                i += 2;
+            }
+            other => return Err(format!("unknown bench option `{other}`")),
+        }
+    }
+    if parsed.gate_pct.is_some() && parsed.baseline.is_none() {
+        return Err("--gate requires --baseline".to_string());
+    }
+    Ok(parsed)
+}
+
+/// Runs `tsv3d bench` with the argument tail after the subcommand.
+pub fn run_bench(args: &[String]) -> i32 {
+    let parsed = match parse_bench_args(args) {
+        Ok(p) => p,
+        Err(message) => {
+            eprintln!("error: {message}\n{BENCH_USAGE}");
+            return 2;
+        }
+    };
+    let cases: Vec<_> = registry::cases()
+        .into_iter()
+        .filter(|c| {
+            parsed
+                .case_filter
+                .as_ref()
+                .is_none_or(|f| c.name.contains(f.as_str()))
+        })
+        .collect();
+    if parsed.list {
+        for case in &cases {
+            println!("{:<32} [{}] {}", case.name, case.area, case.about);
+        }
+        return 0;
+    }
+    if cases.is_empty() {
+        eprintln!(
+            "error: no case matches `{}` (try `tsv3d bench --list`)",
+            parsed.case_filter.as_deref().unwrap_or("")
+        );
+        return 2;
+    }
+    if let Err(message) = std::fs::create_dir_all(&parsed.out_dir) {
+        eprintln!(
+            "error: cannot create `{}`: {message}",
+            parsed.out_dir.display()
+        );
+        return 1;
+    }
+
+    println!(
+        "tsv3d bench: {} case(s), {} warmup + {} timed iteration(s) each",
+        cases.len(),
+        parsed.options.warmup_iters,
+        parsed.options.iters
+    );
+    let mut reports = Vec::with_capacity(cases.len());
+    for case in &cases {
+        let mut body = (case.setup)();
+        let measurement = measure(case.name, case.area, parsed.options, &mut *body);
+        let report = BenchReport::stamp(measurement);
+        println!(
+            "  {:<32} median {:>12} ns   p95 {:>12} ns",
+            report.measurement.case,
+            report.measurement.wall.median_ns,
+            report.measurement.wall.p95_ns
+        );
+        let path = parsed.out_dir.join(report.filename());
+        if let Err(message) = std::fs::write(&path, report.to_json() + "\n") {
+            eprintln!("error: cannot write `{}`: {message}", path.display());
+            return 1;
+        }
+        reports.push(report);
+    }
+    println!(
+        "wrote {} artifact(s) to {}",
+        reports.len(),
+        parsed.out_dir.display()
+    );
+
+    if let Some(path) = &parsed.write_baseline {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(message) =
+            std::fs::write(path, report::baseline_to_json(&reports) + "\n")
+        {
+            eprintln!("error: cannot write `{}`: {message}", path.display());
+            return 1;
+        }
+        println!("wrote baseline to {}", path.display());
+    }
+
+    if let Some(baseline_path) = &parsed.baseline {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(message) => {
+                eprintln!(
+                    "error: cannot read baseline `{}`: {message}",
+                    baseline_path.display()
+                );
+                return 1;
+            }
+        };
+        let baseline = match report::parse_summaries(&text) {
+            Ok(rows) => rows,
+            Err(message) => {
+                eprintln!(
+                    "error: baseline `{}`: {message}",
+                    baseline_path.display()
+                );
+                return 1;
+            }
+        };
+        let current: Vec<_> = reports
+            .iter()
+            .map(|r| report::CaseSummary {
+                case: r.measurement.case.clone(),
+                median_ns: r.measurement.wall.median_ns as f64,
+                p95_ns: Some(r.measurement.wall.p95_ns as f64),
+            })
+            .collect();
+        // Without --gate the comparison is informational only.
+        let gating = parsed.gate_pct.is_some();
+        let outcome = gate::compare(&current, &baseline, parsed.gate_pct.unwrap_or(10.0));
+        println!("\nbaseline: {}", baseline_path.display());
+        print!("{}", outcome.render());
+        if gating && !outcome.passed() {
+            return 1;
+        }
+    }
+    0
+}
+
+/// Runs `tsv3d trace` with the argument tail after the subcommand.
+pub fn run_trace(args: &[String]) -> i32 {
+    let mut file: Option<&String> = None;
+    let mut collapsed_out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--collapsed" => match args.get(i + 1) {
+                Some(path) => {
+                    collapsed_out = Some(PathBuf::from(path));
+                    i += 2;
+                }
+                None => {
+                    eprintln!("error: missing value for --collapsed\n{TRACE_USAGE}");
+                    return 2;
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown trace option `{other}`\n{TRACE_USAGE}");
+                return 2;
+            }
+            _ if file.is_none() => {
+                file = Some(&args[i]);
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{TRACE_USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: trace requires a .jsonl file\n{TRACE_USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(Path::new(file)) {
+        Ok(t) => t,
+        Err(message) => {
+            eprintln!("error: cannot read `{file}`: {message}");
+            return 1;
+        }
+    };
+    let summary = trace::analyze_text(&text);
+    println!("file: {file}");
+    print!("{}", trace::render_summary(&summary));
+    if let Some(path) = collapsed_out {
+        if let Err(message) = std::fs::write(&path, trace::render_collapsed(&summary)) {
+            eprintln!("error: cannot write `{}`: {message}", path.display());
+            return 1;
+        }
+        println!("\nwrote collapsed stacks to {}", path.display());
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_arg_parsing_covers_the_surface() {
+        let args: Vec<String> = ["--quick", "--case", "gray", "--out-dir", "/tmp/x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_bench_args(&args).unwrap();
+        assert_eq!(parsed.options, BenchOptions::quick());
+        assert_eq!(parsed.case_filter.as_deref(), Some("gray"));
+        assert_eq!(parsed.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn bench_rejects_bad_args() {
+        for bad in [
+            vec!["--iters"],
+            vec!["--iters", "0"],
+            vec!["--gate", "5"],
+            vec!["--gate", "-1", "--baseline", "x"],
+            vec!["--frobnicate"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse_bench_args(&args).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_usage_errors_return_2() {
+        assert_eq!(run_trace(&[]), 2);
+        assert_eq!(run_trace(&["--collapsed".to_string()]), 2);
+        assert_eq!(
+            run_trace(&["a.jsonl".to_string(), "b.jsonl".to_string()]),
+            2
+        );
+    }
+
+    #[test]
+    fn trace_missing_file_returns_1() {
+        assert_eq!(
+            run_trace(&["/nonexistent/definitely_missing.jsonl".to_string()]),
+            1
+        );
+    }
+}

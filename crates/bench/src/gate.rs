@@ -1,0 +1,211 @@
+//! Perf-regression gating: current medians vs. a baseline artifact.
+//!
+//! The comparison is deliberately simple and transparent — per case,
+//! `delta% = (current_median / baseline_median − 1) · 100`; a case
+//! *regresses* when `delta%` exceeds the gate threshold. Cases present
+//! on only one side are reported but never fail the gate (new benches
+//! must not break CI, deleted ones must not pin the registry forever).
+
+use crate::report::CaseSummary;
+use std::fmt::Write as _;
+
+/// Verdict for one case present in the current run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Case name.
+    pub case: String,
+    /// Current median, ns.
+    pub current_ns: f64,
+    /// Baseline median, ns (`None` when the baseline lacks the case).
+    pub baseline_ns: Option<f64>,
+    /// Percent change vs. baseline (`None` without a baseline row or
+    /// with a non-positive baseline median).
+    pub delta_pct: Option<f64>,
+    /// `true` when `delta_pct` exceeds the gate threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of gating one run against one baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Per-case verdicts, in current-run order.
+    pub rows: Vec<GateRow>,
+    /// Threshold applied, percent.
+    pub gate_pct: f64,
+    /// Baseline cases with no current counterpart (informational).
+    pub stale_baseline_cases: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Cases beyond the threshold.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// `true` when no compared case regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Renders the fixed-width comparison table the CLI prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name_width = self
+            .rows
+            .iter()
+            .map(|r| r.case.len())
+            .max()
+            .unwrap_or(4)
+            .max("case".len());
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>12}  {:>12}  {:>9}  verdict",
+            "case", "current ns", "baseline ns", "delta %"
+        );
+        for row in &self.rows {
+            let baseline = row
+                .baseline_ns
+                .map_or("-".to_string(), |b| format!("{b:.0}"));
+            let delta = row
+                .delta_pct
+                .map_or("-".to_string(), |d| format!("{d:+.1}"));
+            let verdict = if row.regressed {
+                "REGRESSED"
+            } else if row.baseline_ns.is_none() {
+                "new"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<name_width$}  {:>12.0}  {:>12}  {:>9}  {}",
+                row.case, row.current_ns, baseline, delta, verdict
+            );
+        }
+        for case in &self.stale_baseline_cases {
+            let _ = writeln!(out, "{case:<name_width$}  (baseline only; not compared)");
+        }
+        let _ = writeln!(
+            out,
+            "gate: {} regression(s) beyond +{:.1} % over {} compared case(s)",
+            self.regressions(),
+            self.gate_pct,
+            self.rows.iter().filter(|r| r.delta_pct.is_some()).count()
+        );
+        out
+    }
+}
+
+/// Compares current medians against baseline medians at `gate_pct`.
+pub fn compare(
+    current: &[CaseSummary],
+    baseline: &[CaseSummary],
+    gate_pct: f64,
+) -> GateOutcome {
+    let rows = current
+        .iter()
+        .map(|cur| {
+            let base = baseline.iter().find(|b| b.case == cur.case);
+            let baseline_ns = base.map(|b| b.median_ns);
+            let delta_pct = baseline_ns
+                .filter(|&b| b > 0.0)
+                .map(|b| (cur.median_ns / b - 1.0) * 100.0);
+            GateRow {
+                case: cur.case.clone(),
+                current_ns: cur.median_ns,
+                baseline_ns,
+                delta_pct,
+                // The small epsilon keeps exact-threshold ratios (e.g.
+                // 110 vs. 100 at 10 %) from tripping on f64 rounding.
+                regressed: delta_pct.is_some_and(|d| d > gate_pct + 1e-6),
+            }
+        })
+        .collect();
+    let stale_baseline_cases = baseline
+        .iter()
+        .filter(|b| current.iter().all(|c| c.case != b.case))
+        .map(|b| b.case.clone())
+        .collect();
+    GateOutcome {
+        rows,
+        gate_pct,
+        stale_baseline_cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(case: &str, median: f64) -> CaseSummary {
+        CaseSummary {
+            case: case.to_string(),
+            median_ns: median,
+            p95_ns: None,
+        }
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails_the_gate() {
+        let current = vec![row("a", 130.0), row("b", 100.0)];
+        let baseline = vec![row("a", 100.0), row("b", 100.0)];
+        let outcome = compare(&current, &baseline, 10.0);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions(), 1);
+        assert!(outcome.rows[0].regressed);
+        assert!((outcome.rows[0].delta_pct.unwrap() - 30.0).abs() < 1e-9);
+        assert!(!outcome.rows[1].regressed);
+    }
+
+    #[test]
+    fn improvement_and_within_threshold_pass() {
+        let current = vec![row("a", 70.0), row("b", 105.0)];
+        let baseline = vec![row("a", 100.0), row("b", 100.0)];
+        let outcome = compare(&current, &baseline, 10.0);
+        assert!(outcome.passed());
+        assert!((outcome.rows[0].delta_pct.unwrap() + 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmatched_cases_are_informational_only() {
+        let current = vec![row("new_case", 500.0)];
+        let baseline = vec![row("old_case", 100.0)];
+        let outcome = compare(&current, &baseline, 10.0);
+        assert!(outcome.passed(), "missing baseline row must not gate");
+        assert_eq!(outcome.rows[0].baseline_ns, None);
+        assert_eq!(outcome.stale_baseline_cases, vec!["old_case".to_string()]);
+        let table = outcome.render();
+        assert!(table.contains("new"), "{table}");
+        assert!(table.contains("baseline only"), "{table}");
+    }
+
+    #[test]
+    fn zero_baseline_median_cannot_divide_by_zero() {
+        let current = vec![row("a", 100.0)];
+        let baseline = vec![row("a", 0.0)];
+        let outcome = compare(&current, &baseline, 10.0);
+        assert_eq!(outcome.rows[0].delta_pct, None);
+        assert!(outcome.passed());
+    }
+
+    #[test]
+    fn exact_threshold_is_not_a_regression() {
+        let current = vec![row("a", 110.0)];
+        let baseline = vec![row("a", 100.0)];
+        let outcome = compare(&current, &baseline, 10.0);
+        assert!(outcome.passed(), "strictly-greater-than semantics");
+    }
+
+    #[test]
+    fn render_includes_all_columns() {
+        let outcome = compare(
+            &[row("fast_case", 90.0)],
+            &[row("fast_case", 100.0)],
+            5.0,
+        );
+        let table = outcome.render();
+        assert!(table.contains("fast_case"));
+        assert!(table.contains("-10.0"));
+        assert!(table.contains("0 regression(s)"));
+    }
+}

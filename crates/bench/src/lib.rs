@@ -1,1 +1,42 @@
+//! `tsv3d-bench` — benchmark harness, telemetry trace analysis and
+//! perf-regression gating for the tsv3d workspace.
+//!
+//! Three pillars, built on the PR-1 instrumentation layer:
+//!
+//! * [`harness`] + [`registry`] — warmup + N individually-timed
+//!   iterations (monotonic clock only) over a registry of cases
+//!   covering the workspace's hot paths: the `arg min ⟨T', C'⟩`
+//!   optimisers (anneal epochs, branch-and-bound, incremental Δpower),
+//!   the MNA transient engine (LU factor, backward-Euler stepping,
+//!   full link simulation) and the reference codec encode loops. Each
+//!   case produces a machine-readable `BENCH_<case>.json` ([`report`],
+//!   schema `tsv3d-bench/v1`) with median/p95/stddev wall times, the
+//!   telemetry counters the workload accumulated, the git revision and
+//!   a timestamp.
+//! * [`trace`] — a robust reader/aggregator for the `*_telemetry.jsonl`
+//!   streams the [`tsv3d_telemetry`] `JsonLinesSink` writes: per-span
+//!   rollups (count, total/self time, log2-histogram percentiles) and
+//!   a flamegraph-style collapsed-stack export, reconstructing span
+//!   nesting from interval containment.
+//! * [`gate`] — median-vs-baseline comparison with a percentage
+//!   threshold, so CI can detect hot-path regressions PR-over-PR.
+//!
+//! Everything is std-only: [`json`] is a small hand-rolled JSON
+//! writer/parser, so the subsystem adds no dependencies. The
+//! user-facing entry points are the `tsv3d bench` and `tsv3d trace`
+//! subcommands ([`cli`]), hosted by the multiplexer binary in
+//! `tsv3d-experiments`.
+//!
+//! The `benches/` directory additionally keeps the Criterion-shim
+//! benches that regenerate the paper's figures (`cargo bench`).
+
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod gate;
+pub mod harness;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod trace;

@@ -1,0 +1,365 @@
+//! The built-in benchmark cases: one per hot path the workspace cares
+//! about, spanning the optimisers (`tsv3d-core`), the transient engine
+//! (`tsv3d-circuit`) and the reference codecs (`tsv3d-codec`).
+//!
+//! Each case separates *setup* (problem/netlist/stream construction,
+//! untimed) from the *body* the harness measures. Workloads are fixed
+//! and seeded so a case measures the same computation on every run and
+//! every machine — the precondition for PR-over-PR comparisons.
+//! Bodies whose single execution would be too small to time reliably
+//! (sub-microsecond kernels like the incremental `Δpower` evaluations)
+//! batch a fixed number of operations per sample; the batch size is
+//! part of the case name.
+
+use std::hint::black_box;
+use tsv3d_circuit::mna::Netlist;
+use tsv3d_circuit::{DriverModel, TsvLink};
+use tsv3d_codec::{Correlator, CouplingInvert, GrayCodec};
+use tsv3d_core::{optimize, AssignmentProblem, SignedPerm};
+use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry, TsvRcNetlist};
+use tsv3d_stats::gen::{GaussianSource, SequentialSource};
+use tsv3d_stats::{BitStream, SwitchingStats};
+use tsv3d_telemetry::TelemetryHandle;
+
+/// The measured body of one case, produced fresh by its setup.
+pub type BenchBody = Box<dyn FnMut(&TelemetryHandle)>;
+
+/// A registered benchmark case.
+pub struct BenchCase {
+    /// Unique name — also the `BENCH_<name>.json` artifact stem.
+    pub name: &'static str,
+    /// Subsystem the case exercises (`core`, `circuit`, `codec`).
+    pub area: &'static str,
+    /// One-line description for `tsv3d bench --list`.
+    pub about: &'static str,
+    /// Builds the workload (untimed) and returns the body to measure.
+    pub setup: fn() -> BenchBody,
+}
+
+/// The full case registry, in execution order.
+pub fn cases() -> Vec<BenchCase> {
+    vec![
+        BenchCase {
+            name: "anneal_quick_3x3",
+            area: "core",
+            about: "simulated-annealing search (4k iters x 2 restarts) on a 3x3 sequential problem",
+            setup: || {
+                let problem = sequential_problem(3, 0.02, 8_000, 77);
+                Box::new(move |tel| {
+                    let r = optimize::anneal_with_telemetry(&problem, &quick_anneal(), tel)
+                        .expect("anneal budget is non-empty");
+                    black_box(r.power);
+                })
+            },
+        },
+        BenchCase {
+            name: "anneal_quick_4x4",
+            area: "core",
+            about: "simulated-annealing search (4k iters x 2 restarts) on a 4x4 gaussian problem",
+            setup: || {
+                let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
+                Box::new(move |tel| {
+                    let r = optimize::anneal_with_telemetry(&problem, &quick_anneal(), tel)
+                        .expect("anneal budget is non-empty");
+                    black_box(r.power);
+                })
+            },
+        },
+        BenchCase {
+            name: "bnb_search_3x3",
+            area: "core",
+            about: "branch-and-bound search (capped at 300k nodes) on a 3x3 sequential problem",
+            setup: || {
+                let problem = sequential_problem(3, 0.02, 8_000, 77);
+                let options = optimize::BnbOptions {
+                    node_limit: 300_000,
+                };
+                Box::new(move |tel| {
+                    let o =
+                        optimize::branch_and_bound_with_telemetry(&problem, &options, tel)
+                            .expect("3x3 search starts");
+                    black_box(o.result.power);
+                })
+            },
+        },
+        BenchCase {
+            name: "greedy_two_opt_4x4",
+            area: "core",
+            about: "deterministic greedy 2-opt local search on a 4x4 gaussian problem",
+            setup: || {
+                let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
+                Box::new(move |tel| {
+                    let r = optimize::greedy_two_opt(&problem);
+                    tel.add("bench.greedy_runs", 1);
+                    black_box(r.power);
+                })
+            },
+        },
+        BenchCase {
+            name: "power_eval_4x4_x256",
+            area: "core",
+            about: "256 full <T',C'> power evaluations (Eq. 10 objective) on a 4x4 problem",
+            setup: || {
+                let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
+                let assignment = SignedPerm::identity(16);
+                Box::new(move |tel| {
+                    let mut acc = 0.0;
+                    for _ in 0..256 {
+                        acc += problem.power(black_box(&assignment));
+                    }
+                    tel.add("bench.power_evals", 256);
+                    black_box(acc);
+                })
+            },
+        },
+        BenchCase {
+            name: "delta_eval_4x4_x1024",
+            area: "core",
+            about: "1024 incremental swap/flip delta evaluations (the anneal inner loop) on 4x4",
+            setup: || {
+                let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
+                let assignment = SignedPerm::identity(16);
+                Box::new(move |tel| {
+                    let mut acc = 0.0;
+                    for k in 0..1024usize {
+                        let x = k % 16;
+                        let y = (k * 7 + 3) % 16;
+                        if x != y {
+                            acc += problem.swap_lines_delta(&assignment, x, y);
+                        }
+                        acc += problem.flip_bit_delta(&assignment, x);
+                    }
+                    tel.add("bench.delta_evals", 2 * 1024);
+                    black_box(acc);
+                })
+            },
+        },
+        BenchCase {
+            name: "mna_lu_factor_n40",
+            area: "circuit",
+            about: "dense LU factorisation of a 40-node RC ladder (Netlist::transient)",
+            setup: || {
+                let net = rc_ladder(40);
+                Box::new(move |tel| {
+                    let sim = net
+                        .transient_with_telemetry(1.0e-11, tel)
+                        .expect("ladder system is non-singular");
+                    black_box(sim.h());
+                })
+            },
+        },
+        BenchCase {
+            name: "mna_transient_n40_x256",
+            area: "circuit",
+            about: "256 backward-Euler steps of the 40-node ladder (LU solve + history updates)",
+            setup: || {
+                let net = rc_ladder(40);
+                let mut sim = net
+                    .transient(1.0e-11)
+                    .expect("ladder system is non-singular");
+                let mut high = false;
+                Box::new(move |tel| {
+                    // Toggle the drive each sample so the solver keeps
+                    // chasing a transient instead of a settled DC point.
+                    high = !high;
+                    sim.set_rail(0, if high { 1.0 } else { 0.0 });
+                    for _ in 0..256 {
+                        sim.step();
+                    }
+                    tel.add("bench.transient_steps", 256);
+                    black_box(sim.voltage(1));
+                })
+            },
+        },
+        BenchCase {
+            name: "link_simulate_2x2_64c",
+            area: "circuit",
+            about: "full TSV-link energy simulation: 2x2 array, 64 cycles at 3 GHz",
+            setup: || {
+                let array = TsvArray::new(2, 2, TsvGeometry::itrs_2018_min())
+                    .expect("2x2 geometry is valid");
+                let cap = Extractor::new(array.clone())
+                    .extract(&[0.5; 4])
+                    .expect("extraction of a valid array succeeds");
+                let net = TsvRcNetlist::from_extraction(&array, cap);
+                let link = TsvLink::new(net, DriverModel::ptm_22nm_strength6())
+                    .expect("link construction succeeds");
+                let stream = SequentialSource::new(4, 0.05)
+                    .expect("valid width")
+                    .generate(9, 64)
+                    .expect("generation succeeds");
+                Box::new(move |tel| {
+                    let report = link
+                        .simulate_with_telemetry(&stream, 3.0e9, tel)
+                        .expect("simulation succeeds");
+                    black_box(report.total_energy());
+                })
+            },
+        },
+        BenchCase {
+            name: "gray_encode_w16_4k",
+            area: "codec",
+            about: "Gray-code encode of a 4096-cycle, 16-bit gaussian stream",
+            setup: || {
+                let codec = GrayCodec::new(16).expect("width 16 is supported");
+                let stream = gaussian_stream(16, 3_000.0, 0.3, 4_096, 5);
+                Box::new(move |tel| {
+                    let out = codec.encode(&stream).expect("width matches");
+                    tel.add("bench.encoded_words", out.len() as u64);
+                    black_box(out.len());
+                })
+            },
+        },
+        BenchCase {
+            name: "correlator_encode_w16_4k",
+            area: "codec",
+            about: "temporal-correlator (XOR) encode of a 4096-cycle, 16-bit gaussian stream",
+            setup: || {
+                let codec = Correlator::new(16, 1).expect("width 16 is supported");
+                let stream = gaussian_stream(16, 3_000.0, 0.3, 4_096, 5);
+                Box::new(move |tel| {
+                    let out = codec.encode(&stream).expect("width matches");
+                    tel.add("bench.encoded_words", out.len() as u64);
+                    black_box(out.len());
+                })
+            },
+        },
+        BenchCase {
+            name: "couplinginvert_encode_w12_4k",
+            area: "codec",
+            about: "coupling-invert encode (per-word cost search) of a 4096-cycle, 12-bit stream",
+            setup: || {
+                let codec = CouplingInvert::new(12).expect("width 12 is supported");
+                let stream = gaussian_stream(12, 800.0, 0.5, 4_096, 11);
+                Box::new(move |tel| {
+                    let out = codec.encode(&stream).expect("width matches");
+                    tel.add("bench.encoded_words", out.len() as u64);
+                    black_box(out.len());
+                })
+            },
+        },
+    ]
+}
+
+/// Looks up a case by exact name.
+pub fn find(name: &str) -> Option<BenchCase> {
+    cases().into_iter().find(|c| c.name == name)
+}
+
+fn quick_anneal() -> optimize::AnnealOptions {
+    optimize::AnnealOptions {
+        iterations: 4_000,
+        restarts: 2,
+        seed: 0x7_5EED,
+    }
+}
+
+fn cap_model(side: usize) -> LinearCapModel {
+    let array =
+        TsvArray::new(side, side, TsvGeometry::wide_2018()).expect("bench geometry is valid");
+    LinearCapModel::fit(&Extractor::new(array)).expect("extraction of a valid array succeeds")
+}
+
+fn sequential_problem(
+    side: usize,
+    branch_p: f64,
+    cycles: usize,
+    seed: u64,
+) -> AssignmentProblem {
+    let stream = SequentialSource::new(side * side, branch_p)
+        .expect("valid width")
+        .generate(seed, cycles)
+        .expect("generation succeeds");
+    AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap_model(side))
+        .expect("stream width matches the array")
+}
+
+fn gaussian_problem(
+    side: usize,
+    sigma: f64,
+    rho: f64,
+    cycles: usize,
+    seed: u64,
+) -> AssignmentProblem {
+    let stream = gaussian_stream(side * side, sigma, rho, cycles, seed);
+    AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap_model(side))
+        .expect("stream width matches the array")
+}
+
+fn gaussian_stream(width: usize, sigma: f64, rho: f64, cycles: usize, seed: u64) -> BitStream {
+    GaussianSource::new(width, sigma)
+        .with_correlation(rho)
+        .generate(seed, cycles)
+        .expect("generation succeeds")
+}
+
+/// An `n`-node grounded RC ladder with one switched drive at node 1 —
+/// a synthetic stand-in for a TSV bundle netlist that scales the dense
+/// LU work predictably.
+fn rc_ladder(n: usize) -> Netlist {
+    let mut net = Netlist::new(n);
+    for node in 1..n {
+        net.resistor(node, node + 1, 50.0);
+    }
+    for node in 1..=n {
+        net.capacitor(node, 0, 5.0e-15);
+        // Neighbour coupling gives the matrix off-diagonal structure.
+        if node + 2 <= n {
+            net.capacitor(node, node + 2, 1.0e-15);
+        }
+    }
+    net.drive(1, 1.0 / 200.0, 0.0);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{measure, BenchOptions};
+
+    #[test]
+    fn registry_names_are_unique_and_area_tagged() {
+        let cases = cases();
+        assert!(cases.len() >= 10, "the registry must cover >= 10 hot paths");
+        let mut names: Vec<_> = cases.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cases.len(), "duplicate case name");
+        for case in &cases {
+            assert!(
+                ["core", "circuit", "codec"].contains(&case.area),
+                "unknown area `{}` for `{}`",
+                case.area,
+                case.name
+            );
+            assert!(!case.about.is_empty());
+        }
+        for area in ["core", "circuit", "codec"] {
+            assert!(
+                cases.iter().any(|c| c.area == area),
+                "no case covers `{area}`"
+            );
+        }
+    }
+
+    #[test]
+    fn find_resolves_exact_names_only() {
+        assert!(find("gray_encode_w16_4k").is_some());
+        assert!(find("gray_encode").is_none());
+    }
+
+    #[test]
+    fn every_case_runs_under_a_minimal_budget() {
+        // One warmup-free iteration per case: catches panicking
+        // setups/bodies without turning the test suite into a bench.
+        let minimal = BenchOptions {
+            warmup_iters: 0,
+            iters: 1,
+        };
+        for case in cases() {
+            let mut body = (case.setup)();
+            let m = measure(case.name, case.area, minimal, &mut *body);
+            assert_eq!(m.samples_ns.len(), 1, "case `{}`", case.name);
+        }
+    }
+}

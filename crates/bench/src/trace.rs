@@ -1,0 +1,431 @@
+//! Telemetry trace analysis: turns the PR-1 `*.jsonl` event streams
+//! into per-span rollups and a flamegraph-style collapsed-stack export.
+//!
+//! The JSONL format is one object per line, e.g.
+//! `{"t":1.5,"event":"span","name":"core.anneal","seconds":0.2}` —
+//! `t` is the emit time (seconds since the handle's epoch) and span
+//! events are emitted *on drop*, so a span's interval is
+//! `[t − seconds, t]`. Nesting is reconstructed from interval
+//! containment (sinks are written single-threaded, so containment is
+//! well defined); the reconstruction yields per-span *self time* and
+//! `parent;child`-style collapsed stacks directly consumable by
+//! standard flamegraph tooling.
+//!
+//! Robustness contract (pinned by `tests/trace_parser.rs`): malformed
+//! lines, a truncated final record and an empty file all degrade to
+//! *skip and count* — an analysis pass over a partially-written trace
+//! must never panic.
+
+use crate::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tsv3d_telemetry::Histogram;
+
+/// Two span intervals closer than this (seconds) are considered
+/// touching; absorbs f64 noise in `t − seconds` reconstruction.
+const EPS: f64 = 1e-9;
+
+/// One well-formed telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Emit time, seconds since the handle's epoch.
+    pub t: f64,
+    /// Event name (`span`, `anneal.epoch`, `run.start`, …).
+    pub name: String,
+    /// The full parsed line, for field access.
+    pub value: JsonValue,
+}
+
+/// The outcome of parsing one `.jsonl` text.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedTrace {
+    /// Well-formed events, in file order.
+    pub events: Vec<TraceEvent>,
+    /// Non-blank lines seen.
+    pub lines: usize,
+    /// Lines that failed to parse or lacked `t`/`event` (skipped).
+    pub skipped: usize,
+}
+
+/// Parses JSON-lines text, skipping (and counting) malformed lines.
+///
+/// Never fails: a truncated final record — the normal state of a trace
+/// whose writer was killed mid-line — counts as one skipped line, and
+/// an empty input yields an empty trace.
+pub fn parse_jsonl(text: &str) -> ParsedTrace {
+    let mut trace = ParsedTrace::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        trace.lines += 1;
+        let parsed = match json::parse(line) {
+            Ok(v) => v,
+            Err(_) => {
+                trace.skipped += 1;
+                continue;
+            }
+        };
+        let t = parsed.get("t").and_then(JsonValue::as_f64);
+        let name = parsed.get("event").and_then(JsonValue::as_str);
+        match (t, name) {
+            (Some(t), Some(name)) if t.is_finite() => trace.events.push(TraceEvent {
+                t,
+                name: name.to_string(),
+                value: parsed.clone(),
+            }),
+            _ => trace.skipped += 1,
+        }
+    }
+    trace
+}
+
+/// Aggregated timing of one span name.
+#[derive(Debug, Clone)]
+pub struct SpanRollup {
+    /// Span name (`core.anneal`, `circuit.lu_factor`, …).
+    pub name: String,
+    /// Completed instances.
+    pub count: u64,
+    /// Summed durations, seconds.
+    pub total_s: f64,
+    /// Summed *self* time (duration minus nested child spans), seconds.
+    pub self_s: f64,
+    /// Shortest instance, seconds.
+    pub min_s: f64,
+    /// Longest instance, seconds.
+    pub max_s: f64,
+    /// Median duration estimated from the log2 histogram, seconds.
+    pub p50_s: f64,
+    /// 95th percentile, same estimator.
+    pub p95_s: f64,
+    /// 99th percentile, same estimator.
+    pub p99_s: f64,
+}
+
+/// The full analysis of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Per-span-name rollups, sorted by descending total time.
+    pub spans: Vec<SpanRollup>,
+    /// Count of every event name seen (spans included).
+    pub event_counts: BTreeMap<String, u64>,
+    /// Collapsed stacks: `parent;child` path → (self seconds, count),
+    /// sorted by path.
+    pub collapsed: Vec<(String, f64, u64)>,
+    /// Non-blank lines in the file.
+    pub lines: usize,
+    /// Lines skipped as malformed.
+    pub skipped: usize,
+}
+
+struct SpanInterval {
+    name: String,
+    start: f64,
+    end: f64,
+}
+
+/// Analyses parsed events into rollups and collapsed stacks.
+pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
+    let mut event_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut intervals: Vec<SpanInterval> = Vec::new();
+    for event in &trace.events {
+        *event_counts.entry(event.name.clone()).or_insert(0) += 1;
+        if event.name == "span" {
+            let name = event.value.get("name").and_then(JsonValue::as_str);
+            let seconds = event.value.get("seconds").and_then(JsonValue::as_f64);
+            if let (Some(name), Some(seconds)) = (name, seconds) {
+                if seconds.is_finite() && seconds >= 0.0 {
+                    intervals.push(SpanInterval {
+                        name: name.to_string(),
+                        start: event.t - seconds,
+                        end: event.t,
+                    });
+                }
+            }
+        }
+    }
+
+    // Containment pass: sort by start (outer spans first on ties) and
+    // sweep with a stack to find each span's innermost enclosing span.
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by(|&a, &b| {
+        intervals[a]
+            .start
+            .partial_cmp(&intervals[b].start)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                intervals[b]
+                    .end
+                    .partial_cmp(&intervals[a].end)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+    let mut paths: Vec<String> = vec![String::new(); intervals.len()];
+    let mut child_sum: Vec<f64> = vec![0.0; intervals.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for &idx in &order {
+        let span = &intervals[idx];
+        // Drop finished ancestors and anything that cannot contain us.
+        while let Some(&top) = stack.last() {
+            if intervals[top].end <= span.start + EPS
+                || intervals[top].end < span.end - EPS
+            {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&parent) = stack.last() {
+            child_sum[parent] += span.end - span.start;
+            paths[idx] = format!("{};{}", paths[parent], span.name);
+        } else {
+            paths[idx] = span.name.clone();
+        }
+        stack.push(idx);
+    }
+
+    // Per-name rollups and per-path self-time accumulation.
+    struct Acc {
+        count: u64,
+        total: f64,
+        self_s: f64,
+        min: f64,
+        max: f64,
+        hist: Histogram,
+    }
+    let mut by_name: BTreeMap<String, Acc> = BTreeMap::new();
+    let mut by_path: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    for (idx, span) in intervals.iter().enumerate() {
+        let duration = span.end - span.start;
+        let self_s = (duration - child_sum[idx]).max(0.0);
+        let acc = by_name.entry(span.name.clone()).or_insert_with(|| Acc {
+            count: 0,
+            total: 0.0,
+            self_s: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            hist: Histogram::new(),
+        });
+        acc.count += 1;
+        acc.total += duration;
+        acc.self_s += self_s;
+        acc.min = acc.min.min(duration);
+        acc.max = acc.max.max(duration);
+        acc.hist.record(duration);
+        let slot = by_path.entry(paths[idx].clone()).or_insert((0.0, 0));
+        slot.0 += self_s;
+        slot.1 += 1;
+    }
+
+    let mut spans: Vec<SpanRollup> = by_name
+        .into_iter()
+        .map(|(name, acc)| SpanRollup {
+            name,
+            count: acc.count,
+            total_s: acc.total,
+            self_s: acc.self_s,
+            min_s: acc.min,
+            max_s: acc.max,
+            p50_s: acc.hist.percentile(0.5).unwrap_or(0.0),
+            p95_s: acc.hist.percentile(0.95).unwrap_or(0.0),
+            p99_s: acc.hist.percentile(0.99).unwrap_or(0.0),
+        })
+        .collect();
+    spans.sort_by(|a, b| {
+        b.total_s
+            .partial_cmp(&a.total_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    TraceSummary {
+        spans,
+        event_counts,
+        collapsed: by_path
+            .into_iter()
+            .map(|(path, (self_s, count))| (path, self_s, count))
+            .collect(),
+        lines: trace.lines,
+        skipped: trace.skipped,
+    }
+}
+
+/// Parses and analyses in one step.
+pub fn analyze_text(text: &str) -> TraceSummary {
+    analyze(&parse_jsonl(text))
+}
+
+/// Renders the human-readable rollup report `tsv3d trace` prints.
+pub fn render_summary(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} event(s) on {} line(s), {} skipped",
+        summary.event_counts.values().sum::<u64>(),
+        summary.lines,
+        summary.skipped
+    );
+    if !summary.spans.is_empty() {
+        let name_width = summary
+            .spans
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(4)
+            .max("span".len());
+        let _ = writeln!(
+            out,
+            "\n{:<name_width$}  {:>7}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
+            "span", "count", "total s", "self s", "p50 s", "p95 s", "max s"
+        );
+        for s in &summary.spans {
+            let _ = writeln!(
+                out,
+                "{:<name_width$}  {:>7}  {:>12.6}  {:>12.6}  {:>12.6}  {:>12.6}  {:>12.6}",
+                s.name, s.count, s.total_s, s.self_s, s.p50_s, s.p95_s, s.max_s
+            );
+        }
+    }
+    if !summary.event_counts.is_empty() {
+        let _ = writeln!(out, "\nevents:");
+        let width = summary
+            .event_counts
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        for (name, count) in &summary.event_counts {
+            let _ = writeln!(out, "  {name:<width$}  {count}");
+        }
+    }
+    out
+}
+
+/// Renders the collapsed-stack export (`path self_weight_ns` per line),
+/// the input format of standard flamegraph tooling.
+pub fn render_collapsed(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    for (path, self_s, _count) in &summary.collapsed {
+        let ns = (self_s * 1e9).round().max(0.0) as u64;
+        let _ = writeln!(out, "{path} {ns}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_lines() {
+        let text = "\
+{\"t\":0.5,\"event\":\"run.start\",\"binary\":\"x\"}\n\
+{\"t\":1.0,\"event\":\"span\",\"name\":\"a\",\"seconds\":0.25}\n";
+        let trace = parse_jsonl(text);
+        assert_eq!(trace.lines, 2);
+        assert_eq!(trace.skipped, 0);
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.events[1].name, "span");
+    }
+
+    #[test]
+    fn rollup_counts_totals_and_percentiles() {
+        let mut text = String::new();
+        for i in 1..=4u32 {
+            // Four non-overlapping `work` spans of 0.1 s each.
+            let end = f64::from(i);
+            text.push_str(&format!(
+                "{{\"t\":{end},\"event\":\"span\",\"name\":\"work\",\"seconds\":0.1}}\n"
+            ));
+        }
+        let summary = analyze_text(&text);
+        assert_eq!(summary.spans.len(), 1);
+        let s = &summary.spans[0];
+        assert_eq!(s.name, "work");
+        assert_eq!(s.count, 4);
+        assert!((s.total_s - 0.4).abs() < 1e-12);
+        assert!((s.self_s - 0.4).abs() < 1e-12, "no nesting: self == total");
+        // Log2-bucket estimate: all samples in [2^-4, 2^-3), clamped to
+        // the observed max.
+        assert!((s.p50_s - 0.1).abs() < 1e-12);
+        assert_eq!(summary.event_counts["span"], 4);
+    }
+
+    #[test]
+    fn nesting_attributes_self_time_to_the_parent_remainder() {
+        // outer: [0, 1.0]; inner: [0.2, 0.6] — emitted first (drops
+        // first), exactly as the JsonLines sink writes them.
+        let text = "\
+{\"t\":0.6,\"event\":\"span\",\"name\":\"inner\",\"seconds\":0.4}\n\
+{\"t\":1.0,\"event\":\"span\",\"name\":\"outer\",\"seconds\":1.0}\n";
+        let summary = analyze_text(text);
+        let outer = summary.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = summary.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert!((outer.total_s - 1.0).abs() < 1e-9);
+        assert!((outer.self_s - 0.6).abs() < 1e-9, "1.0 − 0.4 nested");
+        assert!((inner.self_s - 0.4).abs() < 1e-9);
+        let paths: Vec<&str> = summary
+            .collapsed
+            .iter()
+            .map(|(p, _, _)| p.as_str())
+            .collect();
+        assert_eq!(paths, vec!["outer", "outer;inner"]);
+        let flame = render_collapsed(&summary);
+        assert!(flame.contains("outer;inner 400000000"), "{flame}");
+        assert!(flame.contains("outer 600000000"), "{flame}");
+    }
+
+    #[test]
+    fn siblings_do_not_nest() {
+        // a: [0, 0.3]; b: [0.4, 0.7] — disjoint, both roots.
+        let text = "\
+{\"t\":0.3,\"event\":\"span\",\"name\":\"a\",\"seconds\":0.3}\n\
+{\"t\":0.7,\"event\":\"span\",\"name\":\"b\",\"seconds\":0.3}\n";
+        let summary = analyze_text(text);
+        let paths: Vec<&str> = summary
+            .collapsed
+            .iter()
+            .map(|(p, _, _)| p.as_str())
+            .collect();
+        assert_eq!(paths, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn malformed_and_incomplete_lines_are_counted_not_fatal() {
+        let text = "\
+{\"t\":1.0,\"event\":\"ok\"}\n\
+this is not json\n\
+{\"t\":2.0}\n\
+{\"event\":\"no-time\"}\n\
+{\"t\":3.0,\"event\":\"ok\"}\n\
+{\"t\":4.0,\"event\":\"span\",\"name\":\"trunc";
+        let trace = parse_jsonl(text);
+        assert_eq!(trace.lines, 6);
+        assert_eq!(trace.skipped, 4);
+        assert_eq!(trace.events.len(), 2);
+        let summary = analyze(&trace);
+        assert_eq!(summary.event_counts["ok"], 2);
+        assert!(render_summary(&summary).contains("4 skipped"));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_summary() {
+        let summary = analyze_text("");
+        assert!(summary.spans.is_empty());
+        assert_eq!(summary.lines, 0);
+        assert_eq!(summary.skipped, 0);
+        assert!(render_collapsed(&summary).is_empty());
+        assert!(render_summary(&summary).contains("0 event(s)"));
+    }
+
+    #[test]
+    fn span_events_with_broken_fields_still_count_as_events() {
+        // A `span` event missing `seconds` contributes to event counts
+        // but not to rollups.
+        let text = "{\"t\":1.0,\"event\":\"span\",\"name\":\"x\"}\n";
+        let summary = analyze_text(text);
+        assert!(summary.spans.is_empty());
+        assert_eq!(summary.event_counts["span"], 1);
+    }
+}

@@ -9,6 +9,9 @@
 //!   extract   print the array's capacitance matrix as CSV
 //!   spice     print the link as a SPICE subcircuit
 //!   noise     print the worst-case crosstalk summary
+//!   bench     run the benchmark registry, write BENCH_*.json artifacts
+//!   trace     aggregate a telemetry .jsonl stream into span rollups
+//!   help      print this usage summary
 //!
 //! Common options:
 //!   --rows N           array rows (default 3)
@@ -41,6 +44,24 @@ use tsv3d_model::{
 };
 use tsv3d_stats::gen::{GaussianSource, SequentialSource, UniformSource};
 use tsv3d_stats::{BitStream, SwitchingStats};
+
+/// The short usage summary printed for `help` and on usage errors.
+const USAGE: &str = "\
+Usage: tsv3d <command> [options]
+
+Commands:
+  assign    compute a bit-to-TSV assignment (default)
+  eval      evaluate a given assignment string on a workload
+  extract   print the array's capacitance matrix as CSV
+  spice     print the link as a SPICE subcircuit
+  noise     print the worst-case crosstalk summary
+  bench     run the benchmark registry, write BENCH_*.json artifacts
+  trace     aggregate a telemetry .jsonl stream into span rollups
+  help      print this usage summary
+
+Run `tsv3d bench --list` for the benchmark cases, or see the module
+docs (crates/experiments/src/bin/tsv3d.rs) for every option.
+";
 
 #[derive(Debug)]
 struct Options {
@@ -81,7 +102,7 @@ enum Method {
     Sawtooth,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         command: Command::Assign,
         rows: 3,
@@ -94,7 +115,6 @@ fn parse_args() -> Result<Options, String> {
         cycles: 20_000,
         seed: 1,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     if let Some(first) = args.first() {
         if !first.starts_with("--") {
@@ -269,8 +289,7 @@ fn report_assignment(
     Ok(())
 }
 
-fn run(tel: &TelemetryHandle) -> Result<(), String> {
-    let opts = parse_args()?;
+fn run(opts: &Options, tel: &TelemetryHandle) -> Result<(), String> {
     let array =
         TsvArray::new(opts.rows, opts.cols, opts.geometry).map_err(|e| e.to_string())?;
     let n = array.len();
@@ -279,7 +298,7 @@ fn run(tel: &TelemetryHandle) -> Result<(), String> {
         Command::Assign => {
             let problem = {
                 let _span = tel.span("cli.problem_build");
-                let stream = generate_stream(&opts)?;
+                let stream = generate_stream(opts)?;
                 AssignmentProblem::new(
                     SwitchingStats::from_stream(&stream),
                     common::cap_model(opts.rows, opts.cols, opts.geometry),
@@ -287,7 +306,7 @@ fn run(tel: &TelemetryHandle) -> Result<(), String> {
                 .map_err(|e| e.to_string())?
             };
             let (assignment, method_name) = solve(&problem, opts.method, tel)?;
-            report_assignment(&opts, &array, &problem, &assignment, method_name)
+            report_assignment(opts, &array, &problem, &assignment, method_name)
         }
         Command::Eval => {
             let text = opts
@@ -301,13 +320,13 @@ fn run(tel: &TelemetryHandle) -> Result<(), String> {
                     assignment.n()
                 ));
             }
-            let stream = generate_stream(&opts)?;
+            let stream = generate_stream(opts)?;
             let problem = AssignmentProblem::new(
                 SwitchingStats::from_stream(&stream),
                 common::cap_model(opts.rows, opts.cols, opts.geometry),
             )
             .map_err(|e| e.to_string())?;
-            report_assignment(&opts, &array, &problem, &assignment, "user-supplied (eval)")
+            report_assignment(opts, &array, &problem, &assignment, "user-supplied (eval)")
         }
         Command::Extract => {
             let cap = Extractor::new(array)
@@ -350,12 +369,32 @@ fn run(tel: &TelemetryHandle) -> Result<(), String> {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommands with their own argument surface dispatch before the
+    // assignment-flow option parser (and before telemetry init, so a
+    // bench run never truncates a trace it is about to analyse).
+    match args.first().map(String::as_str) {
+        Some("bench") => std::process::exit(tsv3d_bench::cli::run_bench(&args[1..])),
+        Some("trace") => std::process::exit(tsv3d_bench::cli::run_trace(&args[1..])),
+        Some("help" | "--help" | "-h") => {
+            print!("{USAGE}");
+            return;
+        }
+        _ => {}
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     let tel = obs::for_binary("tsv3d");
-    let outcome = run(&tel);
+    let outcome = run(&opts, &tel);
     obs::finish(&tel);
     if let Err(message) = outcome {
         eprintln!("error: {message}");
-        eprintln!("run `tsv3d assign` with no options for defaults; see the module docs for usage");
+        eprintln!("run `tsv3d assign` with no options for defaults; see `tsv3d help` for usage");
         std::process::exit(1);
     }
 }

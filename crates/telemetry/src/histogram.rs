@@ -135,6 +135,62 @@ impl Histogram {
         self.buckets.get(&exp).copied().unwrap_or(0)
     }
 
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the log2
+    /// buckets.
+    ///
+    /// The estimate walks the zero counter and the log buckets in
+    /// ascending order until the cumulative count reaches
+    /// `ceil(q · count)` and reports that bucket's upper edge
+    /// `2^(exp+1)`, clamped into the observed `[min, max]` range so the
+    /// estimate never leaves the data. Zero-valued samples report 0.
+    /// The resolution is one octave — inherent to log2 bucketing — so
+    /// the true quantile lies within a factor of 2 of the estimate.
+    ///
+    /// Returns `None` when the histogram is empty or `q` is NaN;
+    /// `q ≤ 0` reports [`min`](Self::min) and `q ≥ 1` reports
+    /// [`max`](Self::max).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tsv3d_telemetry::Histogram;
+    ///
+    /// let mut h = Histogram::new();
+    /// for v in [1.0, 1.2, 1.7, 3.0, 100.0] {
+    ///     h.record(v);
+    /// }
+    /// // 3 of 5 samples sit in bucket 0 = [1, 2): the median reports
+    /// // that bucket's upper edge.
+    /// assert_eq!(h.percentile(0.5), Some(2.0));
+    /// assert_eq!(h.percentile(1.0), Some(100.0));
+    /// ```
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || q.is_nan() {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.zero;
+        if seen >= rank {
+            return Some(0.0);
+        }
+        for (&exp, &count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                let upper = (f64::from(exp) + 1.0).exp2();
+                return Some(upper.clamp(self.min, self.max));
+            }
+        }
+        // Unreachable while the side counters stay consistent; fall
+        // back to the observed maximum rather than panicking.
+        Some(self.max)
+    }
+
     /// Iterates the populated `(bucket, count)` pairs in ascending
     /// bucket order.
     pub fn buckets(&self) -> impl Iterator<Item = (i16, u64)> + '_ {
@@ -212,5 +268,63 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert!(h.min().is_infinite() && h.min() > 0.0);
         assert!(h.max().is_infinite() && h.max() < 0.0);
+        assert_eq!(h.percentile(0.5), None);
+    }
+
+    #[test]
+    fn percentile_walks_buckets_in_order() {
+        let mut h = Histogram::new();
+        // 8 samples: 4 in bucket 0 = [1, 2), 3 in bucket 2 = [4, 8),
+        // 1 in bucket 4 = [16, 32).
+        for v in [1.0, 1.1, 1.5, 1.9, 4.0, 5.0, 7.9, 17.0] {
+            h.record(v);
+        }
+        // rank(0.5) = 4 falls on the last sample of bucket 0, whose
+        // upper edge is 2.
+        assert_eq!(h.percentile(0.5), Some(2.0));
+        // rank(0.75) = 6 lands in bucket 2, upper edge 8.
+        assert_eq!(h.percentile(0.75), Some(8.0));
+        // rank(1.0) snaps to the exact observed max.
+        assert_eq!(h.percentile(1.0), Some(17.0));
+        assert_eq!(h.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_is_clamped_to_observed_range() {
+        let mut h = Histogram::new();
+        h.record(3.0); // bucket 1 = [2, 4), upper edge 4
+        h.record(3.5);
+        // The bucket's upper edge (4) exceeds the observed max (3.5):
+        // the estimate must not exceed data actually seen.
+        assert_eq!(h.percentile(0.5), Some(3.5));
+    }
+
+    #[test]
+    fn percentile_reports_zero_for_the_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(0.0);
+        h.record(0.0);
+        h.record(8.0);
+        assert_eq!(h.percentile(0.5), Some(0.0));
+        assert_eq!(h.percentile(0.99), Some(8.0));
+    }
+
+    #[test]
+    fn percentile_exact_boundary_between_buckets() {
+        let mut h = Histogram::new();
+        h.record(1.0); // bucket 0
+        h.record(4.0); // bucket 2
+        // rank(0.5) = 1: exactly exhausts bucket 0 → its upper edge 2.
+        assert_eq!(h.percentile(0.5), Some(2.0));
+        // Anything past the midpoint must move to the upper bucket.
+        assert_eq!(h.percentile(0.51), Some(4.0));
+    }
+
+    #[test]
+    fn percentile_rejects_nan_q() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        assert_eq!(h.percentile(f64::NAN), None);
     }
 }

@@ -279,6 +279,40 @@ impl TelemetryHandle {
             .cloned()
     }
 
+    /// A point-in-time copy of every counter, in name order. Empty for
+    /// a disabled handle.
+    ///
+    /// This is the export surface for harnesses (e.g. `tsv3d-bench`)
+    /// that serialise a run's counters next to its timings.
+    pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
+        match &self.0 {
+            Some(inner) => inner
+                .counters
+                .lock()
+                .expect("counter registry poisoned")
+                .clone(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// A point-in-time copy of every histogram, in name order. Empty
+    /// for a disabled handle.
+    ///
+    /// Together with [`Histogram::buckets`] and
+    /// [`Histogram::percentile`] this makes the full aggregation state
+    /// reachable from other crates instead of being summarisable only
+    /// through [`summary`](Self::summary).
+    pub fn histograms_snapshot(&self) -> BTreeMap<String, Histogram> {
+        match &self.0 {
+            Some(inner) => inner
+                .histograms
+                .lock()
+                .expect("histogram registry poisoned")
+                .clone(),
+            None => BTreeMap::new(),
+        }
+    }
+
     /// Seconds since the handle was created (0 when disabled).
     pub fn elapsed_seconds(&self) -> f64 {
         self.0
@@ -423,6 +457,34 @@ mod tests {
         let h = tel.histogram("work").unwrap();
         assert_eq!(h.count(), 1);
         assert!(h.sum() >= 0.002, "span measured {:.6}s", h.sum());
+    }
+
+    #[test]
+    fn snapshots_copy_the_registry_state() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        tel.add("a", 1);
+        tel.add("b", 2);
+        tel.record("h", 4.0);
+        let counters = tel.counters_snapshot();
+        assert_eq!(
+            counters.into_iter().collect::<Vec<_>>(),
+            vec![("a".to_string(), 1), ("b".to_string(), 2)]
+        );
+        let histograms = tel.histograms_snapshot();
+        assert_eq!(histograms.len(), 1);
+        assert_eq!(histograms["h"].count(), 1);
+        // The snapshot is a copy: later mutation must not show up.
+        tel.add("a", 10);
+        let counters = tel.counters_snapshot();
+        assert_eq!(counters["a"], 11);
+    }
+
+    #[test]
+    fn disabled_handle_snapshots_are_empty() {
+        let tel = TelemetryHandle::disabled();
+        tel.add("a", 1);
+        assert!(tel.counters_snapshot().is_empty());
+        assert!(tel.histograms_snapshot().is_empty());
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! End-to-end tests of the `tsv3d` multiplexer binary: subcommand
+//! dispatch, usage/exit-code contract, and the `bench`/`trace`
+//! surfaces added by the tsv3d-bench subsystem.
+//!
+//! Exit-code contract: 0 success, 1 runtime failure or gated
+//! regression, 2 usage error (unknown command/option, missing value).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tsv3d(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tsv3d"))
+        .args(args)
+        .env_remove("TSV3D_TELEMETRY")
+        .output()
+        .expect("tsv3d binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// A per-test scratch directory under the target tmpdir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tsv3d_cli_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
+    dir
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_2() {
+    let out = tsv3d(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("unknown command `frobnicate`"), "{err}");
+    assert!(err.contains("Usage: tsv3d <command>"), "{err}");
+    assert!(err.contains("bench"), "usage must list subcommands: {err}");
+}
+
+#[test]
+fn unknown_option_prints_usage_and_exits_2() {
+    let out = tsv3d(&["assign", "--frob", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("Usage: tsv3d <command>"));
+}
+
+#[test]
+fn help_prints_usage_on_stdout_and_exits_0() {
+    for arg in ["help", "--help", "-h"] {
+        let out = tsv3d(&[arg]);
+        assert_eq!(out.status.code(), Some(0), "`{arg}`");
+        assert!(stdout(&out).contains("Usage: tsv3d <command>"), "`{arg}`");
+    }
+}
+
+#[test]
+fn bench_list_names_the_registry() {
+    let out = tsv3d(&["bench", "--list"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for case in ["anneal_quick_3x3", "mna_lu_factor_n40", "gray_encode_w16_4k"] {
+        assert!(text.contains(case), "missing `{case}` in:\n{text}");
+    }
+    assert!(
+        text.lines().filter(|l| !l.trim().is_empty()).count() >= 10,
+        "registry lists >= 10 cases:\n{text}"
+    );
+}
+
+#[test]
+fn bench_usage_error_exits_2() {
+    let out = tsv3d(&["bench", "--gate", "5"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--gate requires --baseline"));
+}
+
+#[test]
+fn bench_writes_valid_artifacts_and_gates_against_baselines() {
+    use tsv3d_bench::json::{self, JsonValue};
+
+    let dir = scratch("bench");
+    let out_dir = dir.join("artifacts");
+    let out = tsv3d(&[
+        "bench",
+        "--case",
+        "gray_encode",
+        "--iters",
+        "3",
+        "--warmup",
+        "1",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+        "--write-baseline",
+        dir.join("base.json").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    // Artifact exists and matches the documented schema.
+    let artifact = out_dir.join("BENCH_gray_encode_w16_4k.json");
+    let text = std::fs::read_to_string(&artifact).expect("artifact written");
+    let value = json::parse(&text).expect("artifact is valid JSON");
+    assert_eq!(
+        value.get("schema").and_then(JsonValue::as_str),
+        Some("tsv3d-bench/v1")
+    );
+    assert_eq!(
+        value.get("case").and_then(JsonValue::as_str),
+        Some("gray_encode_w16_4k")
+    );
+    assert_eq!(value.get("iters").and_then(JsonValue::as_u64), Some(3));
+    let wall = value.get("wall_ns").expect("wall_ns object");
+    for stat in ["median", "p95", "min", "max"] {
+        assert!(
+            wall.get(stat).and_then(JsonValue::as_f64).unwrap_or(-1.0) > 0.0,
+            "{stat} must be a positive number"
+        );
+    }
+    assert!(value.get("git_rev").and_then(JsonValue::as_str).is_some());
+    assert!(value.get("unix_time_s").and_then(JsonValue::as_u64).is_some());
+
+    // A synthetic regressed baseline (impossibly fast) must fail the
+    // gate; a generous one must pass.
+    let fast = r#"{"cases":[{"case":"gray_encode_w16_4k","median_ns":1}]}"#;
+    std::fs::write(dir.join("fast.json"), fast).unwrap();
+    let out = tsv3d(&[
+        "bench",
+        "--case",
+        "gray_encode",
+        "--iters",
+        "2",
+        "--warmup",
+        "0",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+        "--baseline",
+        dir.join("fast.json").to_str().unwrap(),
+        "--gate",
+        "10",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "regression must exit nonzero");
+    assert!(stdout(&out).contains("REGRESSED"), "{}", stdout(&out));
+
+    let slow = r#"{"cases":[{"case":"gray_encode_w16_4k","median_ns":900000000000}]}"#;
+    std::fs::write(dir.join("slow.json"), slow).unwrap();
+    let out = tsv3d(&[
+        "bench",
+        "--case",
+        "gray_encode",
+        "--iters",
+        "2",
+        "--warmup",
+        "0",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+        "--baseline",
+        dir.join("slow.json").to_str().unwrap(),
+        "--gate",
+        "10",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    // The combined baseline written above is itself a valid gate input.
+    let base = std::fs::read_to_string(dir.join("base.json")).unwrap();
+    assert!(base.contains("tsv3d-bench-baseline/v1"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_rolls_up_a_real_telemetry_file() {
+    let dir = scratch("trace");
+    let trace_path = dir.join("run_telemetry.jsonl");
+    // Generate a real trace through the telemetry layer itself by
+    // running an instrumented assignment.
+    let out = Command::new(env!("CARGO_BIN_EXE_tsv3d"))
+        .args(["assign", "--rows", "2", "--cols", "2", "--cycles", "500"])
+        .env("TSV3D_TELEMETRY", "json")
+        .env("TSV3D_TELEMETRY_PATH", trace_path.to_str().unwrap())
+        .output()
+        .expect("tsv3d binary runs");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    let collapsed = dir.join("collapsed.txt");
+    let out = tsv3d(&[
+        "trace",
+        trace_path.to_str().unwrap(),
+        "--collapsed",
+        collapsed.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("core.anneal"), "span rollup present:\n{text}");
+    assert!(text.contains("0 skipped"), "{text}");
+    let flame = std::fs::read_to_string(&collapsed).unwrap();
+    assert!(
+        flame.lines().any(|l| l.contains("cli.solve;core.anneal")),
+        "nested stack reconstructed:\n{flame}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_survives_a_malformed_file() {
+    let dir = scratch("trace_bad");
+    let path = dir.join("bad.jsonl");
+    std::fs::write(
+        &path,
+        "{\"t\":1.0,\"event\":\"ok\"}\nnot json at all\n{\"t\":2.0,\"event\":\"span\",\"name\":\"x\",\"seconds\":0.5}\n{\"t\":3.0,\"event\":\"span\",\"name\":\"tr",
+    )
+    .unwrap();
+    let out = tsv3d(&["trace", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 skipped"), "{text}");
+    assert!(text.contains('x'), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_missing_file_exits_1() {
+    let out = tsv3d(&["trace", "/nonexistent/никогда.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot read"));
+}
