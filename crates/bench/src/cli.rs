@@ -26,10 +26,14 @@ Options:
   --iters N             timed iterations per case (default 15)
   --warmup N            warmup iterations per case (default 3)
   --case SUBSTR         only run cases whose name contains SUBSTR
+  --threads N           worker pool for the parallel optimizer cases
+                        (default 4; 0 = one per CPU). Results are
+                        bit-identical for every N — only timings change
   --out-dir DIR         artifact directory (default results/bench)
   --baseline FILE       compare medians against a baseline artifact
   --gate PCT            with --baseline: exit 1 if any case regresses
-                        by more than PCT percent
+                        by more than PCT percent; a non-positive
+                        baseline median is a usage error (exit 2)
   --write-baseline FILE also write a combined baseline artifact
   --list                list the registered cases and exit
 ";
@@ -50,6 +54,7 @@ Options:
 #[derive(Debug)]
 struct BenchArgs {
     options: BenchOptions,
+    config: registry::BenchConfig,
     case_filter: Option<String>,
     out_dir: PathBuf,
     baseline: Option<PathBuf>,
@@ -61,6 +66,7 @@ struct BenchArgs {
 fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
     let mut parsed = BenchArgs {
         options: BenchOptions::default(),
+        config: registry::BenchConfig::default(),
         case_filter: None,
         out_dir: PathBuf::from("results/bench"),
         baseline: None,
@@ -101,6 +107,12 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
             }
             "--case" => {
                 parsed.case_filter = Some(take_value()?.clone());
+                i += 2;
+            }
+            "--threads" => {
+                parsed.config.threads = take_value()?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
                 i += 2;
             }
             "--out-dir" => {
@@ -174,14 +186,16 @@ pub fn run_bench(args: &[String]) -> i32 {
     }
 
     println!(
-        "tsv3d bench: {} case(s), {} warmup + {} timed iteration(s) each",
+        "tsv3d bench: {} case(s), {} warmup + {} timed iteration(s) each, \
+         --threads {}",
         cases.len(),
         parsed.options.warmup_iters,
-        parsed.options.iters
+        parsed.options.iters,
+        parsed.config.threads
     );
     let mut reports = Vec::with_capacity(cases.len());
     for case in &cases {
-        let mut body = (case.setup)();
+        let mut body = (case.setup)(&parsed.config);
         let measurement = measure(case.name, case.area, parsed.options, &mut *body);
         let report = BenchReport::stamp(measurement);
         println!(
@@ -252,6 +266,17 @@ pub fn run_bench(args: &[String]) -> i32 {
         let outcome = gate::compare(&current, &baseline, parsed.gate_pct.unwrap_or(10.0));
         println!("\nbaseline: {}", baseline_path.display());
         print!("{}", outcome.render());
+        if gating && outcome.invalid_baselines() > 0 {
+            // A zeroed/corrupt baseline silently disabling the gate is
+            // worse than a failing gate: treat it as a usage error.
+            eprintln!(
+                "error: --gate with {} unusable baseline median(s) in `{}`; \
+                 regenerate it with --write-baseline",
+                outcome.invalid_baselines(),
+                baseline_path.display()
+            );
+            return 2;
+        }
         if gating && !outcome.passed() {
             return 1;
         }
@@ -320,14 +345,25 @@ mod tests {
 
     #[test]
     fn bench_arg_parsing_covers_the_surface() {
-        let args: Vec<String> = ["--quick", "--case", "gray", "--out-dir", "/tmp/x"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--quick", "--case", "gray", "--out-dir", "/tmp/x", "--threads", "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let parsed = parse_bench_args(&args).unwrap();
         assert_eq!(parsed.options, BenchOptions::quick());
         assert_eq!(parsed.case_filter.as_deref(), Some("gray"));
         assert_eq!(parsed.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(parsed.config.threads, 2);
+    }
+
+    #[test]
+    fn bench_threads_defaults_and_accepts_auto() {
+        let parsed = parse_bench_args(&[]).unwrap();
+        assert_eq!(parsed.config, registry::BenchConfig::default());
+        let auto: Vec<String> = vec!["--threads".into(), "0".into()];
+        assert_eq!(parse_bench_args(&auto).unwrap().config.threads, 0);
     }
 
     #[test]
@@ -337,11 +373,52 @@ mod tests {
             vec!["--iters", "0"],
             vec!["--gate", "5"],
             vec!["--gate", "-1", "--baseline", "x"],
+            vec!["--threads"],
+            vec!["--threads", "two"],
             vec!["--frobnicate"],
         ] {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(parse_bench_args(&args).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn gated_run_against_a_zeroed_baseline_is_a_usage_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "tsv3d_bench_cli_gate_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("zeroed_baseline.json");
+        std::fs::write(
+            &baseline,
+            "{\"schema\":\"tsv3d-bench-baseline/v1\",\"cases\":\
+             [{\"case\":\"gray_encode_w16_4k\",\"median_ns\":0,\"p95_ns\":0}]}\n",
+        )
+        .unwrap();
+        let args: Vec<String> = [
+            "--quick",
+            "--warmup",
+            "0",
+            "--iters",
+            "1",
+            "--case",
+            "gray_encode_w16_4k",
+            "--out-dir",
+            dir.join("out").to_str().unwrap(),
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--gate",
+            "25",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run_bench(&args), 2, "zeroed baseline must exit 2");
+        // Without --gate the same comparison is informational only.
+        let ungated: Vec<String> = args[..args.len() - 2].to_vec();
+        assert_eq!(run_bench(&ungated), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

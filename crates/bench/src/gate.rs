@@ -23,6 +23,10 @@ pub struct GateRow {
     pub delta_pct: Option<f64>,
     /// `true` when `delta_pct` exceeds the gate threshold.
     pub regressed: bool,
+    /// `true` when the baseline row exists but its median is not a
+    /// positive finite number — a zeroed or corrupt baseline that
+    /// would otherwise disable gating for this case without a trace.
+    pub baseline_invalid: bool,
 }
 
 /// Outcome of gating one run against one baseline.
@@ -45,6 +49,14 @@ impl GateOutcome {
     /// `true` when no compared case regressed.
     pub fn passed(&self) -> bool {
         self.regressions() == 0
+    }
+
+    /// Cases whose baseline median is unusable (non-positive or
+    /// non-finite). Under `--gate` these are a usage error: the
+    /// baseline artifact needs to be regenerated, and silently
+    /// skipping the comparison would disable the gate.
+    pub fn invalid_baselines(&self) -> usize {
+        self.rows.iter().filter(|r| r.baseline_invalid).count()
     }
 
     /// Renders the fixed-width comparison table the CLI prints.
@@ -71,6 +83,8 @@ impl GateOutcome {
                 .map_or("-".to_string(), |d| format!("{d:+.1}"));
             let verdict = if row.regressed {
                 "REGRESSED"
+            } else if row.baseline_invalid {
+                "BAD-BASELINE"
             } else if row.baseline_ns.is_none() {
                 "new"
             } else {
@@ -92,6 +106,14 @@ impl GateOutcome {
             self.gate_pct,
             self.rows.iter().filter(|r| r.delta_pct.is_some()).count()
         );
+        if self.invalid_baselines() > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} case(s) have a non-positive baseline median; \
+                 regenerate the baseline (`--write-baseline`)",
+                self.invalid_baselines()
+            );
+        }
         out
     }
 }
@@ -107,9 +129,8 @@ pub fn compare(
         .map(|cur| {
             let base = baseline.iter().find(|b| b.case == cur.case);
             let baseline_ns = base.map(|b| b.median_ns);
-            let delta_pct = baseline_ns
-                .filter(|&b| b > 0.0)
-                .map(|b| (cur.median_ns / b - 1.0) * 100.0);
+            let usable = baseline_ns.filter(|&b| b > 0.0 && b.is_finite());
+            let delta_pct = usable.map(|b| (cur.median_ns / b - 1.0) * 100.0);
             GateRow {
                 case: cur.case.clone(),
                 current_ns: cur.median_ns,
@@ -118,6 +139,7 @@ pub fn compare(
                 // The small epsilon keeps exact-threshold ratios (e.g.
                 // 110 vs. 100 at 10 %) from tripping on f64 rounding.
                 regressed: delta_pct.is_some_and(|d| d > gate_pct + 1e-6),
+                baseline_invalid: base.is_some() && usable.is_none(),
             }
         })
         .collect();
@@ -180,12 +202,37 @@ mod tests {
     }
 
     #[test]
-    fn zero_baseline_median_cannot_divide_by_zero() {
-        let current = vec![row("a", 100.0)];
-        let baseline = vec![row("a", 0.0)];
+    fn zero_baseline_median_is_flagged_not_silently_skipped() {
+        let current = vec![row("a", 100.0), row("b", 50.0)];
+        let baseline = vec![row("a", 0.0), row("b", 50.0)];
         let outcome = compare(&current, &baseline, 10.0);
         assert_eq!(outcome.rows[0].delta_pct, None);
+        assert!(outcome.rows[0].baseline_invalid);
+        assert!(!outcome.rows[1].baseline_invalid);
+        assert_eq!(outcome.invalid_baselines(), 1);
+        // Not a timing regression — the CLI escalates it separately
+        // (usage error, exit 2) when gating is requested.
         assert!(outcome.passed());
+        let table = outcome.render();
+        assert!(table.contains("BAD-BASELINE"), "{table}");
+        assert!(table.contains("regenerate the baseline"), "{table}");
+    }
+
+    #[test]
+    fn missing_baseline_rows_are_not_invalid() {
+        let current = vec![row("a", 100.0)];
+        let outcome = compare(&current, &[], 10.0);
+        assert_eq!(outcome.invalid_baselines(), 0);
+        assert!(!outcome.rows[0].baseline_invalid);
+    }
+
+    #[test]
+    fn non_finite_baseline_median_is_invalid() {
+        let current = vec![row("a", 100.0)];
+        let baseline = vec![row("a", f64::NAN)];
+        let outcome = compare(&current, &baseline, 10.0);
+        assert!(outcome.rows[0].baseline_invalid);
+        assert_eq!(outcome.rows[0].delta_pct, None);
     }
 
     #[test]

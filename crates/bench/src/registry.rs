@@ -24,6 +24,22 @@ use tsv3d_telemetry::TelemetryHandle;
 /// The measured body of one case, produced fresh by its setup.
 pub type BenchBody = Box<dyn FnMut(&TelemetryHandle)>;
 
+/// Run-wide knobs the CLI threads through to every case setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Worker-pool size for the parallel optimizer cases (`0` = one
+    /// worker per available CPU), set by `tsv3d bench --threads`.
+    /// Serial cases ignore it — their workload must not drift with the
+    /// machine the bench runs on.
+    pub threads: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self { threads: 4 }
+    }
+}
+
 /// A registered benchmark case.
 pub struct BenchCase {
     /// Unique name — also the `BENCH_<name>.json` artifact stem.
@@ -33,7 +49,7 @@ pub struct BenchCase {
     /// One-line description for `tsv3d bench --list`.
     pub about: &'static str,
     /// Builds the workload (untimed) and returns the body to measure.
-    pub setup: fn() -> BenchBody,
+    pub setup: fn(&BenchConfig) -> BenchBody,
 }
 
 /// The full case registry, in execution order.
@@ -43,7 +59,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "anneal_quick_3x3",
             area: "core",
             about: "simulated-annealing search (4k iters x 2 restarts) on a 3x3 sequential problem",
-            setup: || {
+            setup: |_cfg| {
                 let problem = sequential_problem(3, 0.02, 8_000, 77);
                 Box::new(move |tel| {
                     let r = optimize::anneal_with_telemetry(&problem, &quick_anneal(), tel)
@@ -56,7 +72,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "anneal_quick_4x4",
             area: "core",
             about: "simulated-annealing search (4k iters x 2 restarts) on a 4x4 gaussian problem",
-            setup: || {
+            setup: |_cfg| {
                 let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
                 Box::new(move |tel| {
                     let r = optimize::anneal_with_telemetry(&problem, &quick_anneal(), tel)
@@ -66,10 +82,68 @@ pub fn cases() -> Vec<BenchCase> {
             },
         },
         BenchCase {
+            name: "anneal_par_equiv_4x4",
+            area: "core",
+            about: "engine contract pin: serial and parallel anneal must return bit-identical results",
+            setup: |cfg| {
+                let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
+                let threads = cfg.threads;
+                Box::new(move |tel| {
+                    let serial = optimize::AnnealOptions {
+                        threads: 1,
+                        ..quick_anneal()
+                    };
+                    let parallel = optimize::AnnealOptions { threads, ..serial };
+                    let s = optimize::anneal_with_telemetry(&problem, &serial, tel)
+                        .expect("anneal budget is non-empty");
+                    let p = optimize::anneal_with_telemetry(&problem, &parallel, tel)
+                        .expect("anneal budget is non-empty");
+                    assert_eq!(
+                        s.assignment, p.assignment,
+                        "parallel anneal diverged from serial at threads={threads}"
+                    );
+                    assert_eq!(
+                        s.power.to_bits(),
+                        p.power.to_bits(),
+                        "parallel anneal power not bit-identical at threads={threads}"
+                    );
+                    black_box(p.power);
+                })
+            },
+        },
+        BenchCase {
+            name: "anneal_large_6x6_serial",
+            area: "core",
+            about: "large-bundle annealing (20k iters x 4 restarts) on a 6x6 gaussian problem, threads=1",
+            setup: |_cfg| {
+                let problem = gaussian_problem(6, 1.7e10, 0.4, 8_000, 42);
+                Box::new(move |tel| {
+                    let r = optimize::anneal_with_telemetry(&problem, &large_anneal(1), tel)
+                        .expect("anneal budget is non-empty");
+                    black_box(r.power);
+                })
+            },
+        },
+        BenchCase {
+            name: "anneal_large_6x6_threads",
+            area: "core",
+            about: "the same 6x6 workload fanned over the --threads worker pool (default 4)",
+            setup: |cfg| {
+                let problem = gaussian_problem(6, 1.7e10, 0.4, 8_000, 42);
+                let threads = cfg.threads;
+                Box::new(move |tel| {
+                    let r =
+                        optimize::anneal_with_telemetry(&problem, &large_anneal(threads), tel)
+                            .expect("anneal budget is non-empty");
+                    black_box(r.power);
+                })
+            },
+        },
+        BenchCase {
             name: "bnb_search_3x3",
             area: "core",
             about: "branch-and-bound search (capped at 300k nodes) on a 3x3 sequential problem",
-            setup: || {
+            setup: |_cfg| {
                 let problem = sequential_problem(3, 0.02, 8_000, 77);
                 let options = optimize::BnbOptions {
                     node_limit: 300_000,
@@ -86,7 +160,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "greedy_two_opt_4x4",
             area: "core",
             about: "deterministic greedy 2-opt local search on a 4x4 gaussian problem",
-            setup: || {
+            setup: |_cfg| {
                 let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
                 Box::new(move |tel| {
                     let r = optimize::greedy_two_opt(&problem);
@@ -99,7 +173,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "power_eval_4x4_x256",
             area: "core",
             about: "256 full <T',C'> power evaluations (Eq. 10 objective) on a 4x4 problem",
-            setup: || {
+            setup: |_cfg| {
                 let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
                 let assignment = SignedPerm::identity(16);
                 Box::new(move |tel| {
@@ -116,7 +190,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "delta_eval_4x4_x1024",
             area: "core",
             about: "1024 incremental swap/flip delta evaluations (the anneal inner loop) on 4x4",
-            setup: || {
+            setup: |_cfg| {
                 let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
                 let assignment = SignedPerm::identity(16);
                 Box::new(move |tel| {
@@ -138,7 +212,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "mna_lu_factor_n40",
             area: "circuit",
             about: "dense LU factorisation of a 40-node RC ladder (Netlist::transient)",
-            setup: || {
+            setup: |_cfg| {
                 let net = rc_ladder(40);
                 Box::new(move |tel| {
                     let sim = net
@@ -152,7 +226,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "mna_transient_n40_x256",
             area: "circuit",
             about: "256 backward-Euler steps of the 40-node ladder (LU solve + history updates)",
-            setup: || {
+            setup: |_cfg| {
                 let net = rc_ladder(40);
                 let mut sim = net
                     .transient(1.0e-11)
@@ -175,7 +249,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "link_simulate_2x2_64c",
             area: "circuit",
             about: "full TSV-link energy simulation: 2x2 array, 64 cycles at 3 GHz",
-            setup: || {
+            setup: |_cfg| {
                 let array = TsvArray::new(2, 2, TsvGeometry::itrs_2018_min())
                     .expect("2x2 geometry is valid");
                 let cap = Extractor::new(array.clone())
@@ -200,7 +274,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "gray_encode_w16_4k",
             area: "codec",
             about: "Gray-code encode of a 4096-cycle, 16-bit gaussian stream",
-            setup: || {
+            setup: |_cfg| {
                 let codec = GrayCodec::new(16).expect("width 16 is supported");
                 let stream = gaussian_stream(16, 3_000.0, 0.3, 4_096, 5);
                 Box::new(move |tel| {
@@ -214,7 +288,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "correlator_encode_w16_4k",
             area: "codec",
             about: "temporal-correlator (XOR) encode of a 4096-cycle, 16-bit gaussian stream",
-            setup: || {
+            setup: |_cfg| {
                 let codec = Correlator::new(16, 1).expect("width 16 is supported");
                 let stream = gaussian_stream(16, 3_000.0, 0.3, 4_096, 5);
                 Box::new(move |tel| {
@@ -228,7 +302,7 @@ pub fn cases() -> Vec<BenchCase> {
             name: "couplinginvert_encode_w12_4k",
             area: "codec",
             about: "coupling-invert encode (per-word cost search) of a 4096-cycle, 12-bit stream",
-            setup: || {
+            setup: |_cfg| {
                 let codec = CouplingInvert::new(12).expect("width 12 is supported");
                 let stream = gaussian_stream(12, 800.0, 0.5, 4_096, 11);
                 Box::new(move |tel| {
@@ -251,6 +325,20 @@ fn quick_anneal() -> optimize::AnnealOptions {
         iterations: 4_000,
         restarts: 2,
         seed: 0x7_5EED,
+        threads: 1,
+    }
+}
+
+/// The speedup-demonstration workload: restarts == the default worker
+/// pool, so `anneal_large_6x6_threads` vs. `..._serial` shows the
+/// engine's scaling on multi-core machines (the result is
+/// bit-identical either way).
+fn large_anneal(threads: usize) -> optimize::AnnealOptions {
+    optimize::AnnealOptions {
+        iterations: 20_000,
+        restarts: 4,
+        seed: 0x7_5EED,
+        threads,
     }
 }
 
@@ -356,10 +444,22 @@ mod tests {
             warmup_iters: 0,
             iters: 1,
         };
+        let config = BenchConfig { threads: 2 };
         for case in cases() {
-            let mut body = (case.setup)();
+            let mut body = (case.setup)(&config);
             let m = measure(case.name, case.area, minimal, &mut *body);
             assert_eq!(m.samples_ns.len(), 1, "case `{}`", case.name);
+        }
+    }
+
+    #[test]
+    fn parallel_equivalence_case_accepts_any_thread_count() {
+        // The contract pin must hold for auto (0) and oversubscribed
+        // pools alike; the case body asserts bit-identity internally.
+        for threads in [0, 1, 2, 8] {
+            let case = find("anneal_par_equiv_4x4").expect("registered");
+            let mut body = (case.setup)(&BenchConfig { threads });
+            body(&TelemetryHandle::disabled());
         }
     }
 }

@@ -6,10 +6,14 @@
 //! `t` is the emit time (seconds since the handle's epoch) and span
 //! events are emitted *on drop*, so a span's interval is
 //! `[t − seconds, t]`. Nesting is reconstructed from interval
-//! containment (sinks are written single-threaded, so containment is
-//! well defined); the reconstruction yields per-span *self time* and
+//! containment *per thread label*: spans emitted from worker threads
+//! (the parallel optimizer, the experiment work queue) carry a
+//! `thread` field, and containment is only well defined within one
+//! label's stream — unlabelled spans form their own group. The
+//! reconstruction yields per-span *self time* and
 //! `parent;child`-style collapsed stacks directly consumable by
-//! standard flamegraph tooling.
+//! standard flamegraph tooling; rollups and paths still merge across
+//! labels, so the report is thread-count independent in shape.
 //!
 //! Robustness contract (pinned by `tests/trace_parser.rs`): malformed
 //! lines, a truncated final record and an empty file all degrade to
@@ -122,6 +126,8 @@ pub struct TraceSummary {
 
 struct SpanInterval {
     name: String,
+    /// `thread` field of the span event; empty for unlabelled spans.
+    thread: String,
     start: f64,
     end: f64,
 }
@@ -137,8 +143,14 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
             let seconds = event.value.get("seconds").and_then(JsonValue::as_f64);
             if let (Some(name), Some(seconds)) = (name, seconds) {
                 if seconds.is_finite() && seconds >= 0.0 {
+                    let thread = event
+                        .value
+                        .get("thread")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("");
                     intervals.push(SpanInterval {
                         name: name.to_string(),
+                        thread: thread.to_string(),
                         start: event.t - seconds,
                         end: event.t,
                     });
@@ -147,43 +159,52 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
         }
     }
 
-    // Containment pass: sort by start (outer spans first on ties) and
+    // Containment pass, independently per thread label: spans from
+    // concurrent workers interleave in the file and may overlap
+    // arbitrarily across labels, but within one label's stream they
+    // nest. Sort each group by start (outer spans first on ties) and
     // sweep with a stack to find each span's innermost enclosing span.
-    let mut order: Vec<usize> = (0..intervals.len()).collect();
-    order.sort_by(|&a, &b| {
-        intervals[a]
-            .start
-            .partial_cmp(&intervals[b].start)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                intervals[b]
-                    .end
-                    .partial_cmp(&intervals[a].end)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
-    });
+    let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, span) in intervals.iter().enumerate() {
+        groups.entry(span.thread.as_str()).or_default().push(idx);
+    }
     let mut paths: Vec<String> = vec![String::new(); intervals.len()];
     let mut child_sum: Vec<f64> = vec![0.0; intervals.len()];
-    let mut stack: Vec<usize> = Vec::new();
-    for &idx in &order {
-        let span = &intervals[idx];
-        // Drop finished ancestors and anything that cannot contain us.
-        while let Some(&top) = stack.last() {
-            if intervals[top].end <= span.start + EPS
-                || intervals[top].end < span.end - EPS
-            {
-                stack.pop();
-            } else {
-                break;
+    for group in groups.values() {
+        let mut order = group.clone();
+        order.sort_by(|&a, &b| {
+            intervals[a]
+                .start
+                .partial_cmp(&intervals[b].start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    intervals[b]
+                        .end
+                        .partial_cmp(&intervals[a].end)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        let mut stack: Vec<usize> = Vec::new();
+        for &idx in &order {
+            let span = &intervals[idx];
+            // Drop finished ancestors and anything that cannot contain us.
+            while let Some(&top) = stack.last() {
+                if intervals[top].end <= span.start + EPS
+                    || intervals[top].end < span.end - EPS
+                {
+                    stack.pop();
+                } else {
+                    break;
+                }
             }
+            if let Some(&parent) = stack.last() {
+                child_sum[parent] += span.end - span.start;
+                paths[idx] = format!("{};{}", paths[parent], span.name);
+            } else {
+                paths[idx] = span.name.clone();
+            }
+            stack.push(idx);
         }
-        if let Some(&parent) = stack.last() {
-            child_sum[parent] += span.end - span.start;
-            paths[idx] = format!("{};{}", paths[parent], span.name);
-        } else {
-            paths[idx] = span.name.clone();
-        }
-        stack.push(idx);
     }
 
     // Per-name rollups and per-path self-time accumulation.
@@ -389,6 +410,48 @@ mod tests {
             .map(|(p, _, _)| p.as_str())
             .collect();
         assert_eq!(paths, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn overlapping_spans_on_different_threads_do_not_nest() {
+        // Worker r0's span [0.0, 0.8] overlaps worker r1's [0.3, 1.0]
+        // without containing it — with a single global containment pass
+        // r1's span would be misattributed as a child of r0's. An
+        // unlabelled outer span [0.0, 1.2] must not swallow either.
+        let text = "\
+{\"t\":0.8,\"event\":\"span\",\"name\":\"work\",\"seconds\":0.8,\"thread\":\"r0\"}\n\
+{\"t\":1.0,\"event\":\"span\",\"name\":\"work\",\"seconds\":0.7,\"thread\":\"r1\"}\n\
+{\"t\":1.2,\"event\":\"span\",\"name\":\"outer\",\"seconds\":1.2}\n";
+        let summary = analyze_text(text);
+        let work = summary.spans.iter().find(|s| s.name == "work").unwrap();
+        assert_eq!(work.count, 2);
+        assert!(
+            (work.self_s - 1.5).abs() < 1e-9,
+            "both worker spans are roots of their own label: {}",
+            work.self_s
+        );
+        let outer = summary.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert!((outer.self_s - 1.2).abs() < 1e-9, "no cross-label children");
+        let paths: Vec<&str> = summary
+            .collapsed
+            .iter()
+            .map(|(p, _, _)| p.as_str())
+            .collect();
+        assert_eq!(paths, vec!["outer", "work"], "rollups merge across labels");
+    }
+
+    #[test]
+    fn same_thread_label_still_nests() {
+        let text = "\
+{\"t\":0.6,\"event\":\"span\",\"name\":\"inner\",\"seconds\":0.4,\"thread\":\"r2\"}\n\
+{\"t\":1.0,\"event\":\"span\",\"name\":\"outer\",\"seconds\":1.0,\"thread\":\"r2\"}\n";
+        let summary = analyze_text(text);
+        let paths: Vec<&str> = summary
+            .collapsed
+            .iter()
+            .map(|(p, _, _)| p.as_str())
+            .collect();
+        assert_eq!(paths, vec!["outer", "outer;inner"]);
     }
 
     #[test]

@@ -319,6 +319,7 @@ mod tests {
             iterations: 6_000,
             restarts: 2,
             seed: 9,
+            threads: 1,
         };
         let interleaved = Partition::striped(32, 2).unwrap();
         let clustered = Partition::correlation_clustered(&stats, &[16, 16]).unwrap();
@@ -344,6 +345,7 @@ mod tests {
                 iterations: 2_000,
                 restarts: 1,
                 seed: 4,
+                threads: 1,
             },
         )
         .unwrap();

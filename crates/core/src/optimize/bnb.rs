@@ -493,6 +493,7 @@ mod tests {
                 iterations: 40_000,
                 restarts: 4,
                 seed: 5,
+                threads: 1,
             },
         )
         .unwrap();

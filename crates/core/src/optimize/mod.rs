@@ -47,6 +47,11 @@ pub struct AnnealOptions {
     pub restarts: usize,
     /// RNG seed (searches are deterministic given the seed).
     pub seed: u64,
+    /// Worker threads the restarts fan out over; `0` means one per
+    /// available CPU. Each restart draws from its own seed stream and
+    /// the reduction happens in restart order, so the result is
+    /// bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for AnnealOptions {
@@ -55,8 +60,95 @@ impl Default for AnnealOptions {
             iterations: 20_000,
             restarts: 3,
             seed: 0x5EED,
+            threads: 1,
         }
     }
+}
+
+impl AnnealOptions {
+    /// The resolved worker-pool size: `threads`, or the machine's
+    /// available parallelism when `threads == 0` (at least 1).
+    pub fn worker_count(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            t => t,
+        }
+    }
+}
+
+/// SplitMix64 finaliser over a stream-salted state. Restart `r` draws
+/// from stream `r + 1` and the calibration probe from stream `0`, so
+/// streams stay statistically independent even for small consecutive
+/// user seeds — and a restart's stream depends only on
+/// `(seed, restart)`, never on which worker runs it, which is what
+/// makes the engine's result independent of the thread count.
+fn stream_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `jobs` independent restarts over at most `threads` scoped
+/// workers and returns the results in job order. Worker `w` takes jobs
+/// `w, w + W, …` — restarts cost the same, so striding balances the
+/// pool without a queue. One worker (or one job) runs inline on the
+/// caller's thread with no spawn at all; a panicking job propagates.
+fn fan_out<R: Send>(jobs: usize, threads: usize, job: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let workers = threads.clamp(1, jobs.max(1));
+    if workers == 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let job = &job;
+                scope.spawn(move || -> Vec<(usize, R)> {
+                    (w..jobs).step_by(workers).map(|i| (i, job(i))).collect()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("optimizer worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("strides cover every job"))
+        .collect()
+}
+
+/// Restart-order reduction to the minimising result; strict `<` keeps
+/// the earliest restart on ties, matching what a serial loop returns.
+fn reduce_min(locals: Vec<OptimizeResult>) -> OptimizeResult {
+    locals
+        .into_iter()
+        .reduce(|incumbent, candidate| {
+            if candidate.power < incumbent.power {
+                candidate
+            } else {
+                incumbent
+            }
+        })
+        .expect("restarts >= 1 was checked")
+}
+
+/// Two *distinct* entries of `lines`, uniform over ordered pairs.
+/// Drawing the endpoints independently would propose degenerate
+/// self-swaps (delta = 0) that are always "accepted", wasting the
+/// iteration and inflating acceptance telemetry.
+fn distinct_pair(rng: &mut StdRng, lines: &[usize]) -> (usize, usize) {
+    debug_assert!(lines.len() >= 2, "caller guards the flip-only case");
+    let a = rng.gen_range(0..lines.len());
+    let mut b = rng.gen_range(0..lines.len() - 1);
+    if b >= a {
+        b += 1;
+    }
+    (lines[a], lines[b])
 }
 
 /// Exhaustive search over every permutation and every feasible inversion
@@ -170,13 +262,18 @@ pub fn anneal(
 
 /// [`anneal`] with per-epoch instrumentation.
 ///
-/// Emits `anneal.epoch` events (temperature, current/best power,
-/// acceptance rate, move mix) roughly 32 times per restart, plus
+/// Emits `anneal.epoch` events (temperature, current/restart-best
+/// power, acceptance rate, move mix) roughly 32 times per restart, plus
 /// `anneal.calibrated` after the temperature probe, and accumulates
-/// `anneal.*` counters on the handle. Telemetry is purely
-/// observational: it never touches the RNG or the accept/reject
-/// decisions, so for a given seed the returned [`OptimizeResult`] is
-/// bit-identical to [`anneal`]'s whatever sink is attached.
+/// `anneal.*` counters on the handle. With `options.threads > 1` the
+/// restarts run on a scoped worker pool; epoch events from restart `r`
+/// then carry a `thread: "r<r>"` label so trace analysis can separate
+/// the interleaved streams, and `best_power` is the *restart-local*
+/// best (a cross-restart incumbent would make the event stream depend
+/// on worker timing). Telemetry is purely observational: it never
+/// touches the RNG or the accept/reject decisions, so for a given seed
+/// the returned [`OptimizeResult`] is bit-identical to [`anneal`]'s
+/// whatever sink is attached — and whatever the thread count.
 ///
 /// # Errors
 ///
@@ -192,13 +289,15 @@ pub fn anneal_with_telemetry(
     let _span = tel.span("core.anneal");
     let observe = tel.is_enabled();
     let n = problem.n();
-    let mut rng = StdRng::seed_from_u64(options.seed);
 
-    // Probe the landscape to calibrate the temperature scale.
+    // Probe the landscape to calibrate the temperature scale. The probe
+    // has its own seed stream (restarts use streams 1..=R), so the
+    // calibration is the same however many workers run later.
+    let mut probe_rng = StdRng::seed_from_u64(stream_seed(options.seed, 0));
     let mut probe_min = f64::INFINITY;
     let mut probe_max = f64::NEG_INFINITY;
     for _ in 0..32.max(n) {
-        let a = random_feasible(problem, &mut rng);
+        let a = random_feasible(problem, &mut probe_rng);
         let p = problem.power(&a);
         probe_min = probe_min.min(p);
         probe_max = probe_max.max(p);
@@ -216,6 +315,7 @@ pub fn anneal_with_telemetry(
                 ("probe_spread", Value::from(spread)),
                 ("iterations", Value::from(options.iterations)),
                 ("restarts", Value::from(options.restarts)),
+                ("threads", Value::from(options.worker_count())),
             ],
         );
     }
@@ -232,18 +332,17 @@ pub fn anneal_with_telemetry(
 
     // Epoch granularity of the per-restart telemetry (≈32 reports).
     let epoch_len = (options.iterations / 32).max(1);
-    let mut best: Option<OptimizeResult> = None;
-    for restart in 0..options.restarts {
+    let run_restart = |restart: usize| -> OptimizeResult {
+        let rtel = tel.with_thread_label(&format!("r{restart}"));
+        let mut rng = StdRng::seed_from_u64(stream_seed(options.seed, restart as u64 + 1));
         let mut current = random_feasible(problem, &mut rng);
         let mut current_power = problem.power(&current);
-        // Record the starting state so a best always exists even in the
-        // (pathological) case that every proposal is rejected.
-        if best.as_ref().is_none_or(|b| current_power < b.power) {
-            best = Some(OptimizeResult {
-                assignment: current.clone(),
-                power: current_power,
-            });
-        }
+        // The starting state seeds the restart-local best, so a best
+        // exists even if every proposal is rejected.
+        let mut best = OptimizeResult {
+            assignment: current.clone(),
+            power: current_power,
+        };
         let mut temperature = t_start;
         let mut accepts_since_resync = 0u32;
         // Per-epoch move mix, reset after each `anneal.epoch` event.
@@ -261,8 +360,7 @@ pub fn anneal_with_telemetry(
                 swap_b = 0;
             } else {
                 flip_bit = None;
-                swap_a = free_lines[rng.gen_range(0..free_lines.len())];
-                swap_b = free_lines[rng.gen_range(0..free_lines.len())];
+                (swap_a, swap_b) = distinct_pair(&mut rng, &free_lines);
                 delta = problem.swap_lines_delta(&current, swap_a, swap_b);
             }
             if observe {
@@ -286,27 +384,24 @@ pub fn anneal_with_telemetry(
                     current_power = problem.power(&current);
                     accepts_since_resync = 0;
                 }
-                if best.as_ref().is_none_or(|b| current_power < b.power) {
-                    best = Some(OptimizeResult {
+                if current_power < best.power {
+                    best = OptimizeResult {
                         assignment: current.clone(),
                         power: current_power,
-                    });
+                    };
                 }
             }
             temperature *= cooling;
             if observe && ((it + 1) % epoch_len == 0 || it + 1 == options.iterations) {
                 let proposals = ep_swaps + ep_flips;
-                tel.event(
+                rtel.event(
                     "anneal.epoch",
                     &[
                         ("restart", Value::from(restart)),
                         ("iteration", Value::from(it + 1)),
                         ("temperature", Value::from(temperature)),
                         ("current_power", Value::from(current_power)),
-                        (
-                            "best_power",
-                            Value::from(best.as_ref().map_or(f64::NAN, |b| b.power)),
-                        ),
+                        ("best_power", Value::from(best.power)),
                         (
                             "accept_rate",
                             Value::from(ep_accepts as f64 / proposals.max(1) as f64),
@@ -315,16 +410,17 @@ pub fn anneal_with_telemetry(
                         ("flip_moves", Value::from(ep_flips)),
                     ],
                 );
-                tel.add("anneal.proposals", proposals);
-                tel.add("anneal.accepts", ep_accepts);
-                tel.add("anneal.swap_moves", ep_swaps);
-                tel.add("anneal.flip_moves", ep_flips);
+                rtel.add("anneal.proposals", proposals);
+                rtel.add("anneal.accepts", ep_accepts);
+                rtel.add("anneal.swap_moves", ep_swaps);
+                rtel.add("anneal.flip_moves", ep_flips);
                 (ep_swaps, ep_flips, ep_accepts) = (0, 0, 0);
             }
         }
-        tel.add("anneal.restarts", 1);
-    }
-    let mut best = best.expect("incumbent recorded at every restart start");
+        rtel.add("anneal.restarts", 1);
+        best
+    };
+    let mut best = reduce_min(fan_out(options.restarts, options.worker_count(), run_restart));
     // Report the exact power of the winning assignment (the tracked
     // value may carry accumulated-delta rounding).
     best.power = problem.power(&best.assignment);
@@ -336,8 +432,13 @@ pub fn anneal_with_telemetry(
 /// (`power + λ · crosstalk_activity`).
 ///
 /// Full objective evaluation per move (no incremental pricing), so use
-/// a smaller iteration budget than [`anneal`]. The returned assignment
-/// satisfies the problem's inversion constraints.
+/// a smaller iteration budget than [`anneal`]. Moves are drawn from the
+/// same feasible set as [`anneal`]'s — swaps over the unpinned lines,
+/// flips of invertible bits — so the returned assignment satisfies the
+/// problem's pin *and* inversion constraints. Restarts fan out over
+/// `options.threads` workers with the same per-restart seed streams as
+/// [`anneal`], so the result is bit-identical for every thread count
+/// (the objective must be `Sync` for that reason).
 ///
 /// # Errors
 ///
@@ -368,40 +469,53 @@ pub fn anneal_with_telemetry(
 /// ```
 pub fn anneal_objective(
     problem: &AssignmentProblem,
-    objective: impl Fn(&SignedPerm) -> f64,
+    objective: impl Fn(&SignedPerm) -> f64 + Sync,
     options: &AnnealOptions,
 ) -> Result<OptimizeResult, CoreError> {
     if options.iterations == 0 || options.restarts == 0 {
         return Err(CoreError::EmptyBudget);
     }
     let n = problem.n();
-    let mut rng = StdRng::seed_from_u64(options.seed ^ 0x0B_1EC7);
+    let flip_candidates: Vec<usize> = (0..n).filter(|&i| problem.is_invertible(i)).collect();
+    let free_lines = problem.free_lines();
+    if free_lines.len() < 2 && flip_candidates.is_empty() {
+        // Everything is pinned and nothing may be inverted: the base
+        // assignment is the only feasible point.
+        let a = problem.base_assignment();
+        let value = objective(&a);
+        return Ok(OptimizeResult {
+            assignment: a,
+            power: value,
+        });
+    }
 
+    let seed = options.seed ^ 0x0B_1EC7;
+    let mut probe_rng = StdRng::seed_from_u64(stream_seed(seed, 0));
     let mut probe_min = f64::INFINITY;
     let mut probe_max = f64::NEG_INFINITY;
     for _ in 0..32.max(n) {
-        let v = objective(&random_feasible(problem, &mut rng));
+        let v = objective(&random_feasible(problem, &mut probe_rng));
         probe_min = probe_min.min(v);
         probe_max = probe_max.max(v);
     }
     let spread = (probe_max - probe_min).max(probe_max.abs() * 1e-6 + f64::MIN_POSITIVE);
     let t_start = 0.5 * spread;
     let cooling = (1e-5f64).powf(1.0 / options.iterations as f64);
-    let flip_candidates: Vec<usize> = (0..n).filter(|&i| problem.is_invertible(i)).collect();
 
-    let mut best: Option<OptimizeResult> = None;
-    for _ in 0..options.restarts {
+    let run_restart = |restart: usize| -> OptimizeResult {
+        let mut rng = StdRng::seed_from_u64(stream_seed(seed, restart as u64 + 1));
         let mut current = random_feasible(problem, &mut rng);
         let mut current_value = objective(&current);
-        if best.as_ref().is_none_or(|b| current_value < b.power) {
-            best = Some(OptimizeResult {
-                assignment: current.clone(),
-                power: current_value,
-            });
-        }
+        let mut best = OptimizeResult {
+            assignment: current.clone(),
+            power: current_value,
+        };
         let mut temperature = t_start;
         for _ in 0..options.iterations {
-            let flip = !flip_candidates.is_empty() && rng.gen_bool(0.3);
+            // Propose over the same feasible move set as `anneal`: swaps
+            // stay on the unpinned lines, flips on invertible bits only.
+            let flip = !flip_candidates.is_empty()
+                && (free_lines.len() < 2 || rng.gen_bool(0.3));
             let (swap_a, swap_b, flip_bit);
             if flip {
                 let bit = flip_candidates[rng.gen_range(0..flip_candidates.len())];
@@ -411,19 +525,18 @@ pub fn anneal_objective(
                 swap_b = 0;
             } else {
                 flip_bit = None;
-                swap_a = rng.gen_range(0..n);
-                swap_b = rng.gen_range(0..n);
+                (swap_a, swap_b) = distinct_pair(&mut rng, &free_lines);
                 current.swap_lines(swap_a, swap_b);
             }
             let candidate = objective(&current);
             let delta = candidate - current_value;
             if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
                 current_value = candidate;
-                if best.as_ref().is_none_or(|b| current_value < b.power) {
-                    best = Some(OptimizeResult {
+                if current_value < best.power {
+                    best = OptimizeResult {
                         assignment: current.clone(),
                         power: current_value,
-                    });
+                    };
                 }
             } else {
                 match flip_bit {
@@ -433,8 +546,13 @@ pub fn anneal_objective(
             }
             temperature *= cooling;
         }
-    }
-    Ok(best.expect("incumbent recorded at every restart start"))
+        best
+    };
+    Ok(reduce_min(fan_out(
+        options.restarts,
+        options.worker_count(),
+        run_restart,
+    )))
 }
 
 /// Deterministic greedy + 2-opt local search: repeatedly applies the
@@ -491,6 +609,9 @@ pub fn greedy_two_opt(problem: &AssignmentProblem) -> OptimizeResult {
 /// Simulated annealing towards the *highest* power, without inversions —
 /// the "worst-case random assignment" reference of Fig. 2.
 ///
+/// Restarts fan out over `options.threads` workers with per-restart
+/// seed streams, so the result is bit-identical for every thread count.
+///
 /// # Errors
 ///
 /// [`CoreError::EmptyBudget`] if `iterations` or `restarts` is zero.
@@ -502,11 +623,12 @@ pub fn worst_case(
         return Err(CoreError::EmptyBudget);
     }
     let n = problem.n();
-    let mut rng = StdRng::seed_from_u64(options.seed ^ 0xBAD_C0DE);
+    let seed = options.seed ^ 0xBAD_C0DE;
+    let mut probe_rng = StdRng::seed_from_u64(stream_seed(seed, 0));
     let mut probe_min = f64::INFINITY;
     let mut probe_max = f64::NEG_INFINITY;
     for _ in 0..32.max(n) {
-        let p = problem.power(&random_unsigned_feasible(problem, &mut rng));
+        let p = problem.power(&random_unsigned_feasible(problem, &mut probe_rng));
         probe_min = probe_min.min(p);
         probe_max = probe_max.max(p);
     }
@@ -520,38 +642,47 @@ pub fn worst_case(
         return Ok(OptimizeResult { assignment: a, power });
     }
 
-    let mut best: Option<OptimizeResult> = None;
-    for _ in 0..options.restarts {
+    let run_restart = |restart: usize| -> OptimizeResult {
+        let mut rng = StdRng::seed_from_u64(stream_seed(seed, restart as u64 + 1));
         let mut current = random_unsigned_feasible(problem, &mut rng);
         let mut current_power = problem.power(&current);
-        if best.as_ref().is_none_or(|m| current_power > m.power) {
-            best = Some(OptimizeResult {
-                assignment: current.clone(),
-                power: current_power,
-            });
-        }
+        let mut best = OptimizeResult {
+            assignment: current.clone(),
+            power: current_power,
+        };
         let mut temperature = t_start;
         for _ in 0..options.iterations {
-            let a = free_lines[rng.gen_range(0..free_lines.len())];
-            let b = free_lines[rng.gen_range(0..free_lines.len())];
+            let (a, b) = distinct_pair(&mut rng, &free_lines);
             current.swap_lines(a, b);
             let p = problem.power(&current);
             let delta = current_power - p; // maximising
             if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
                 current_power = p;
-                if best.as_ref().is_none_or(|m| current_power > m.power) {
-                    best = Some(OptimizeResult {
+                if current_power > best.power {
+                    best = OptimizeResult {
                         assignment: current.clone(),
                         power: current_power,
-                    });
+                    };
                 }
             } else {
                 current.swap_lines(a, b);
             }
             temperature *= cooling;
         }
-    }
-    Ok(best.expect("at least one restart ran"))
+        best
+    };
+    let locals = fan_out(options.restarts, options.worker_count(), run_restart);
+    // Restart-order reduction, strict `>`: earliest restart wins ties.
+    Ok(locals
+        .into_iter()
+        .reduce(|incumbent, candidate| {
+            if candidate.power > incumbent.power {
+                candidate
+            } else {
+                incumbent
+            }
+        })
+        .expect("restarts >= 1 was checked"))
 }
 
 /// Mean power over `samples` uniformly random permutations *without*
@@ -657,6 +788,7 @@ mod tests {
                 iterations: 30_000,
                 restarts: 4,
                 seed: 3,
+                threads: 1,
             },
         )
         .unwrap();
@@ -740,6 +872,82 @@ mod tests {
         let p = gaussian_problem(3, 3);
         assert!(greedy_two_opt(&p).power <= p.identity_power());
     }
+
+    #[test]
+    fn anneal_is_bit_identical_for_every_thread_count() {
+        let p = gaussian_problem(3, 3);
+        let serial = AnnealOptions {
+            iterations: 3_000,
+            restarts: 4,
+            seed: 0xC0FFEE,
+            threads: 1,
+        };
+        let reference = anneal(&p, &serial).unwrap();
+        for threads in [2, 3, 8, 0] {
+            let parallel = anneal(&p, &AnnealOptions { threads, ..serial }).unwrap();
+            assert_eq!(
+                reference.assignment, parallel.assignment,
+                "threads={threads} diverged"
+            );
+            assert_eq!(
+                reference.power.to_bits(),
+                parallel.power.to_bits(),
+                "threads={threads} power not bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn anneal_objective_and_worst_case_are_thread_count_invariant() {
+        let p = gaussian_problem(2, 3);
+        let serial = AnnealOptions {
+            iterations: 1_500,
+            restarts: 3,
+            seed: 0xFEED,
+            threads: 1,
+        };
+        let par = AnnealOptions { threads: 4, ..serial };
+        let obj = |a: &SignedPerm| p.power(a) + 0.25 * p.crosstalk_activity(a);
+        let o1 = anneal_objective(&p, obj, &serial).unwrap();
+        let o4 = anneal_objective(&p, obj, &par).unwrap();
+        assert_eq!(o1.assignment, o4.assignment);
+        assert_eq!(o1.power.to_bits(), o4.power.to_bits());
+        let w1 = worst_case(&p, &serial).unwrap();
+        let w4 = worst_case(&p, &par).unwrap();
+        assert_eq!(w1.assignment, w4.assignment);
+        assert_eq!(w1.power.to_bits(), w4.power.to_bits());
+    }
+
+    #[test]
+    fn distinct_pair_never_proposes_a_self_swap() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lines = [2usize, 5, 9];
+        for _ in 0..2_000 {
+            let (a, b) = distinct_pair(&mut rng, &lines);
+            assert_ne!(a, b);
+            assert!(lines.contains(&a) && lines.contains(&b));
+        }
+        // Both orderings of a two-element pool occur.
+        let two = [4usize, 6];
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            let (a, _) = distinct_pair(&mut rng, &two);
+            seen[usize::from(a == 6)] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn stream_seeds_differ_across_streams_and_seeds() {
+        // Consecutive small seeds and streams must not collide: the
+        // probe (stream 0) and every restart draw independent streams.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..16u64 {
+            for stream in 0..16u64 {
+                assert!(seen.insert(stream_seed(seed, stream)));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -772,6 +980,7 @@ mod pin_tests {
             iterations: 4_000,
             restarts: 2,
             seed: 3,
+            threads: 1,
         };
         let annealed = anneal(&p, &opts).unwrap();
         let greedy = greedy_two_opt(&p);
@@ -820,6 +1029,7 @@ mod pin_tests {
                 iterations: 4_000,
                 restarts: 2,
                 seed: 2,
+                threads: 1,
             },
         )
         .unwrap()
@@ -844,9 +1054,50 @@ mod pin_tests {
             iterations: 100,
             restarts: 1,
             seed: 1,
+            threads: 1,
         };
         let a = anneal(&p, &opts).unwrap();
         assert_eq!(a.assignment, p.base_assignment());
+    }
+
+    #[test]
+    fn anneal_objective_respects_pins() {
+        // Regression guard: the objective annealer used to swap over
+        // *all* lines, so it could move pinned bits and hand back an
+        // infeasible assignment.
+        let p = pinned_problem();
+        let opts = AnnealOptions {
+            iterations: 2_000,
+            restarts: 2,
+            seed: 11,
+            threads: 1,
+        };
+        let best = anneal_objective(
+            &p,
+            |a| p.power(a) + 0.5 * p.crosstalk_activity(a),
+            &opts,
+        )
+        .unwrap();
+        assert!(p.is_feasible(&best.assignment), "{:?}", best.assignment);
+        assert_eq!(best.assignment.line_of_bit(5), 0);
+        assert_eq!(best.assignment.line_of_bit(0), 4);
+    }
+
+    #[test]
+    fn fully_pinned_uninvertible_problem_short_circuits_anneal_objective() {
+        let cap = LinearCapModel::fit(&Extractor::new(
+            TsvArray::new(2, 2, TsvGeometry::wide_2018()).unwrap(),
+        ))
+        .unwrap();
+        let stream = GaussianSource::new(4, 3.0).generate(1, 500).unwrap();
+        let p = AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap)
+            .unwrap()
+            .with_pinned(vec![Some(3), Some(2), Some(1), Some(0)])
+            .unwrap()
+            .with_invertible(vec![false; 4])
+            .unwrap();
+        let best = anneal_objective(&p, |a| p.power(a), &AnnealOptions::default()).unwrap();
+        assert_eq!(best.assignment, p.base_assignment());
     }
 
     #[test]

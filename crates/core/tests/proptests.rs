@@ -48,6 +48,28 @@ fn problem() -> impl Strategy<Value = AssignmentProblem> {
         })
 }
 
+/// Strategy: a 4-bit problem with random (valid) pins and inversion
+/// permissions layered on top of [`problem`].
+fn pinned_problem() -> impl Strategy<Value = AssignmentProblem> {
+    (
+        problem(),
+        prop::collection::vec(any::<u32>(), 4), // line ranking → pin targets
+        prop::collection::vec(any::<bool>(), 4), // which bits are pinned
+        prop::collection::vec(any::<bool>(), 4), // inversion permissions
+    )
+        .prop_map(|(p, keys, pin_mask, invertible)| {
+            let mut lines: Vec<usize> = (0..4).collect();
+            lines.sort_by_key(|&i| keys[i]);
+            let pins: Vec<Option<usize>> = (0..4)
+                .map(|bit| pin_mask[bit].then_some(lines[bit]))
+                .collect();
+            p.with_pinned(pins)
+                .expect("distinct in-range pins")
+                .with_invertible(invertible)
+                .expect("flag count matches")
+        })
+}
+
 fn signed_perm(n: usize) -> impl Strategy<Value = SignedPerm> {
     (
         prop::collection::vec(any::<u32>(), n),
@@ -114,6 +136,40 @@ proptest! {
             bnb.result.power,
             exact.power
         );
+    }
+
+    #[test]
+    fn anneal_objective_only_returns_feasible_assignments(p in pinned_problem(), seed in any::<u64>()) {
+        // Regression guard: `anneal_objective` used to swap over *all*
+        // lines instead of the unpinned ones, so with pins it could
+        // return assignments violating the constraints it was given.
+        let options = tsv3d_core::optimize::AnnealOptions {
+            iterations: 300,
+            restarts: 1,
+            seed,
+            threads: 1,
+        };
+        let result = tsv3d_core::optimize::anneal_objective(&p, |a| p.power(a), &options)
+            .expect("non-empty budget");
+        prop_assert!(
+            p.is_feasible(&result.assignment),
+            "infeasible result {:?} for pins {:?} / invertible {:?}",
+            result.assignment,
+            p.pinned(),
+            p.invertible()
+        );
+    }
+
+    #[test]
+    fn anneal_respects_pins_and_inversion_constraints(p in pinned_problem(), seed in any::<u64>()) {
+        let options = tsv3d_core::optimize::AnnealOptions {
+            iterations: 300,
+            restarts: 1,
+            seed,
+            threads: 1,
+        };
+        let result = tsv3d_core::optimize::anneal(&p, &options).expect("non-empty budget");
+        prop_assert!(p.is_feasible(&result.assignment));
     }
 
     #[test]

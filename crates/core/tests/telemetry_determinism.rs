@@ -50,7 +50,7 @@ proptest! {
         (rows, cols) in (2usize..=3, 2usize..=3),
     ) {
         let p = problem(rows, cols, stream_seed, correlation);
-        let opts = AnnealOptions { iterations: 1_500, restarts: 2, seed };
+        let opts = AnnealOptions { iterations: 1_500, restarts: 2, seed, threads: 1 };
 
         let plain = anneal(&p, &opts).unwrap();
         let null = anneal_with_telemetry(
@@ -95,6 +95,7 @@ fn instrumented_anneal_actually_reports() {
         iterations: 2_000,
         restarts: 2,
         seed: 7,
+        threads: 1,
     };
     anneal_with_telemetry(&p, &opts, &tel).unwrap();
     let proposals = tel.counter_value("anneal.proposals").unwrap_or(0);

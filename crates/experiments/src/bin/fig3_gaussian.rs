@@ -2,15 +2,20 @@
 //! pattern sets over a 4×4 array, vs. standard deviation, for five
 //! temporal-correlation settings (3.a: ρ = 0; 3.b–3.e: ρ ≠ 0).
 //!
-//! Usage: `cargo run --release -p tsv3d-experiments --bin fig3_gaussian [--quick]`
+//! Usage: `cargo run --release -p tsv3d-experiments --bin fig3_gaussian [--quick] [--threads N]`
+//!
+//! `--threads 0` (the default) uses one worker per CPU; any thread
+//! count produces bit-identical tables.
 
 use tsv3d_experiments::fig3::{self, RHOS};
 use tsv3d_experiments::obs;
+use tsv3d_experiments::par;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
     let tel = obs::for_binary("fig3_gaussian");
     let quick = std::env::args().any(|a| a == "--quick");
+    let threads = par::threads_from_args();
     let cycles = if quick { 10_000 } else { 30_000 };
     println!(
         "Fig. 3 — Gaussian 16 b patterns, 4x4 array r=2um d=8um ({} cycles, reference: mean random assignment)\n",
@@ -25,7 +30,7 @@ fn main() {
             &format!("Fig. {panel}  (rho = {rho:+.1})"),
             &["P_red optimal [%]", "P_red Sawtooth [%]", "P_red Spiral [%]"],
         );
-        for p in fig3::sweep_with_telemetry(rho, cycles, quick, &tel) {
+        for p in fig3::sweep_threaded(rho, cycles, quick, threads, &tel) {
             table.row(
                 &format!("sigma = {:>7.0}", p.sigma),
                 &[p.reduction_optimal, p.reduction_sawtooth, p.reduction_spiral],

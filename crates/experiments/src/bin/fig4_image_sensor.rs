@@ -1,16 +1,21 @@
 //! Regenerates the paper's Fig. 4: power reduction for image-sensor
 //! (3D vision-SoC) streams, with stable lines and geometry variants.
 //!
-//! Usage: `cargo run --release -p tsv3d-experiments --bin fig4_image_sensor [--quick]`
+//! Usage: `cargo run --release -p tsv3d-experiments --bin fig4_image_sensor [--quick] [--threads N]`
+//!
+//! `--threads 0` (the default) uses one worker per CPU; any thread
+//! count produces bit-identical tables.
 
 use tsv3d_experiments::fig4;
 use tsv3d_experiments::obs;
+use tsv3d_experiments::par;
 use tsv3d_experiments::table::{self, TextTable};
 use tsv3d_stats::gen::ImageSensor;
 
 fn main() {
     let tel = obs::for_binary("fig4_image_sensor");
     let quick = std::env::args().any(|a| a == "--quick");
+    let threads = par::threads_from_args();
     let sensor = if quick {
         ImageSensor::new(48, 32)
     } else {
@@ -28,7 +33,7 @@ fn main() {
     );
     let sweep = {
         let _span = tel.span("fig4.sweep");
-        fig4::sweep(&sensor, quick)
+        fig4::sweep_threaded(&sensor, quick, threads)
     };
     for p in sweep {
         let geom = format!(

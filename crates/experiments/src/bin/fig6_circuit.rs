@@ -3,15 +3,20 @@
 //! effective 32 b per cycle) for six coded data streams, with and
 //! without the optimal bit-to-TSV assignment.
 //!
-//! Usage: `cargo run --release -p tsv3d-experiments --bin fig6_circuit [--quick]`
+//! Usage: `cargo run --release -p tsv3d-experiments --bin fig6_circuit [--quick] [--threads N]`
+//!
+//! `--threads 0` (the default) uses one worker per CPU; any thread
+//! count produces bit-identical tables.
 
 use tsv3d_experiments::fig6;
 use tsv3d_experiments::obs;
+use tsv3d_experiments::par;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
     let tel = obs::for_binary("fig6_circuit");
     let quick = std::env::args().any(|a| a == "--quick");
+    let threads = par::threads_from_args();
     let samples = if quick { 600 } else { 3_900 };
     println!(
         "Fig. 6 — circuit-level power, 3 GHz, r=1um d=4um, scaled to 32 b/cycle ({} samples/axis)\n",
@@ -23,7 +28,7 @@ fn main() {
     );
     let points = {
         let _span = tel.span("fig6.sweep");
-        fig6::sweep(samples, quick)
+        fig6::sweep_threaded(samples, quick, threads)
     };
     for p in &points {
         table.row(

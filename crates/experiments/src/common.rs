@@ -98,6 +98,7 @@ pub fn anneal_options() -> optimize::AnnealOptions {
         iterations: 20_000,
         restarts: 3,
         seed: 0x7_5EED,
+        threads: 1,
     }
 }
 
@@ -107,6 +108,7 @@ pub fn anneal_options_quick() -> optimize::AnnealOptions {
         iterations: 4_000,
         restarts: 2,
         seed: 0x7_5EED,
+        threads: 1,
     }
 }
 

@@ -137,10 +137,33 @@ pub fn sweep_with_telemetry(
     quick: bool,
     tel: &TelemetryHandle,
 ) -> Vec<Fig3Point> {
-    SIGMAS
-        .iter()
-        .map(|&s| point_with_telemetry(s, rho, cycles, quick, tel))
-        .collect()
+    sweep_threaded(rho, cycles, quick, 1, tel)
+}
+
+/// [`sweep_with_telemetry`] with the σ points fanned over a scoped
+/// work queue (`threads`: `0` = one worker per CPU, `1` = inline).
+///
+/// Every point is a pure function of its σ, so the results are
+/// bit-identical for every thread count. When more than one worker
+/// runs, each point's telemetry is stamped with a `fig3.s{index}`
+/// thread label so `tsv3d trace` nests concurrent spans correctly;
+/// a serial sweep emits exactly the unlabelled stream it always did.
+pub fn sweep_threaded(
+    rho: f64,
+    cycles: usize,
+    quick: bool,
+    threads: usize,
+    tel: &TelemetryHandle,
+) -> Vec<Fig3Point> {
+    let workers = crate::par::resolve_threads(threads).min(SIGMAS.len());
+    crate::par::run_indexed(workers, SIGMAS.len(), |i| {
+        if workers > 1 {
+            let tel = tel.with_thread_label(&format!("fig3.s{i}"));
+            point_with_telemetry(SIGMAS[i], rho, cycles, quick, &tel)
+        } else {
+            point_with_telemetry(SIGMAS[i], rho, cycles, quick, tel)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -186,6 +209,21 @@ mod tests {
             "flow.random_baseline",
         ] {
             assert_eq!(tel.histogram(stage).map(|h| h.count()), Some(1), "{stage}");
+        }
+    }
+
+    #[test]
+    fn threaded_sweep_is_bit_identical_to_serial() {
+        let serial = sweep(0.3, 1_500, true);
+        for threads in [2, 0] {
+            let par = sweep_threaded(
+                0.3,
+                1_500,
+                true,
+                threads,
+                &TelemetryHandle::disabled(),
+            );
+            assert_eq!(serial, par, "threads={threads}");
         }
     }
 

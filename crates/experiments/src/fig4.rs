@@ -153,21 +153,41 @@ pub fn point(scenario: Fig4Scenario, geometry: TsvGeometry, sensor: &ImageSensor
     }
 }
 
-/// The full figure: all scenarios at the minimum ITRS geometry plus the
-/// 3×3/6×6 scenarios at the wide geometry.
+/// The seven `(scenario, geometry)` bar groups of the figure: all
+/// scenarios at the minimum ITRS geometry plus the 3×3/6×6 scenarios at
+/// the wide geometry.
+pub fn bar_groups() -> Vec<(Fig4Scenario, TsvGeometry)> {
+    let mut groups: Vec<(Fig4Scenario, TsvGeometry)> = Fig4Scenario::all()
+        .into_iter()
+        .map(|s| (s, TsvGeometry::itrs_2018_min()))
+        .collect();
+    groups.extend(
+        [
+            Fig4Scenario::RgbParallelStable,
+            Fig4Scenario::RgbMux,
+            Fig4Scenario::Grayscale,
+        ]
+        .into_iter()
+        .map(|s| (s, TsvGeometry::wide_2018())),
+    );
+    groups
+}
+
+/// The full figure, computed serially.
 pub fn sweep(sensor: &ImageSensor, quick: bool) -> Vec<Fig4Point> {
-    let mut out = Vec::new();
-    for scenario in Fig4Scenario::all() {
-        out.push(point(scenario, TsvGeometry::itrs_2018_min(), sensor, quick));
-    }
-    for scenario in [
-        Fig4Scenario::RgbParallelStable,
-        Fig4Scenario::RgbMux,
-        Fig4Scenario::Grayscale,
-    ] {
-        out.push(point(scenario, TsvGeometry::wide_2018(), sensor, quick));
-    }
-    out
+    sweep_threaded(sensor, quick, 1)
+}
+
+/// [`sweep`] with the bar groups fanned over a scoped work queue
+/// (`threads`: `0` = one worker per CPU, `1` = inline). Each group is a
+/// pure function of its `(scenario, geometry)` pair, so the results are
+/// bit-identical for every thread count.
+pub fn sweep_threaded(sensor: &ImageSensor, quick: bool, threads: usize) -> Vec<Fig4Point> {
+    let groups = bar_groups();
+    crate::par::run_indexed(threads, groups.len(), |i| {
+        let (scenario, geometry) = groups[i];
+        point(scenario, geometry, sensor, quick)
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,153 @@
+//! A minimal scoped work queue for embarrassingly parallel sweeps.
+//!
+//! The figure experiments are bags of independent points (σ values for
+//! Fig. 3, readout scenarios for Fig. 4, coded streams for Fig. 6).
+//! [`run_indexed`] fans such a job list over a pool of scoped workers
+//! (`std::thread::scope`, no dependencies) and returns the results in
+//! job order, so a parallel sweep renders byte-identically to a serial
+//! one. Jobs are claimed from an atomic counter rather than striped,
+//! because figure points have very uneven costs (a 6×6 anneal dwarfs a
+//! 3×3 one) and self-scheduling balances them.
+//!
+//! This deliberately mirrors the restart fan-out inside
+//! `tsv3d_core::optimize`, one layer up: the optimizer parallelises
+//! *restarts of one search*, this queue parallelises *whole figure
+//! points*. Nest them thoughtfully — figure binaries default to
+//! sweep-level parallelism with serial annealing underneath, which
+//! avoids oversubscription.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a user-facing thread count: `0` means one worker per
+/// available CPU, anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        t => t,
+    }
+}
+
+/// Extracts a `--threads N` flag (also `--threads=N`) from an argument
+/// list, defaulting to `0` (auto) when absent; a malformed value exits
+/// with a usage error so a typo cannot silently serialise a sweep.
+pub fn threads_from(args: impl Iterator<Item = String>) -> usize {
+    let args: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--threads" {
+            args.get(i + 1).cloned()
+        } else if let Some(v) = args[i].strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else {
+            i += 1;
+            continue;
+        };
+        return match value.as_deref().map(str::parse) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!("error: --threads expects a non-negative integer (0 = one per CPU)");
+                std::process::exit(2);
+            }
+        };
+    }
+    0
+}
+
+/// [`threads_from`] over the process arguments.
+pub fn threads_from_args() -> usize {
+    threads_from(std::env::args().skip(1))
+}
+
+/// Runs jobs `0..jobs` over at most `threads` workers (`0` = one per
+/// CPU) and returns their results in job order.
+///
+/// `run` must be a pure function of the job index for the output to be
+/// order-independent — which is what keeps parallel sweeps identical to
+/// serial ones. With one worker (or fewer than two jobs) everything
+/// runs inline on the caller's thread; a panicking job propagates to
+/// the caller.
+pub fn run_indexed<T, F>(threads: usize, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_threads(threads).clamp(1, jobs.max(1));
+    if workers == 1 || jobs < 2 {
+        return (0..jobs).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let run = &run;
+                scope.spawn(move || -> Vec<(usize, T)> {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            return done;
+                        }
+                        done.push((i, run(i)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("the queue hands out every index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for threads in [1, 2, 3, 8, 0] {
+            let out = run_indexed(threads, 17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "{threads}");
+        }
+    }
+
+    #[test]
+    fn zero_and_single_job_lists_work() {
+        assert_eq!(run_indexed::<usize, _>(4, 0, |_| unreachable!()), vec![]);
+        assert_eq!(run_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let runs = AtomicU64::new(0);
+        let out = run_indexed(3, 100, |i| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn resolve_threads_passes_literals_and_auto_is_positive() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn threads_flag_is_parsed_in_both_spellings() {
+        let argv = |a: &[&str]| a.iter().map(ToString::to_string).collect::<Vec<_>>();
+        assert_eq!(threads_from(argv(&["--quick"]).into_iter()), 0);
+        assert_eq!(threads_from(argv(&["--threads", "4"]).into_iter()), 4);
+        assert_eq!(threads_from(argv(&["--quick", "--threads=2"]).into_iter()), 2);
+        assert_eq!(threads_from(argv(&["--threads", "0"]).into_iter()), 0);
+    }
+}

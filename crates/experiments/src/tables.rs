@@ -151,6 +151,7 @@ pub fn bus_invert_on_tsvs(cycles: usize) -> BusInvertStudy {
             iterations: 8_000,
             restarts: 2,
             seed: 0xB1,
+            threads: 1,
         },
     )
     .expect("non-empty budget");

@@ -129,8 +129,19 @@ struct Inner {
 /// A disabled handle (the workspace-wide default) makes every method a
 /// near-free early return; an enabled handle aggregates counters and
 /// histograms in a shared registry and forwards events to its sink.
+///
+/// Handles may additionally carry a *thread label*
+/// ([`with_thread_label`](Self::with_thread_label)): every event the
+/// labelled handle emits — span events included — gains a `thread`
+/// field, which is how concurrent workers writing to the one
+/// `Mutex`-guarded sink stay distinguishable in the stream.
 #[derive(Clone)]
-pub struct TelemetryHandle(Option<Arc<Inner>>);
+pub struct TelemetryHandle {
+    inner: Option<Arc<Inner>>,
+    /// Worker label stamped on emitted events; `None` on unlabelled
+    /// handles (the common case — serial code never pays for it).
+    thread: Option<Arc<str>>,
+}
 
 impl std::fmt::Debug for TelemetryHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -149,17 +160,43 @@ impl Default for TelemetryHandle {
 impl TelemetryHandle {
     /// The no-op handle: every instrumentation call is a cheap branch.
     pub fn disabled() -> Self {
-        Self(None)
+        Self {
+            inner: None,
+            thread: None,
+        }
     }
 
     /// An enabled handle forwarding events to `sink`.
     pub fn with_sink(sink: Box<dyn Sink>) -> Self {
-        Self(Some(Arc::new(Inner {
-            sink,
-            epoch: Instant::now(),
-            counters: Mutex::new(BTreeMap::new()),
-            histograms: Mutex::new(BTreeMap::new()),
-        })))
+        Self {
+            inner: Some(Arc::new(Inner {
+                sink,
+                epoch: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            })),
+            thread: None,
+        }
+    }
+
+    /// A handle sharing this one's registry and sink whose events (span
+    /// events included) carry an extra `thread: label` field — the
+    /// disambiguator trace analysis groups by when spans from
+    /// concurrent workers interleave in a single stream.
+    ///
+    /// Counters and histograms stay shared (same registry); a disabled
+    /// handle stays disabled, so labelling costs nothing on
+    /// uninstrumented runs.
+    pub fn with_thread_label(&self, label: &str) -> TelemetryHandle {
+        TelemetryHandle {
+            inner: self.inner.clone(),
+            thread: self.inner.is_some().then(|| Arc::from(label)),
+        }
+    }
+
+    /// The worker label this handle stamps on events, if any.
+    pub fn thread_label(&self) -> Option<&str> {
+        self.thread.as_deref()
     }
 
     /// Builds a handle from the `TSV3D_TELEMETRY` environment switch:
@@ -202,12 +239,12 @@ impl TelemetryHandle {
 
     /// `true` when a sink is attached.
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.inner.is_some()
     }
 
     /// Adds `delta` to counter `name`.
     pub fn add(&self, name: &str, delta: u64) {
-        if let Some(inner) = &self.0 {
+        if let Some(inner) = &self.inner {
             let mut counters = inner.counters.lock().expect("counter registry poisoned");
             match counters.get_mut(name) {
                 Some(slot) => *slot += delta,
@@ -220,7 +257,7 @@ impl TelemetryHandle {
 
     /// Records `value` into histogram `name`.
     pub fn record(&self, name: &str, value: f64) {
-        if let Some(inner) = &self.0 {
+        if let Some(inner) = &self.inner {
             let mut histograms = inner.histograms.lock().expect("histogram registry poisoned");
             match histograms.get_mut(name) {
                 Some(h) => h.record(value),
@@ -233,24 +270,40 @@ impl TelemetryHandle {
         }
     }
 
-    /// Emits a structured event to the sink.
+    /// Emits a structured event to the sink; a thread-labelled handle
+    /// appends its `thread` field.
     pub fn event(&self, name: &str, fields: &[(&'static str, Value)]) {
-        if let Some(inner) = &self.0 {
-            inner.sink.emit(&Event {
-                elapsed: inner.epoch.elapsed().as_secs_f64(),
-                name,
-                fields,
-            });
+        if let Some(inner) = &self.inner {
+            let elapsed = inner.epoch.elapsed().as_secs_f64();
+            match &self.thread {
+                Some(label) => {
+                    let mut labelled = Vec::with_capacity(fields.len() + 1);
+                    labelled.extend_from_slice(fields);
+                    labelled.push(("thread", Value::Str(label.to_string())));
+                    inner.sink.emit(&Event {
+                        elapsed,
+                        name,
+                        fields: &labelled,
+                    });
+                }
+                None => inner.sink.emit(&Event {
+                    elapsed,
+                    name,
+                    fields,
+                }),
+            }
         }
     }
 
     /// Starts a monotonic span timer; on drop the duration is recorded
-    /// into histogram `name` and emitted as a `span` event.
+    /// into histogram `name` and emitted as a `span` event (carrying
+    /// the handle's thread label, if any).
     pub fn span(&self, name: &'static str) -> Span {
         Span {
-            inner: self.0.as_ref().map(|inner| SpanInner {
+            inner: self.inner.as_ref().map(|inner| SpanInner {
                 registry: Arc::clone(inner),
                 name,
+                thread: self.thread.clone(),
                 start: Instant::now(),
             }),
         }
@@ -259,7 +312,7 @@ impl TelemetryHandle {
     /// The current value of counter `name` (`None` when disabled or
     /// never incremented).
     pub fn counter_value(&self, name: &str) -> Option<u64> {
-        let inner = self.0.as_ref()?;
+        let inner = self.inner.as_ref()?;
         inner
             .counters
             .lock()
@@ -270,7 +323,7 @@ impl TelemetryHandle {
 
     /// A snapshot of histogram `name`.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        let inner = self.0.as_ref()?;
+        let inner = self.inner.as_ref()?;
         inner
             .histograms
             .lock()
@@ -285,7 +338,7 @@ impl TelemetryHandle {
     /// This is the export surface for harnesses (e.g. `tsv3d-bench`)
     /// that serialise a run's counters next to its timings.
     pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
-        match &self.0 {
+        match &self.inner {
             Some(inner) => inner
                 .counters
                 .lock()
@@ -303,7 +356,7 @@ impl TelemetryHandle {
     /// reachable from other crates instead of being summarisable only
     /// through [`summary`](Self::summary).
     pub fn histograms_snapshot(&self) -> BTreeMap<String, Histogram> {
-        match &self.0 {
+        match &self.inner {
             Some(inner) => inner
                 .histograms
                 .lock()
@@ -315,7 +368,7 @@ impl TelemetryHandle {
 
     /// Seconds since the handle was created (0 when disabled).
     pub fn elapsed_seconds(&self) -> f64 {
-        self.0
+        self.inner
             .as_ref()
             .map_or(0.0, |inner| inner.epoch.elapsed().as_secs_f64())
     }
@@ -324,7 +377,7 @@ impl TelemetryHandle {
     /// and histogram — the "timing footer" the experiment binaries
     /// append to their tables. Empty string when disabled.
     pub fn summary(&self) -> String {
-        let Some(inner) = &self.0 else {
+        let Some(inner) = &self.inner else {
             return String::new();
         };
         let counters = inner.counters.lock().expect("counter registry poisoned");
@@ -363,7 +416,7 @@ impl TelemetryHandle {
 
     /// Flushes the sink.
     pub fn flush(&self) {
-        if let Some(inner) = &self.0 {
+        if let Some(inner) = &self.inner {
             inner.sink.flush();
         }
     }
@@ -372,6 +425,7 @@ impl TelemetryHandle {
 struct SpanInner {
     registry: Arc<Inner>,
     name: &'static str,
+    thread: Option<Arc<str>>,
     start: Instant,
 }
 
@@ -403,13 +457,17 @@ impl Drop for Span {
                     }
                 }
             }
+            let mut fields = vec![
+                ("name", Value::Str(span.name.to_string())),
+                ("seconds", Value::F64(seconds)),
+            ];
+            if let Some(label) = &span.thread {
+                fields.push(("thread", Value::Str(label.to_string())));
+            }
             span.registry.sink.emit(&Event {
                 elapsed: span.registry.epoch.elapsed().as_secs_f64(),
                 name: "span",
-                fields: &[
-                    ("name", Value::Str(span.name.to_string())),
-                    ("seconds", Value::F64(seconds)),
-                ],
+                fields: &fields,
             });
         }
     }
@@ -494,5 +552,66 @@ mod tests {
         clone.add("shared", 1);
         tel.add("shared", 1);
         assert_eq!(tel.counter_value("shared"), Some(2));
+    }
+
+    /// One captured event: its name and owned fields.
+    type CapturedEvent = (String, Vec<(&'static str, Value)>);
+
+    /// Captures emitted events as `(name, fields)` pairs.
+    struct CaptureSink(Mutex<Vec<CapturedEvent>>);
+
+    impl Sink for CaptureSink {
+        fn emit(&self, event: &Event<'_>) {
+            self.0
+                .lock()
+                .unwrap()
+                .push((event.name.to_string(), event.fields.to_vec()));
+        }
+    }
+
+    #[test]
+    fn thread_labelled_handles_stamp_events_and_spans() {
+        let sink = Arc::new(CaptureSink(Mutex::new(Vec::new())));
+        struct Fwd(Arc<CaptureSink>);
+        impl Sink for Fwd {
+            fn emit(&self, event: &Event<'_>) {
+                self.0.emit(event);
+            }
+        }
+        let tel = TelemetryHandle::with_sink(Box::new(Fwd(Arc::clone(&sink))));
+        let worker = tel.with_thread_label("r1");
+        assert_eq!(worker.thread_label(), Some("r1"));
+        assert_eq!(tel.thread_label(), None);
+
+        tel.event("plain", &[("k", Value::U64(1))]);
+        worker.event("labelled", &[("k", Value::U64(2))]);
+        drop(worker.span("work"));
+
+        let events = sink.0.lock().unwrap();
+        assert_eq!(events[0].0, "plain");
+        assert!(events[0].1.iter().all(|(k, _)| *k != "thread"));
+        let thread_of = |i: usize| {
+            events[i].1.iter().find_map(|(k, v)| match (k, v) {
+                (&"thread", Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+        };
+        assert_eq!(events[1].0, "labelled");
+        assert_eq!(thread_of(1).as_deref(), Some("r1"));
+        assert_eq!(events[2].0, "span");
+        assert_eq!(thread_of(2).as_deref(), Some("r1"));
+    }
+
+    #[test]
+    fn labelled_handles_share_the_registry_and_disabled_stays_disabled() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        let worker = tel.with_thread_label("w0");
+        worker.add("shared", 2);
+        tel.add("shared", 1);
+        assert_eq!(tel.counter_value("shared"), Some(3));
+
+        let off = TelemetryHandle::disabled().with_thread_label("w1");
+        assert!(!off.is_enabled());
+        assert_eq!(off.thread_label(), None);
     }
 }
