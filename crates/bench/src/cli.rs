@@ -19,7 +19,7 @@ pub const BENCH_USAGE: &str = "\
 Usage: tsv3d bench [options]
 
 Runs the registered benchmark cases and writes one BENCH_<case>.json
-artifact per case (schema tsv3d-bench/v1).
+artifact per case (schema tsv3d-bench/v2; v1 baselines still compare).
 
 Options:
   --quick               reduced budget (1 warmup + 5 iters) for smoke runs
@@ -31,22 +31,34 @@ Options:
                         bit-identical for every N — only timings change
   --out-dir DIR         artifact directory (default results/bench)
   --baseline FILE       compare medians against a baseline artifact
-  --gate PCT            with --baseline: exit 1 if any case regresses
-                        by more than PCT percent; a non-positive
-                        baseline median is a usage error (exit 2)
+  --gate PCT            with --baseline: exit 1 if any case's median
+                        time regresses by more than PCT percent; a
+                        non-positive baseline median is a usage error
+                        (exit 2)
+  --gate-mem PCT        with --baseline: exit 1 if any case's median
+                        allocated bytes/iteration regress by more than
+                        PCT percent; cases without memory data on both
+                        sides are skipped
   --write-baseline FILE also write a combined baseline artifact
   --list                list the registered cases and exit
 ";
 
 /// Usage text of `tsv3d trace`.
 pub const TRACE_USAGE: &str = "\
-Usage: tsv3d trace <file.jsonl> [--collapsed FILE]
+Usage: tsv3d trace <file.jsonl> [options]
 
 Aggregates a telemetry JSON-lines stream (TSV3D_TELEMETRY=json) into
-per-span rollups: count, total/self time, log2-histogram percentiles.
-Malformed or truncated lines are skipped and counted, never fatal.
+per-span rollups: count, total/self time, log2-histogram percentiles,
+and — when the trace carries allocator data — total/self allocated
+bytes. Malformed or truncated lines are skipped and counted, never
+fatal; the skipped count is always reported.
 
 Options:
+  --mem                 rank spans by self-allocated bytes instead of
+                        total time; --collapsed output becomes
+                        bytes-weighted (`parent;child self_bytes`)
+  --format json|text    output format (default text); json emits one
+                        machine-readable rollup object on stdout
   --collapsed FILE      also write flamegraph collapsed stacks
                         (`parent;child self_ns` per line) to FILE
 ";
@@ -59,6 +71,7 @@ struct BenchArgs {
     out_dir: PathBuf,
     baseline: Option<PathBuf>,
     gate_pct: Option<f64>,
+    mem_gate_pct: Option<f64>,
     write_baseline: Option<PathBuf>,
     list: bool,
 }
@@ -71,6 +84,7 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
         out_dir: PathBuf::from("results/bench"),
         baseline: None,
         gate_pct: None,
+        mem_gate_pct: None,
         write_baseline: None,
         list: false,
     };
@@ -133,6 +147,18 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
                 parsed.gate_pct = Some(pct);
                 i += 2;
             }
+            "--gate-mem" => {
+                let pct: f64 = take_value()?
+                    .parse()
+                    .map_err(|e| format!("--gate-mem: {e}"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(
+                        "--gate-mem must be a non-negative percentage".to_string()
+                    );
+                }
+                parsed.mem_gate_pct = Some(pct);
+                i += 2;
+            }
             "--write-baseline" => {
                 parsed.write_baseline = Some(PathBuf::from(take_value()?));
                 i += 2;
@@ -142,6 +168,9 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
     }
     if parsed.gate_pct.is_some() && parsed.baseline.is_none() {
         return Err("--gate requires --baseline".to_string());
+    }
+    if parsed.mem_gate_pct.is_some() && parsed.baseline.is_none() {
+        return Err("--gate-mem requires --baseline".to_string());
     }
     Ok(parsed)
 }
@@ -198,12 +227,21 @@ pub fn run_bench(args: &[String]) -> i32 {
         let mut body = (case.setup)(&parsed.config);
         let measurement = measure(case.name, case.area, parsed.options, &mut *body);
         let report = BenchReport::stamp(measurement);
-        println!(
-            "  {:<32} median {:>12} ns   p95 {:>12} ns",
-            report.measurement.case,
-            report.measurement.wall.median_ns,
-            report.measurement.wall.p95_ns
-        );
+        match &report.measurement.mem {
+            Some(mem) => println!(
+                "  {:<32} median {:>12} ns   p95 {:>12} ns   mem {:>12} B/iter",
+                report.measurement.case,
+                report.measurement.wall.median_ns,
+                report.measurement.wall.p95_ns,
+                mem.median_iter_bytes
+            ),
+            None => println!(
+                "  {:<32} median {:>12} ns   p95 {:>12} ns",
+                report.measurement.case,
+                report.measurement.wall.median_ns,
+                report.measurement.wall.p95_ns
+            ),
+        }
         let path = parsed.out_dir.join(report.filename());
         if let Err(message) = std::fs::write(&path, report.to_json() + "\n") {
             eprintln!("error: cannot write `{}`: {message}", path.display());
@@ -259,25 +297,42 @@ pub fn run_bench(args: &[String]) -> i32 {
                 case: r.measurement.case.clone(),
                 median_ns: r.measurement.wall.median_ns as f64,
                 p95_ns: Some(r.measurement.wall.p95_ns as f64),
+                mem_bytes: r
+                    .measurement
+                    .mem
+                    .as_ref()
+                    .map(|m| m.median_iter_bytes as f64),
             })
             .collect();
-        // Without --gate the comparison is informational only.
-        let gating = parsed.gate_pct.is_some();
-        let outcome = gate::compare(&current, &baseline, parsed.gate_pct.unwrap_or(10.0));
+        // Without --gate/--gate-mem the comparison is informational only.
+        let gating = parsed.gate_pct.is_some() || parsed.mem_gate_pct.is_some();
+        let outcome = gate::compare(
+            &current,
+            &baseline,
+            parsed.gate_pct.unwrap_or(10.0),
+            parsed.mem_gate_pct,
+        );
         println!("\nbaseline: {}", baseline_path.display());
         print!("{}", outcome.render());
         if gating && outcome.invalid_baselines() > 0 {
             // A zeroed/corrupt baseline silently disabling the gate is
             // worse than a failing gate: treat it as a usage error.
+            // (Zero *memory* baselines are legitimate — allocation-free
+            // cases and v1 baselines — and never reach this path.)
             eprintln!(
-                "error: --gate with {} unusable baseline median(s) in `{}`; \
+                "error: gating with {} unusable baseline median(s) in `{}`; \
                  regenerate it with --write-baseline",
                 outcome.invalid_baselines(),
                 baseline_path.display()
             );
             return 2;
         }
-        if gating && !outcome.passed() {
+        // Each gate only fails the run when its flag was given: a
+        // `--gate-mem`-only invocation must not trip on timing noise.
+        let time_failed = parsed.gate_pct.is_some() && outcome.regressions() > 0;
+        let mem_failed =
+            parsed.mem_gate_pct.is_some() && outcome.mem_regressions() > 0;
+        if time_failed || mem_failed {
             return 1;
         }
     }
@@ -288,6 +343,8 @@ pub fn run_bench(args: &[String]) -> i32 {
 pub fn run_trace(args: &[String]) -> i32 {
     let mut file: Option<&String> = None;
     let mut collapsed_out: Option<PathBuf> = None;
+    let mut by_mem = false;
+    let mut json_format = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -298,6 +355,31 @@ pub fn run_trace(args: &[String]) -> i32 {
                 }
                 None => {
                     eprintln!("error: missing value for --collapsed\n{TRACE_USAGE}");
+                    return 2;
+                }
+            },
+            "--mem" => {
+                by_mem = true;
+                i += 1;
+            }
+            "--format" => match args.get(i + 1).map(String::as_str) {
+                Some("json") => {
+                    json_format = true;
+                    i += 2;
+                }
+                Some("text") => {
+                    json_format = false;
+                    i += 2;
+                }
+                Some(other) => {
+                    eprintln!(
+                        "error: --format must be `json` or `text`, got `{other}`\n\
+                         {TRACE_USAGE}"
+                    );
+                    return 2;
+                }
+                None => {
+                    eprintln!("error: missing value for --format\n{TRACE_USAGE}");
                     return 2;
                 }
             },
@@ -327,14 +409,37 @@ pub fn run_trace(args: &[String]) -> i32 {
         }
     };
     let summary = trace::analyze_text(&text);
-    println!("file: {file}");
-    print!("{}", trace::render_summary(&summary));
+    // The skipped count rides inside both output formats too, but a
+    // degraded trace deserves a channel that survives `| jq`.
+    if summary.skipped > 0 {
+        eprintln!(
+            "warning: {} of {} line(s) skipped as malformed",
+            summary.skipped, summary.lines
+        );
+    }
+    if json_format {
+        println!("{}", trace::render_json(&summary));
+    } else {
+        println!("file: {file}");
+        if by_mem {
+            print!("{}", trace::render_summary_mem(&summary));
+        } else {
+            print!("{}", trace::render_summary(&summary));
+        }
+    }
     if let Some(path) = collapsed_out {
-        if let Err(message) = std::fs::write(&path, trace::render_collapsed(&summary)) {
+        let stacks = if by_mem {
+            trace::render_collapsed_bytes(&summary)
+        } else {
+            trace::render_collapsed(&summary)
+        };
+        if let Err(message) = std::fs::write(&path, stacks) {
             eprintln!("error: cannot write `{}`: {message}", path.display());
             return 1;
         }
-        println!("\nwrote collapsed stacks to {}", path.display());
+        if !json_format {
+            println!("\nwrote collapsed stacks to {}", path.display());
+        }
     }
     0
 }
@@ -373,6 +478,9 @@ mod tests {
             vec!["--iters", "0"],
             vec!["--gate", "5"],
             vec!["--gate", "-1", "--baseline", "x"],
+            vec!["--gate-mem", "5"],
+            vec!["--gate-mem", "-1", "--baseline", "x"],
+            vec!["--gate-mem", "nan", "--baseline", "x"],
             vec!["--threads"],
             vec!["--threads", "two"],
             vec!["--frobnicate"],
@@ -427,6 +535,11 @@ mod tests {
         assert_eq!(run_trace(&["--collapsed".to_string()]), 2);
         assert_eq!(
             run_trace(&["a.jsonl".to_string(), "b.jsonl".to_string()]),
+            2
+        );
+        assert_eq!(run_trace(&["--format".to_string()]), 2);
+        assert_eq!(
+            run_trace(&["a.jsonl".to_string(), "--format".to_string(), "xml".to_string()]),
             2
         );
     }

@@ -5,6 +5,13 @@
 //! *regresses* when `delta%` exceeds the gate threshold. Cases present
 //! on only one side are reported but never fail the gate (new benches
 //! must not break CI, deleted ones must not pin the registry forever).
+//!
+//! Memory gating (`--gate-mem`) follows the same shape over the median
+//! per-iteration allocated bytes, with one asymmetry: a **zero** memory
+//! baseline is legitimate (an allocation-free case, or a v1 baseline
+//! with no memory data at all) and simply skips the comparison — unlike
+//! a zero *time* baseline, which is always a corrupt artifact and
+//! escalates to a usage error.
 
 use crate::report::CaseSummary;
 use std::fmt::Write as _;
@@ -27,6 +34,15 @@ pub struct GateRow {
     /// positive finite number — a zeroed or corrupt baseline that
     /// would otherwise disable gating for this case without a trace.
     pub baseline_invalid: bool,
+    /// Current median per-iteration allocated bytes, when measured.
+    pub mem_current: Option<f64>,
+    /// Baseline median per-iteration allocated bytes, when recorded.
+    pub mem_baseline: Option<f64>,
+    /// Percent change in allocated bytes (`None` unless both sides
+    /// have a positive finite value).
+    pub mem_delta_pct: Option<f64>,
+    /// `true` when `mem_delta_pct` exceeds the memory gate threshold.
+    pub mem_regressed: bool,
 }
 
 /// Outcome of gating one run against one baseline.
@@ -34,21 +50,28 @@ pub struct GateRow {
 pub struct GateOutcome {
     /// Per-case verdicts, in current-run order.
     pub rows: Vec<GateRow>,
-    /// Threshold applied, percent.
+    /// Timing threshold applied, percent.
     pub gate_pct: f64,
+    /// Memory threshold applied, percent (`None` = memory not gated).
+    pub mem_gate_pct: Option<f64>,
     /// Baseline cases with no current counterpart (informational).
     pub stale_baseline_cases: Vec<String>,
 }
 
 impl GateOutcome {
-    /// Cases beyond the threshold.
+    /// Cases beyond the timing threshold.
     pub fn regressions(&self) -> usize {
         self.rows.iter().filter(|r| r.regressed).count()
     }
 
-    /// `true` when no compared case regressed.
+    /// Cases beyond the memory threshold.
+    pub fn mem_regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.mem_regressed).count()
+    }
+
+    /// `true` when no compared case regressed on time or memory.
     pub fn passed(&self) -> bool {
-        self.regressions() == 0
+        self.regressions() == 0 && self.mem_regressions() == 0
     }
 
     /// Cases whose baseline median is unusable (non-positive or
@@ -59,9 +82,18 @@ impl GateOutcome {
         self.rows.iter().filter(|r| r.baseline_invalid).count()
     }
 
+    /// `true` when any row carries memory data on either side — the
+    /// render switch for the memory columns.
+    fn has_mem(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| r.mem_current.is_some() || r.mem_baseline.is_some())
+    }
+
     /// Renders the fixed-width comparison table the CLI prints.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        let with_mem = self.has_mem();
         let name_width = self
             .rows
             .iter()
@@ -69,11 +101,15 @@ impl GateOutcome {
             .max()
             .unwrap_or(4)
             .max("case".len());
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "{:<name_width$}  {:>12}  {:>12}  {:>9}  verdict",
+            "{:<name_width$}  {:>12}  {:>12}  {:>9}",
             "case", "current ns", "baseline ns", "delta %"
         );
+        if with_mem {
+            let _ = write!(out, "  {:>12}  {:>9}", "mem B/iter", "mem d %");
+        }
+        let _ = writeln!(out, "  verdict");
         for row in &self.rows {
             let baseline = row
                 .baseline_ns
@@ -81,8 +117,12 @@ impl GateOutcome {
             let delta = row
                 .delta_pct
                 .map_or("-".to_string(), |d| format!("{d:+.1}"));
-            let verdict = if row.regressed {
+            let verdict = if row.regressed && row.mem_regressed {
+                "REGRESSED+MEM"
+            } else if row.regressed {
                 "REGRESSED"
+            } else if row.mem_regressed {
+                "REGRESSED-MEM"
             } else if row.baseline_invalid {
                 "BAD-BASELINE"
             } else if row.baseline_ns.is_none() {
@@ -90,11 +130,21 @@ impl GateOutcome {
             } else {
                 "ok"
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "{:<name_width$}  {:>12.0}  {:>12}  {:>9}  {}",
-                row.case, row.current_ns, baseline, delta, verdict
+                "{:<name_width$}  {:>12.0}  {:>12}  {:>9}",
+                row.case, row.current_ns, baseline, delta
             );
+            if with_mem {
+                let mem = row
+                    .mem_current
+                    .map_or("-".to_string(), |m| format!("{m:.0}"));
+                let mem_delta = row
+                    .mem_delta_pct
+                    .map_or("-".to_string(), |d| format!("{d:+.1}"));
+                let _ = write!(out, "  {mem:>12}  {mem_delta:>9}");
+            }
+            let _ = writeln!(out, "  {verdict}");
         }
         for case in &self.stale_baseline_cases {
             let _ = writeln!(out, "{case:<name_width$}  (baseline only; not compared)");
@@ -106,6 +156,18 @@ impl GateOutcome {
             self.gate_pct,
             self.rows.iter().filter(|r| r.delta_pct.is_some()).count()
         );
+        if let Some(mem_pct) = self.mem_gate_pct {
+            let _ = writeln!(
+                out,
+                "mem-gate: {} regression(s) beyond +{:.1} % over {} compared case(s)",
+                self.mem_regressions(),
+                mem_pct,
+                self.rows
+                    .iter()
+                    .filter(|r| r.mem_delta_pct.is_some())
+                    .count()
+            );
+        }
         if self.invalid_baselines() > 0 {
             let _ = writeln!(
                 out,
@@ -118,11 +180,15 @@ impl GateOutcome {
     }
 }
 
-/// Compares current medians against baseline medians at `gate_pct`.
+/// Compares current medians against baseline medians at `gate_pct`
+/// (timing) and optionally `mem_gate_pct` (allocated bytes per
+/// iteration). Memory deltas are computed whenever both sides carry a
+/// usable value — a `None` `mem_gate_pct` makes them informational.
 pub fn compare(
     current: &[CaseSummary],
     baseline: &[CaseSummary],
     gate_pct: f64,
+    mem_gate_pct: Option<f64>,
 ) -> GateOutcome {
     let rows = current
         .iter()
@@ -131,6 +197,14 @@ pub fn compare(
             let baseline_ns = base.map(|b| b.median_ns);
             let usable = baseline_ns.filter(|&b| b > 0.0 && b.is_finite());
             let delta_pct = usable.map(|b| (cur.median_ns / b - 1.0) * 100.0);
+            let mem_baseline = base.and_then(|b| b.mem_bytes);
+            // Zero-byte baselines are real (allocation-free cases) but
+            // have no meaningful ratio — skip, don't flag.
+            let mem_usable = mem_baseline.filter(|&b| b > 0.0 && b.is_finite());
+            let mem_delta_pct = match (cur.mem_bytes, mem_usable) {
+                (Some(c), Some(b)) => Some((c / b - 1.0) * 100.0),
+                _ => None,
+            };
             GateRow {
                 case: cur.case.clone(),
                 current_ns: cur.median_ns,
@@ -140,6 +214,12 @@ pub fn compare(
                 // 110 vs. 100 at 10 %) from tripping on f64 rounding.
                 regressed: delta_pct.is_some_and(|d| d > gate_pct + 1e-6),
                 baseline_invalid: base.is_some() && usable.is_none(),
+                mem_current: cur.mem_bytes,
+                mem_baseline,
+                mem_delta_pct,
+                mem_regressed: mem_gate_pct.is_some_and(|gate| {
+                    mem_delta_pct.is_some_and(|d| d > gate + 1e-6)
+                }),
             }
         })
         .collect();
@@ -151,6 +231,7 @@ pub fn compare(
     GateOutcome {
         rows,
         gate_pct,
+        mem_gate_pct,
         stale_baseline_cases,
     }
 }
@@ -164,6 +245,14 @@ mod tests {
             case: case.to_string(),
             median_ns: median,
             p95_ns: None,
+            mem_bytes: None,
+        }
+    }
+
+    fn mem_row(case: &str, median: f64, mem: f64) -> CaseSummary {
+        CaseSummary {
+            mem_bytes: Some(mem),
+            ..row(case, median)
         }
     }
 
@@ -171,7 +260,7 @@ mod tests {
     fn regression_beyond_threshold_fails_the_gate() {
         let current = vec![row("a", 130.0), row("b", 100.0)];
         let baseline = vec![row("a", 100.0), row("b", 100.0)];
-        let outcome = compare(&current, &baseline, 10.0);
+        let outcome = compare(&current, &baseline, 10.0, None);
         assert!(!outcome.passed());
         assert_eq!(outcome.regressions(), 1);
         assert!(outcome.rows[0].regressed);
@@ -183,7 +272,7 @@ mod tests {
     fn improvement_and_within_threshold_pass() {
         let current = vec![row("a", 70.0), row("b", 105.0)];
         let baseline = vec![row("a", 100.0), row("b", 100.0)];
-        let outcome = compare(&current, &baseline, 10.0);
+        let outcome = compare(&current, &baseline, 10.0, None);
         assert!(outcome.passed());
         assert!((outcome.rows[0].delta_pct.unwrap() + 30.0).abs() < 1e-9);
     }
@@ -192,7 +281,7 @@ mod tests {
     fn unmatched_cases_are_informational_only() {
         let current = vec![row("new_case", 500.0)];
         let baseline = vec![row("old_case", 100.0)];
-        let outcome = compare(&current, &baseline, 10.0);
+        let outcome = compare(&current, &baseline, 10.0, None);
         assert!(outcome.passed(), "missing baseline row must not gate");
         assert_eq!(outcome.rows[0].baseline_ns, None);
         assert_eq!(outcome.stale_baseline_cases, vec!["old_case".to_string()]);
@@ -205,7 +294,7 @@ mod tests {
     fn zero_baseline_median_is_flagged_not_silently_skipped() {
         let current = vec![row("a", 100.0), row("b", 50.0)];
         let baseline = vec![row("a", 0.0), row("b", 50.0)];
-        let outcome = compare(&current, &baseline, 10.0);
+        let outcome = compare(&current, &baseline, 10.0, None);
         assert_eq!(outcome.rows[0].delta_pct, None);
         assert!(outcome.rows[0].baseline_invalid);
         assert!(!outcome.rows[1].baseline_invalid);
@@ -221,7 +310,7 @@ mod tests {
     #[test]
     fn missing_baseline_rows_are_not_invalid() {
         let current = vec![row("a", 100.0)];
-        let outcome = compare(&current, &[], 10.0);
+        let outcome = compare(&current, &[], 10.0, None);
         assert_eq!(outcome.invalid_baselines(), 0);
         assert!(!outcome.rows[0].baseline_invalid);
     }
@@ -230,7 +319,7 @@ mod tests {
     fn non_finite_baseline_median_is_invalid() {
         let current = vec![row("a", 100.0)];
         let baseline = vec![row("a", f64::NAN)];
-        let outcome = compare(&current, &baseline, 10.0);
+        let outcome = compare(&current, &baseline, 10.0, None);
         assert!(outcome.rows[0].baseline_invalid);
         assert_eq!(outcome.rows[0].delta_pct, None);
     }
@@ -239,7 +328,7 @@ mod tests {
     fn exact_threshold_is_not_a_regression() {
         let current = vec![row("a", 110.0)];
         let baseline = vec![row("a", 100.0)];
-        let outcome = compare(&current, &baseline, 10.0);
+        let outcome = compare(&current, &baseline, 10.0, None);
         assert!(outcome.passed(), "strictly-greater-than semantics");
     }
 
@@ -249,10 +338,66 @@ mod tests {
             &[row("fast_case", 90.0)],
             &[row("fast_case", 100.0)],
             5.0,
+            None,
         );
         let table = outcome.render();
         assert!(table.contains("fast_case"));
         assert!(table.contains("-10.0"));
         assert!(table.contains("0 regression(s)"));
+        // No memory data on either side: the mem columns stay hidden.
+        assert!(!table.contains("mem B/iter"), "{table}");
+    }
+
+    #[test]
+    fn mem_regression_beyond_threshold_fails_the_gate() {
+        let current = vec![mem_row("a", 100.0, 2000.0), mem_row("b", 100.0, 1000.0)];
+        let baseline = vec![mem_row("a", 100.0, 1000.0), mem_row("b", 100.0, 1000.0)];
+        let outcome = compare(&current, &baseline, 10.0, Some(20.0));
+        assert_eq!(outcome.regressions(), 0, "time is unchanged");
+        assert_eq!(outcome.mem_regressions(), 1);
+        assert!(!outcome.passed(), "mem regressions fail the combined gate");
+        assert!(outcome.rows[0].mem_regressed);
+        assert!((outcome.rows[0].mem_delta_pct.unwrap() - 100.0).abs() < 1e-9);
+        assert!(!outcome.rows[1].mem_regressed);
+        let table = outcome.render();
+        assert!(table.contains("REGRESSED-MEM"), "{table}");
+        assert!(table.contains("mem B/iter"), "{table}");
+        assert!(table.contains("mem-gate: 1 regression(s)"), "{table}");
+    }
+
+    #[test]
+    fn mem_delta_is_informational_without_a_mem_gate() {
+        let current = vec![mem_row("a", 100.0, 3000.0)];
+        let baseline = vec![mem_row("a", 100.0, 1000.0)];
+        let outcome = compare(&current, &baseline, 10.0, None);
+        assert!((outcome.rows[0].mem_delta_pct.unwrap() - 200.0).abs() < 1e-9);
+        assert!(!outcome.rows[0].mem_regressed);
+        assert!(outcome.passed());
+    }
+
+    #[test]
+    fn zero_or_missing_mem_baseline_skips_the_mem_comparison() {
+        // Zero bytes is a legitimate baseline (allocation-free case, or
+        // v1 baseline with no mem data): skipped, never BAD-BASELINE.
+        let current = vec![mem_row("a", 100.0, 5000.0), mem_row("b", 100.0, 5000.0)];
+        let baseline = vec![mem_row("a", 100.0, 0.0), row("b", 100.0)];
+        let outcome = compare(&current, &baseline, 10.0, Some(5.0));
+        for r in &outcome.rows {
+            assert_eq!(r.mem_delta_pct, None);
+            assert!(!r.mem_regressed);
+            assert!(!r.baseline_invalid);
+        }
+        assert!(outcome.passed());
+        assert_eq!(outcome.invalid_baselines(), 0);
+    }
+
+    #[test]
+    fn combined_time_and_mem_regression_reads_as_both() {
+        let current = vec![mem_row("a", 200.0, 2000.0)];
+        let baseline = vec![mem_row("a", 100.0, 1000.0)];
+        let outcome = compare(&current, &baseline, 10.0, Some(10.0));
+        assert_eq!(outcome.regressions(), 1);
+        assert_eq!(outcome.mem_regressions(), 1);
+        assert!(outcome.render().contains("REGRESSED+MEM"));
     }
 }

@@ -8,7 +8,7 @@
 //! than a single total divided by N.
 
 use std::time::Instant;
-use tsv3d_telemetry::TelemetryHandle;
+use tsv3d_telemetry::{alloc, TelemetryHandle};
 
 /// How a [`BenchCase`](crate::registry::BenchCase) is measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,8 +47,10 @@ pub struct WallStats {
     pub p95_ns: u64,
     /// Arithmetic mean.
     pub mean_ns: f64,
-    /// Population standard deviation.
-    pub stddev_ns: f64,
+    /// Population standard deviation; `None` for a single sample — a
+    /// spread of one measurement is undefined, not zero, and memory
+    /// stats layered on the same summary must not inherit a fake 0.
+    pub stddev_ns: Option<f64>,
     /// Fastest iteration.
     pub min_ns: u64,
     /// Slowest iteration.
@@ -72,23 +74,48 @@ impl WallStats {
             sorted[rank.min(n) - 1]
         };
         let mean = sorted.iter().map(|&s| s as f64).sum::<f64>() / n as f64;
-        let variance = sorted
-            .iter()
-            .map(|&s| {
-                let d = s as f64 - mean;
-                d * d
-            })
-            .sum::<f64>()
-            / n as f64;
+        let stddev = (n > 1).then(|| {
+            let variance = sorted
+                .iter()
+                .map(|&s| {
+                    let d = s as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / n as f64;
+            variance.sqrt()
+        });
         Some(Self {
             median_ns: nearest_rank(0.5),
             p95_ns: nearest_rank(0.95),
             mean_ns: mean,
-            stddev_ns: variance.sqrt(),
+            stddev_ns: stddev,
             min_ns: sorted[0],
             max_ns: sorted[n - 1],
         })
     }
+}
+
+/// Per-case allocation statistics, accumulated across the timed
+/// iterations from the process-wide counting allocator (worker threads
+/// included — unlike span deltas, bench memory attribution is
+/// process-scoped because the harness runs cases serially).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Allocations across all timed iterations.
+    pub alloc_count: u64,
+    /// Deallocations across all timed iterations.
+    pub dealloc_count: u64,
+    /// Reallocations across all timed iterations.
+    pub realloc_count: u64,
+    /// Bytes requested across all timed iterations.
+    pub alloc_bytes: u64,
+    /// Median of the per-iteration requested-bytes samples — the
+    /// stable quantity `--gate-mem` compares across runs.
+    pub median_iter_bytes: u64,
+    /// Live-bytes high-water mark reached during the timed loop
+    /// (rebased at loop start, so it is per-case, not cumulative).
+    pub peak_bytes: u64,
 }
 
 /// One measured case: options used, raw samples, summary and the
@@ -108,6 +135,10 @@ pub struct Measurement {
     /// Telemetry counters accumulated across all timed iterations
     /// (instrumented hot paths report node/epoch/step counts here).
     pub counters: Vec<(String, u64)>,
+    /// Allocation statistics over the timed iterations; `None` when
+    /// the binary does not route allocations through a
+    /// [`alloc::CountingAlloc`] (e.g. library unit tests).
+    pub mem: Option<MemStats>,
 }
 
 /// Runs `body` under `options`: warmup first, then timed iterations.
@@ -118,6 +149,12 @@ pub struct Measurement {
 /// along in the [`Measurement`]. Telemetry is observational by the
 /// workspace contract, so enabling it cannot change results — only
 /// add the (measured, honest) cost of counting.
+///
+/// When the binary's global allocator is a counting one, allocation
+/// counting is switched on for the timed loop (warmup stays uncounted)
+/// and the per-case [`MemStats`] ride along; the counting cost — a few
+/// relaxed atomics per allocation — is inside the measurement, same
+/// honesty rule as the telemetry counters.
 pub fn measure(
     case: &str,
     area: &str,
@@ -130,12 +167,40 @@ pub fn measure(
     }
     // A fresh handle so warmup counters don't pollute the snapshot.
     let tel = TelemetryHandle::with_sink(Box::new(tsv3d_telemetry::NullSink));
+    // Allocation accounting brackets only the timed loop; the previous
+    // enablement state is restored afterwards so a bench run inside an
+    // otherwise-uninstrumented process leaves no residue.
+    let count_allocs = alloc::is_installed();
+    let mem_before = count_allocs.then(|| {
+        let prev = alloc::set_enabled(true);
+        alloc::reset_peak();
+        (prev, alloc::snapshot())
+    });
     let mut samples = Vec::with_capacity(options.iters as usize);
+    let mut iter_bytes = Vec::with_capacity(options.iters as usize);
     for _ in 0..options.iters {
+        let bytes_before = count_allocs.then(|| alloc::snapshot().alloc_bytes);
         let start = Instant::now();
         body(&tel);
         samples.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        if let Some(before) = bytes_before {
+            iter_bytes.push(alloc::snapshot().alloc_bytes.saturating_sub(before));
+        }
     }
+    let mem = mem_before.map(|(prev_enabled, before)| {
+        let after = alloc::snapshot();
+        alloc::set_enabled(prev_enabled);
+        let mut sorted = iter_bytes.clone();
+        sorted.sort_unstable();
+        MemStats {
+            alloc_count: after.alloc_count.saturating_sub(before.alloc_count),
+            dealloc_count: after.dealloc_count.saturating_sub(before.dealloc_count),
+            realloc_count: after.realloc_count.saturating_sub(before.realloc_count),
+            alloc_bytes: after.alloc_bytes.saturating_sub(before.alloc_bytes),
+            median_iter_bytes: sorted.get(sorted.len().saturating_sub(1) / 2).copied().unwrap_or(0),
+            peak_bytes: after.peak_bytes,
+        }
+    });
     let wall = WallStats::from_samples(&samples)
         .expect("options.iters >= 1 produces at least one sample");
     Measurement {
@@ -145,6 +210,7 @@ pub fn measure(
         samples_ns: samples,
         wall,
         counters: tel.counters_snapshot().into_iter().collect(),
+        mem,
     }
 }
 
@@ -162,7 +228,7 @@ mod tests {
         assert_eq!(s.max_ns, 100);
         assert!((s.mean_ns - 40.0).abs() < 1e-9);
         // population stddev of [10,20,30,40,100] = sqrt(1000)
-        assert!((s.stddev_ns - 1000f64.sqrt()).abs() < 1e-9);
+        assert!((s.stddev_ns.unwrap() - 1000f64.sqrt()).abs() < 1e-9);
     }
 
     #[test]
@@ -183,7 +249,17 @@ mod tests {
         let s = WallStats::from_samples(&[7]).unwrap();
         assert_eq!(s.median_ns, 7);
         assert_eq!(s.p95_ns, 7);
-        assert_eq!(s.stddev_ns, 0.0);
+        assert_eq!(
+            s.stddev_ns, None,
+            "n=1 has no spread — explicit None, not a fake 0 or NaN"
+        );
+        assert!(s.mean_ns.is_finite());
+    }
+
+    #[test]
+    fn two_samples_have_a_stddev_again() {
+        let s = WallStats::from_samples(&[10, 30]).unwrap();
+        assert!((s.stddev_ns.unwrap() - 10.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! `BENCH_<case>.json` artifacts: the machine-readable output of one
 //! measured case, plus the combined baseline file CI diffs against.
 //!
-//! Schema (`tsv3d-bench/v1`):
+//! Schema (`tsv3d-bench/v2`):
 //!
 //! ```json
 //! {
-//!   "schema": "tsv3d-bench/v1",
+//!   "schema": "tsv3d-bench/v2",
 //!   "case": "anneal_quick_3x3",
 //!   "area": "core",
 //!   "iters": 15,
@@ -14,23 +14,32 @@
 //!               "min": 0, "max": 0},
 //!   "samples_ns": [0, 0],
 //!   "counters": {"anneal.moves": 8000},
+//!   "mem": {"alloc_count": 0, "dealloc_count": 0, "realloc_count": 0,
+//!           "alloc_bytes": 0, "median_iter_bytes": 0, "peak_bytes": 0},
 //!   "git_rev": "3e0d804",
 //!   "unix_time_s": 1754400000
 //! }
 //! ```
 //!
-//! The baseline file (`tsv3d-bench-baseline/v1`) carries one
-//! `{case, median_ns, p95_ns}` row per case; [`crate::gate`] accepts
-//! either format on the `--baseline` side.
+//! v2 over v1: the optional `mem` object (absent when the measuring
+//! binary lacks the counting allocator) and a `stddev` of `null` for
+//! single-iteration runs. The parser stays **backward compatible with
+//! v1**: `mem` is optional on the read side and the schema tag is not
+//! used for dispatch, so v1 artifacts and baselines keep gating.
+//!
+//! The baseline file (`tsv3d-bench-baseline/v2`) carries one
+//! `{case, median_ns, p95_ns, alloc_bytes_per_iter}` row per case
+//! (the last field absent for cases without memory stats);
+//! [`crate::gate`] accepts either format on the `--baseline` side.
 
 use crate::harness::Measurement;
 use crate::json::{self, JsonValue, ObjectWriter};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Schema tag of a per-case artifact.
-pub const CASE_SCHEMA: &str = "tsv3d-bench/v1";
+pub const CASE_SCHEMA: &str = "tsv3d-bench/v2";
 /// Schema tag of a combined baseline file.
-pub const BASELINE_SCHEMA: &str = "tsv3d-bench-baseline/v1";
+pub const BASELINE_SCHEMA: &str = "tsv3d-bench-baseline/v2";
 
 /// One measurement stamped with provenance, ready to serialise.
 #[derive(Debug, Clone)]
@@ -58,7 +67,7 @@ impl BenchReport {
         format!("BENCH_{}.json", self.measurement.case)
     }
 
-    /// Serialises the `tsv3d-bench/v1` JSON document.
+    /// Serialises the `tsv3d-bench/v2` JSON document.
     pub fn to_json(&self) -> String {
         let m = &self.measurement;
         let wall = {
@@ -66,7 +75,8 @@ impl BenchReport {
             w.u64("median", m.wall.median_ns)
                 .u64("p95", m.wall.p95_ns)
                 .f64("mean", m.wall.mean_ns)
-                .f64("stddev", m.wall.stddev_ns)
+                // `None` (single-iteration run) serialises as `null`.
+                .f64("stddev", m.wall.stddev_ns.unwrap_or(f64::NAN))
                 .u64("min", m.wall.min_ns)
                 .u64("max", m.wall.max_ns);
             w.finish()
@@ -89,8 +99,18 @@ impl BenchReport {
             .u64("warmup_iters", u64::from(m.options.warmup_iters))
             .raw("wall_ns", &wall)
             .raw("samples_ns", &samples)
-            .raw("counters", &counters)
-            .str("git_rev", &self.git_rev)
+            .raw("counters", &counters);
+        if let Some(mem) = &m.mem {
+            let mut mw = ObjectWriter::new();
+            mw.u64("alloc_count", mem.alloc_count)
+                .u64("dealloc_count", mem.dealloc_count)
+                .u64("realloc_count", mem.realloc_count)
+                .u64("alloc_bytes", mem.alloc_bytes)
+                .u64("median_iter_bytes", mem.median_iter_bytes)
+                .u64("peak_bytes", mem.peak_bytes);
+            w.raw("mem", &mw.finish());
+        }
+        w.str("git_rev", &self.git_rev)
             .u64("unix_time_s", self.unix_time_s);
         w.finish()
     }
@@ -105,10 +125,14 @@ pub struct CaseSummary {
     pub median_ns: f64,
     /// p95 iteration wall time, ns (absent in minimal baselines).
     pub p95_ns: Option<f64>,
+    /// Median per-iteration allocated bytes — the `--gate-mem`
+    /// comparand. Absent in v1 artifacts and for cases measured
+    /// without a counting allocator.
+    pub mem_bytes: Option<f64>,
 }
 
 /// Extracts a [`CaseSummary`] from a parsed artifact of either schema
-/// (`tsv3d-bench/v1` per-case file, or one row of a baseline file).
+/// version (per-case file, or one row of a baseline file).
 pub fn case_summary(value: &JsonValue) -> Option<CaseSummary> {
     let case = value.get("case")?.as_str()?.to_string();
     if let Some(wall) = value.get("wall_ns") {
@@ -117,6 +141,10 @@ pub fn case_summary(value: &JsonValue) -> Option<CaseSummary> {
             case,
             median_ns: wall.get("median")?.as_f64()?,
             p95_ns: wall.get("p95").and_then(JsonValue::as_f64),
+            mem_bytes: value
+                .get("mem")
+                .and_then(|m| m.get("median_iter_bytes"))
+                .and_then(JsonValue::as_f64),
         })
     } else {
         // Baseline row: flat fields.
@@ -124,11 +152,14 @@ pub fn case_summary(value: &JsonValue) -> Option<CaseSummary> {
             case,
             median_ns: value.get("median_ns")?.as_f64()?,
             p95_ns: value.get("p95_ns").and_then(JsonValue::as_f64),
+            mem_bytes: value
+                .get("alloc_bytes_per_iter")
+                .and_then(JsonValue::as_f64),
         })
     }
 }
 
-/// Serialises the combined `tsv3d-bench-baseline/v1` document.
+/// Serialises the combined `tsv3d-bench-baseline/v2` document.
 pub fn baseline_to_json(reports: &[BenchReport]) -> String {
     let rows: Vec<String> = reports
         .iter()
@@ -137,6 +168,9 @@ pub fn baseline_to_json(reports: &[BenchReport]) -> String {
             w.str("case", &r.measurement.case)
                 .u64("median_ns", r.measurement.wall.median_ns)
                 .u64("p95_ns", r.measurement.wall.p95_ns);
+            if let Some(mem) = &r.measurement.mem {
+                w.u64("alloc_bytes_per_iter", mem.median_iter_bytes);
+            }
             w.finish()
         })
         .collect();
@@ -208,7 +242,7 @@ fn unix_time_s() -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::{BenchOptions, WallStats};
+    use crate::harness::{BenchOptions, MemStats, WallStats};
 
     fn fake_measurement(case: &str, median: u64) -> Measurement {
         let samples = vec![median; 3];
@@ -222,7 +256,21 @@ mod tests {
             wall: WallStats::from_samples(&samples).unwrap(),
             samples_ns: samples,
             counters: vec![("k".to_string(), 7)],
+            mem: None,
         }
+    }
+
+    fn fake_measurement_with_mem(case: &str, median: u64, iter_bytes: u64) -> Measurement {
+        let mut m = fake_measurement(case, median);
+        m.mem = Some(MemStats {
+            alloc_count: 12,
+            dealloc_count: 11,
+            realloc_count: 1,
+            alloc_bytes: iter_bytes * 3,
+            median_iter_bytes: iter_bytes,
+            peak_bytes: iter_bytes * 2,
+        });
+        m
     }
 
     #[test]
@@ -290,7 +338,85 @@ mod tests {
             case: "solo".to_string(),
             median_ns: 50.0,
             p95_ns: Some(50.0),
+            mem_bytes: None,
         }]);
+    }
+
+    #[test]
+    fn mem_stats_round_trip_through_artifact_and_baseline() {
+        let report = BenchReport {
+            measurement: fake_measurement_with_mem("memy", 80, 4096),
+            git_rev: "r".to_string(),
+            unix_time_s: 1,
+        };
+        let value = json::parse(&report.to_json()).unwrap();
+        let mem = value.get("mem").expect("mem object present");
+        assert_eq!(
+            mem.get("alloc_count").and_then(JsonValue::as_u64),
+            Some(12)
+        );
+        assert_eq!(
+            mem.get("peak_bytes").and_then(JsonValue::as_u64),
+            Some(8192)
+        );
+        let summary = case_summary(&value).unwrap();
+        assert_eq!(summary.mem_bytes, Some(4096.0));
+
+        let baseline = baseline_to_json(&[report]);
+        let rows = parse_summaries(&baseline).unwrap();
+        assert_eq!(rows[0].mem_bytes, Some(4096.0));
+        assert_eq!(rows[0].median_ns, 80.0);
+    }
+
+    #[test]
+    fn v1_artifacts_without_mem_still_parse() {
+        // A hand-written v1 per-case artifact and baseline: no `mem`
+        // object, no `alloc_bytes_per_iter`, numeric stddev.
+        let case_v1 = r#"{"schema":"tsv3d-bench/v1","case":"old","area":"core",
+            "iters":3,"warmup_iters":1,
+            "wall_ns":{"median":100,"p95":120,"mean":105.0,"stddev":2.5,
+                       "min":90,"max":120},
+            "samples_ns":[100,100,120],"counters":{},
+            "git_rev":"deadbee","unix_time_s":1}"#;
+        let rows = parse_summaries(case_v1).unwrap();
+        assert_eq!(rows[0].case, "old");
+        assert_eq!(rows[0].median_ns, 100.0);
+        assert_eq!(rows[0].mem_bytes, None);
+
+        let baseline_v1 = r#"{"schema":"tsv3d-bench-baseline/v1","git_rev":"x",
+            "unix_time_s":1,
+            "cases":[{"case":"a","median_ns":10,"p95_ns":12}]}"#;
+        let rows = parse_summaries(baseline_v1).unwrap();
+        assert_eq!(rows[0].case, "a");
+        assert_eq!(rows[0].mem_bytes, None);
+    }
+
+    #[test]
+    fn single_iteration_stddev_serialises_as_null() {
+        let samples = vec![42u64];
+        let report = BenchReport {
+            measurement: Measurement {
+                case: "one".to_string(),
+                area: "core".to_string(),
+                options: BenchOptions {
+                    warmup_iters: 0,
+                    iters: 1,
+                },
+                wall: WallStats::from_samples(&samples).unwrap(),
+                samples_ns: samples,
+                counters: Vec::new(),
+                mem: None,
+            },
+            git_rev: "r".to_string(),
+            unix_time_s: 1,
+        };
+        let text = report.to_json();
+        assert!(
+            text.contains("\"stddev\":null"),
+            "n=1 stddev must be null, got: {text}"
+        );
+        // And the document still parses into a summary.
+        assert!(parse_summaries(&text).is_ok());
     }
 
     #[test]

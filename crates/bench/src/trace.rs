@@ -85,7 +85,8 @@ pub fn parse_jsonl(text: &str) -> ParsedTrace {
     trace
 }
 
-/// Aggregated timing of one span name.
+/// Aggregated timing (and, when the trace carries allocator data,
+/// memory) of one span name.
 #[derive(Debug, Clone)]
 pub struct SpanRollup {
     /// Span name (`core.anneal`, `circuit.lu_factor`, …).
@@ -106,6 +107,28 @@ pub struct SpanRollup {
     pub p95_s: f64,
     /// 99th percentile, same estimator.
     pub p99_s: f64,
+    /// Summed `alloc_bytes` across instances (0 for traces without
+    /// allocator data).
+    pub alloc_bytes: u64,
+    /// Summed *self*-allocated bytes (total minus nested child spans'
+    /// bytes, clamped at 0 — same attribution rule as `self_s`).
+    pub self_bytes: u64,
+    /// 95th-percentile per-instance `alloc_bytes`, log2-histogram
+    /// estimate (0 without allocator data).
+    pub p95_alloc_bytes: f64,
+}
+
+/// One collapsed flamegraph path: its self time and self bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollapsedPath {
+    /// `parent;child` span-name path.
+    pub path: String,
+    /// Self seconds accumulated on this exact path.
+    pub self_s: f64,
+    /// Instances that landed on this exact path.
+    pub count: u64,
+    /// Self-allocated bytes accumulated on this exact path.
+    pub self_bytes: u64,
 }
 
 /// The full analysis of one trace.
@@ -115,13 +138,15 @@ pub struct TraceSummary {
     pub spans: Vec<SpanRollup>,
     /// Count of every event name seen (spans included).
     pub event_counts: BTreeMap<String, u64>,
-    /// Collapsed stacks: `parent;child` path → (self seconds, count),
-    /// sorted by path.
-    pub collapsed: Vec<(String, f64, u64)>,
+    /// Collapsed stacks, sorted by path.
+    pub collapsed: Vec<CollapsedPath>,
     /// Non-blank lines in the file.
     pub lines: usize,
     /// Lines skipped as malformed.
     pub skipped: usize,
+    /// `true` when at least one span event carried an `alloc_bytes`
+    /// field — the switch for memory columns and `--mem` ranking.
+    pub has_alloc: bool,
 }
 
 struct SpanInterval {
@@ -130,12 +155,15 @@ struct SpanInterval {
     thread: String,
     start: f64,
     end: f64,
+    /// `alloc_bytes` field of the span event (0 when absent).
+    alloc_bytes: u64,
 }
 
 /// Analyses parsed events into rollups and collapsed stacks.
 pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
     let mut event_counts: BTreeMap<String, u64> = BTreeMap::new();
     let mut intervals: Vec<SpanInterval> = Vec::new();
+    let mut has_alloc = false;
     for event in &trace.events {
         *event_counts.entry(event.name.clone()).or_insert(0) += 1;
         if event.name == "span" {
@@ -148,11 +176,17 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
                         .get("thread")
                         .and_then(JsonValue::as_str)
                         .unwrap_or("");
+                    let alloc_bytes = event
+                        .value
+                        .get("alloc_bytes")
+                        .and_then(JsonValue::as_u64);
+                    has_alloc |= alloc_bytes.is_some();
                     intervals.push(SpanInterval {
                         name: name.to_string(),
                         thread: thread.to_string(),
                         start: event.t - seconds,
                         end: event.t,
+                        alloc_bytes: alloc_bytes.unwrap_or(0),
                     });
                 }
             }
@@ -170,6 +204,7 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
     }
     let mut paths: Vec<String> = vec![String::new(); intervals.len()];
     let mut child_sum: Vec<f64> = vec![0.0; intervals.len()];
+    let mut child_bytes: Vec<u64> = vec![0; intervals.len()];
     for group in groups.values() {
         let mut order = group.clone();
         order.sort_by(|&a, &b| {
@@ -199,6 +234,7 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
             }
             if let Some(&parent) = stack.last() {
                 child_sum[parent] += span.end - span.start;
+                child_bytes[parent] += span.alloc_bytes;
                 paths[idx] = format!("{};{}", paths[parent], span.name);
             } else {
                 paths[idx] = span.name.clone();
@@ -207,7 +243,7 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
         }
     }
 
-    // Per-name rollups and per-path self-time accumulation.
+    // Per-name rollups and per-path self-time/self-bytes accumulation.
     struct Acc {
         count: u64,
         total: f64,
@@ -215,12 +251,25 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
         min: f64,
         max: f64,
         hist: Histogram,
+        alloc_bytes: u64,
+        self_bytes: u64,
+        bytes_hist: Histogram,
+    }
+    struct PathAcc {
+        self_s: f64,
+        count: u64,
+        self_bytes: u64,
     }
     let mut by_name: BTreeMap<String, Acc> = BTreeMap::new();
-    let mut by_path: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    let mut by_path: BTreeMap<String, PathAcc> = BTreeMap::new();
     for (idx, span) in intervals.iter().enumerate() {
         let duration = span.end - span.start;
         let self_s = (duration - child_sum[idx]).max(0.0);
+        // Same attribution rule as self-time: the span's own bytes are
+        // its total minus whatever its direct children accounted for.
+        // Saturating — a child measured on another thread's counter can
+        // exceed the parent's own (thread-local) delta.
+        let self_bytes = span.alloc_bytes.saturating_sub(child_bytes[idx]);
         let acc = by_name.entry(span.name.clone()).or_insert_with(|| Acc {
             count: 0,
             total: 0.0,
@@ -228,6 +277,9 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             hist: Histogram::new(),
+            alloc_bytes: 0,
+            self_bytes: 0,
+            bytes_hist: Histogram::new(),
         });
         acc.count += 1;
         acc.total += duration;
@@ -235,9 +287,17 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
         acc.min = acc.min.min(duration);
         acc.max = acc.max.max(duration);
         acc.hist.record(duration);
-        let slot = by_path.entry(paths[idx].clone()).or_insert((0.0, 0));
-        slot.0 += self_s;
-        slot.1 += 1;
+        acc.alloc_bytes += span.alloc_bytes;
+        acc.self_bytes += self_bytes;
+        acc.bytes_hist.record(span.alloc_bytes as f64);
+        let slot = by_path.entry(paths[idx].clone()).or_insert(PathAcc {
+            self_s: 0.0,
+            count: 0,
+            self_bytes: 0,
+        });
+        slot.self_s += self_s;
+        slot.count += 1;
+        slot.self_bytes += self_bytes;
     }
 
     let mut spans: Vec<SpanRollup> = by_name
@@ -252,6 +312,9 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
             p50_s: acc.hist.percentile(0.5).unwrap_or(0.0),
             p95_s: acc.hist.percentile(0.95).unwrap_or(0.0),
             p99_s: acc.hist.percentile(0.99).unwrap_or(0.0),
+            alloc_bytes: acc.alloc_bytes,
+            self_bytes: acc.self_bytes,
+            p95_alloc_bytes: acc.bytes_hist.percentile(0.95).unwrap_or(0.0),
         })
         .collect();
     spans.sort_by(|a, b| {
@@ -265,10 +328,16 @@ pub fn analyze(trace: &ParsedTrace) -> TraceSummary {
         event_counts,
         collapsed: by_path
             .into_iter()
-            .map(|(path, (self_s, count))| (path, self_s, count))
+            .map(|(path, acc)| CollapsedPath {
+                path,
+                self_s: acc.self_s,
+                count: acc.count,
+                self_bytes: acc.self_bytes,
+            })
             .collect(),
         lines: trace.lines,
         skipped: trace.skipped,
+        has_alloc,
     }
 }
 
@@ -277,8 +346,20 @@ pub fn analyze_text(text: &str) -> TraceSummary {
     analyze(&parse_jsonl(text))
 }
 
-/// Renders the human-readable rollup report `tsv3d trace` prints.
+/// Renders the human-readable rollup report `tsv3d trace` prints,
+/// ranked by descending total time. Memory columns appear when the
+/// trace carries allocator data.
 pub fn render_summary(summary: &TraceSummary) -> String {
+    render_summary_ranked(summary, false)
+}
+
+/// Renders the same report ranked by descending *self-allocated bytes*
+/// — the `tsv3d trace --mem` view answering "which span allocates".
+pub fn render_summary_mem(summary: &TraceSummary) -> String {
+    render_summary_ranked(summary, true)
+}
+
+fn render_summary_ranked(summary: &TraceSummary, by_mem: bool) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -287,25 +368,47 @@ pub fn render_summary(summary: &TraceSummary) -> String {
         summary.lines,
         summary.skipped
     );
+    if by_mem && !summary.has_alloc {
+        let _ = writeln!(
+            out,
+            "note: no alloc_bytes in this trace (run with TSV3D_TELEMETRY=json \
+             and a counting-allocator binary); falling back to time ranking"
+        );
+    }
     if !summary.spans.is_empty() {
-        let name_width = summary
-            .spans
+        let mut spans: Vec<&SpanRollup> = summary.spans.iter().collect();
+        if by_mem && summary.has_alloc {
+            spans.sort_by_key(|s| std::cmp::Reverse(s.self_bytes));
+        }
+        let name_width = spans
             .iter()
             .map(|s| s.name.len())
             .max()
             .unwrap_or(4)
             .max("span".len());
-        let _ = writeln!(
+        let _ = write!(
             out,
             "\n{:<name_width$}  {:>7}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
             "span", "count", "total s", "self s", "p50 s", "p95 s", "max s"
         );
-        for s in &summary.spans {
-            let _ = writeln!(
+        if summary.has_alloc {
+            let _ = write!(out, "  {:>14}  {:>14}  {:>14}", "alloc B", "self B", "p95 B");
+        }
+        let _ = writeln!(out);
+        for s in spans {
+            let _ = write!(
                 out,
                 "{:<name_width$}  {:>7}  {:>12.6}  {:>12.6}  {:>12.6}  {:>12.6}  {:>12.6}",
                 s.name, s.count, s.total_s, s.self_s, s.p50_s, s.p95_s, s.max_s
             );
+            if summary.has_alloc {
+                let _ = write!(
+                    out,
+                    "  {:>14}  {:>14}  {:>14.0}",
+                    s.alloc_bytes, s.self_bytes, s.p95_alloc_bytes
+                );
+            }
+            let _ = writeln!(out);
         }
     }
     if !summary.event_counts.is_empty() {
@@ -323,13 +426,65 @@ pub fn render_summary(summary: &TraceSummary) -> String {
     out
 }
 
+/// Renders the machine-readable rollup (`tsv3d trace --format json`):
+/// one object with the parse counters, per-span rollups and event
+/// counts. The malformed-line count is always present, so scripted
+/// consumers can refuse visibly-degraded traces.
+pub fn render_json(summary: &TraceSummary) -> String {
+    use crate::json::ObjectWriter;
+    let spans: Vec<String> = summary
+        .spans
+        .iter()
+        .map(|s| {
+            let mut w = ObjectWriter::new();
+            w.str("name", &s.name)
+                .u64("count", s.count)
+                .f64("total_s", s.total_s)
+                .f64("self_s", s.self_s)
+                .f64("min_s", s.min_s)
+                .f64("max_s", s.max_s)
+                .f64("p50_s", s.p50_s)
+                .f64("p95_s", s.p95_s)
+                .f64("p99_s", s.p99_s);
+            if summary.has_alloc {
+                w.u64("alloc_bytes", s.alloc_bytes)
+                    .u64("self_bytes", s.self_bytes)
+                    .f64("p95_alloc_bytes", s.p95_alloc_bytes);
+            }
+            w.finish()
+        })
+        .collect();
+    let events = crate::json::object_of_u64s(
+        summary.event_counts.iter().map(|(k, v)| (k.as_str(), *v)),
+    );
+    let mut w = ObjectWriter::new();
+    w.str("schema", "tsv3d-trace/v1")
+        .u64("lines", summary.lines as u64)
+        .u64("skipped", summary.skipped as u64)
+        .raw("has_alloc", if summary.has_alloc { "true" } else { "false" })
+        .raw("spans", &format!("[{}]", spans.join(",")))
+        .raw("events", &events);
+    w.finish()
+}
+
 /// Renders the collapsed-stack export (`path self_weight_ns` per line),
 /// the input format of standard flamegraph tooling.
 pub fn render_collapsed(summary: &TraceSummary) -> String {
     let mut out = String::new();
-    for (path, self_s, _count) in &summary.collapsed {
-        let ns = (self_s * 1e9).round().max(0.0) as u64;
-        let _ = writeln!(out, "{path} {ns}");
+    for c in &summary.collapsed {
+        let ns = (c.self_s * 1e9).round().max(0.0) as u64;
+        let _ = writeln!(out, "{} {ns}", c.path);
+    }
+    out
+}
+
+/// Renders bytes-weighted collapsed stacks (`path self_bytes` per
+/// line) — the same flamegraph input format, with allocated bytes as
+/// the flame width instead of time.
+pub fn render_collapsed_bytes(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    for c in &summary.collapsed {
+        let _ = writeln!(out, "{} {}", c.path, c.self_bytes);
     }
     out
 }
@@ -389,7 +544,7 @@ mod tests {
         let paths: Vec<&str> = summary
             .collapsed
             .iter()
-            .map(|(p, _, _)| p.as_str())
+            .map(|c| c.path.as_str())
             .collect();
         assert_eq!(paths, vec!["outer", "outer;inner"]);
         let flame = render_collapsed(&summary);
@@ -407,7 +562,7 @@ mod tests {
         let paths: Vec<&str> = summary
             .collapsed
             .iter()
-            .map(|(p, _, _)| p.as_str())
+            .map(|c| c.path.as_str())
             .collect();
         assert_eq!(paths, vec!["a", "b"]);
     }
@@ -435,7 +590,7 @@ mod tests {
         let paths: Vec<&str> = summary
             .collapsed
             .iter()
-            .map(|(p, _, _)| p.as_str())
+            .map(|c| c.path.as_str())
             .collect();
         assert_eq!(paths, vec!["outer", "work"], "rollups merge across labels");
     }
@@ -449,7 +604,7 @@ mod tests {
         let paths: Vec<&str> = summary
             .collapsed
             .iter()
-            .map(|(p, _, _)| p.as_str())
+            .map(|c| c.path.as_str())
             .collect();
         assert_eq!(paths, vec!["outer", "outer;inner"]);
     }
@@ -490,5 +645,91 @@ this is not json\n\
         let summary = analyze_text(text);
         assert!(summary.spans.is_empty());
         assert_eq!(summary.event_counts["span"], 1);
+    }
+
+    #[test]
+    fn traces_without_alloc_data_keep_mem_columns_hidden() {
+        let text = "{\"t\":1.0,\"event\":\"span\",\"name\":\"a\",\"seconds\":0.5}\n";
+        let summary = analyze_text(text);
+        assert!(!summary.has_alloc);
+        assert_eq!(summary.spans[0].alloc_bytes, 0);
+        let report = render_summary(&summary);
+        assert!(!report.contains("alloc B"), "{report}");
+        // --mem on an alloc-free trace degrades with a note.
+        let mem_report = render_summary_mem(&summary);
+        assert!(mem_report.contains("no alloc_bytes"), "{mem_report}");
+    }
+
+    #[test]
+    fn nested_alloc_bytes_attribute_self_bytes_to_the_parent_remainder() {
+        // Same shape as the self-time test: inner [0.2, 0.6] inside
+        // outer [0, 1.0]. The outer span's thread-local delta (10_000)
+        // already includes the inner's 4_000.
+        let text = "\
+{\"t\":0.6,\"event\":\"span\",\"name\":\"inner\",\"seconds\":0.4,\"alloc_bytes\":4000,\"alloc_count\":4,\"peak_delta\":100}\n\
+{\"t\":1.0,\"event\":\"span\",\"name\":\"outer\",\"seconds\":1.0,\"alloc_bytes\":10000,\"alloc_count\":10,\"peak_delta\":200}\n";
+        let summary = analyze_text(text);
+        assert!(summary.has_alloc);
+        let outer = summary.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = summary.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.alloc_bytes, 10_000);
+        assert_eq!(outer.self_bytes, 6_000, "10000 − 4000 nested");
+        assert_eq!(inner.self_bytes, 4_000);
+        let report = render_summary(&summary);
+        assert!(report.contains("alloc B"), "{report}");
+        let flame = render_collapsed_bytes(&summary);
+        assert!(flame.contains("outer;inner 4000"), "{flame}");
+        assert!(flame.contains("outer 6000"), "{flame}");
+    }
+
+    #[test]
+    fn child_bytes_exceeding_the_parent_clamp_to_zero_self_bytes() {
+        // A child measured on a different counter stream can report
+        // more bytes than its parent's own delta; self bytes saturate.
+        let text = "\
+{\"t\":0.6,\"event\":\"span\",\"name\":\"inner\",\"seconds\":0.4,\"alloc_bytes\":5000}\n\
+{\"t\":1.0,\"event\":\"span\",\"name\":\"outer\",\"seconds\":1.0,\"alloc_bytes\":1000}\n";
+        let summary = analyze_text(text);
+        let outer = summary.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.self_bytes, 0, "never negative");
+    }
+
+    #[test]
+    fn mem_ranking_orders_by_self_bytes() {
+        // `big` allocates more but `small` has more total time; the
+        // --mem view must lead with `big`.
+        let text = "\
+{\"t\":1.0,\"event\":\"span\",\"name\":\"small\",\"seconds\":0.9,\"alloc_bytes\":100}\n\
+{\"t\":3.0,\"event\":\"span\",\"name\":\"big\",\"seconds\":0.1,\"alloc_bytes\":90000}\n";
+        let summary = analyze_text(text);
+        assert_eq!(summary.spans[0].name, "small", "default rank: time");
+        let mem_report = render_summary_mem(&summary);
+        let big_at = mem_report.find("big").unwrap();
+        let small_at = mem_report.find("small").unwrap();
+        assert!(big_at < small_at, "{mem_report}");
+    }
+
+    #[test]
+    fn json_rollup_includes_parse_counters_and_mem_fields() {
+        let text = "\
+{\"t\":1.0,\"event\":\"span\",\"name\":\"a\",\"seconds\":0.5,\"alloc_bytes\":2048}\n\
+not json\n";
+        let summary = analyze_text(text);
+        let doc = json::parse(&render_json(&summary)).unwrap();
+        assert_eq!(doc.get("lines").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(doc.get("skipped").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(doc.get("has_alloc"), Some(&JsonValue::Bool(true)));
+        let spans = doc.get("spans").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].get("self_bytes").and_then(JsonValue::as_u64),
+            Some(2048)
+        );
+        assert_eq!(
+            doc.get("events")
+                .and_then(|e| e.get("span"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
     }
 }

@@ -93,7 +93,7 @@ fn sink_to_parser_round_trip_preserves_every_event() {
     let paths: Vec<&str> = summary
         .collapsed
         .iter()
-        .map(|(p, _, _)| p.as_str())
+        .map(|c| c.path.as_str())
         .collect();
     assert!(paths.contains(&"outer.stage"), "{paths:?}");
     assert!(paths.contains(&"outer.stage;inner.kernel"), "{paths:?}");

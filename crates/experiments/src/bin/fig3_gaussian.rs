@@ -13,9 +13,15 @@ use tsv3d_experiments::par;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
-    let tel = obs::for_binary("fig3_gaussian");
     let quick = std::env::args().any(|a| a == "--quick");
     let threads = par::threads_from_args();
+    let tel = obs::for_binary_with(
+        "fig3_gaussian",
+        obs::RunMeta {
+            threads: Some(par::resolve_threads(threads)),
+            ..Default::default()
+        },
+    );
     let cycles = if quick { 10_000 } else { 30_000 };
     println!(
         "Fig. 3 — Gaussian 16 b patterns, 4x4 array r=2um d=8um ({} cycles, reference: mean random assignment)\n",

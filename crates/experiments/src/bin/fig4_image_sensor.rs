@@ -13,9 +13,15 @@ use tsv3d_experiments::table::{self, TextTable};
 use tsv3d_stats::gen::ImageSensor;
 
 fn main() {
-    let tel = obs::for_binary("fig4_image_sensor");
     let quick = std::env::args().any(|a| a == "--quick");
     let threads = par::threads_from_args();
+    let tel = obs::for_binary_with(
+        "fig4_image_sensor",
+        obs::RunMeta {
+            threads: Some(par::resolve_threads(threads)),
+            ..Default::default()
+        },
+    );
     let sensor = if quick {
         ImageSensor::new(48, 32)
     } else {

@@ -14,9 +14,15 @@ use tsv3d_experiments::par;
 use tsv3d_experiments::table::{self, TextTable};
 
 fn main() {
-    let tel = obs::for_binary("fig6_circuit");
     let quick = std::env::args().any(|a| a == "--quick");
     let threads = par::threads_from_args();
+    let tel = obs::for_binary_with(
+        "fig6_circuit",
+        obs::RunMeta {
+            threads: Some(par::resolve_threads(threads)),
+            ..Default::default()
+        },
+    );
     let samples = if quick { 600 } else { 3_900 };
     println!(
         "Fig. 6 — circuit-level power, 3 GHz, r=1um d=4um, scaled to 32 b/cycle ({} samples/axis)\n",

@@ -389,7 +389,13 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let tel = obs::for_binary("tsv3d");
+    let tel = obs::for_binary_with(
+        "tsv3d",
+        obs::RunMeta {
+            seed: Some(opts.seed),
+            ..Default::default()
+        },
+    );
     let outcome = run(&opts, &tel);
     obs::finish(&tel);
     if let Err(message) = outcome {

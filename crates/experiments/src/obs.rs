@@ -14,16 +14,71 @@
 //! // ... run the experiment, passing `&tel` down ...
 //! tsv3d_experiments::obs::finish(&tel);
 //! ```
+//!
+//! # Memory observability
+//!
+//! This module also hosts the workspace's one `#[global_allocator]`:
+//! a [`tsv3d_telemetry::alloc::CountingAlloc`] over the system
+//! allocator. Every binary of this crate (all figure/table binaries,
+//! `tsv3d`, and the integration tests) therefore routes allocations
+//! through the counting layer. The counters are **off** unless
+//! telemetry is enabled (or the bench harness enables them around its
+//! timed loop), in which case span close events gain
+//! `alloc_bytes`/`alloc_count`/`peak_delta` fields and `run.done`
+//! reports the process-wide peak. Disabled runs take a single relaxed
+//! atomic load per allocation and stay byte-identical.
 
 pub use tsv3d_telemetry::{Span, TelemetryHandle, Value};
+
+use tsv3d_telemetry::alloc;
+
+/// The process-wide counting allocator (see the module docs). Plain
+/// `System` passthrough until telemetry (or the bench harness) enables
+/// counting.
+#[global_allocator]
+static GLOBAL_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc::system();
+
+/// Optional provenance for [`for_binary_with`]: what the binary knows
+/// about its own run beyond its name.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunMeta {
+    /// The workload seed, when the binary has a single governing one.
+    pub seed: Option<u64>,
+    /// The requested worker-pool size (`0` = one per CPU); defaults to
+    /// the host's available parallelism when absent.
+    pub threads: Option<usize>,
+}
 
 /// Builds the process-wide telemetry handle for one experiment binary
 /// from the `TSV3D_TELEMETRY` environment switch and announces the run
 /// with a `run.start` event.
+///
+/// `run.start` carries enough provenance to attribute a trace to a
+/// commit and configuration — the same fields `BENCH_*.json` records:
+/// the binary name, abbreviated git revision, telemetry mode, thread
+/// count, and (via [`for_binary_with`]) the workload seed.
 pub fn for_binary(binary: &str) -> TelemetryHandle {
+    for_binary_with(binary, RunMeta::default())
+}
+
+/// [`for_binary`] with explicit run provenance (seed, thread count).
+pub fn for_binary_with(binary: &str, meta: RunMeta) -> TelemetryHandle {
     let tel = TelemetryHandle::from_env(binary);
     if tel.is_enabled() {
-        tel.event("run.start", &[("binary", Value::from(binary))]);
+        let mode = std::env::var("TSV3D_TELEMETRY").unwrap_or_else(|_| "off".to_string());
+        let threads = meta.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        let mut fields = vec![
+            ("binary", Value::from(binary)),
+            ("git_rev", Value::from(tsv3d_bench::report::git_rev())),
+            ("telemetry", Value::from(mode)),
+            ("threads", Value::from(threads)),
+        ];
+        if let Some(seed) = meta.seed {
+            fields.push(("seed", Value::from(seed)));
+        }
+        tel.event("run.start", &fields);
     }
     tel
 }
@@ -31,14 +86,24 @@ pub fn for_binary(binary: &str) -> TelemetryHandle {
 /// Ends an instrumented run: emits `run.done`, prints the aggregate
 /// summary (counters + timing digests) to stderr and flushes the sink.
 /// A disabled handle makes this a no-op.
+///
+/// With allocation counting active, `run.done` additionally reports
+/// the process-wide memory picture: `peak_bytes` (live-bytes
+/// high-water mark), `alloc_bytes` and `alloc_count` (cumulative),
+/// and `live_bytes` at exit.
 pub fn finish(tel: &TelemetryHandle) {
     if !tel.is_enabled() {
         return;
     }
-    tel.event(
-        "run.done",
-        &[("wall_seconds", Value::from(tel.elapsed_seconds()))],
-    );
+    let mut fields = vec![("wall_seconds", Value::from(tel.elapsed_seconds()))];
+    if alloc::is_active() {
+        let mem = alloc::snapshot();
+        fields.push(("peak_bytes", Value::from(mem.peak_bytes)));
+        fields.push(("alloc_bytes", Value::from(mem.alloc_bytes)));
+        fields.push(("alloc_count", Value::from(mem.alloc_count)));
+        fields.push(("live_bytes", Value::from(mem.live_bytes)));
+    }
+    tel.event("run.done", &fields);
     eprintln!("{}", tel.summary());
     tel.flush();
 }
@@ -65,5 +130,13 @@ mod tests {
         }
         finish(&tel);
         assert_eq!(tel.counter_value("demo.counter"), Some(3));
+    }
+
+    #[test]
+    fn counting_allocator_is_installed_for_this_crate() {
+        // The `#[global_allocator]` above serves this very test
+        // binary, so the installation marker must be set by the
+        // allocations the test harness already made.
+        assert!(alloc::is_installed());
     }
 }

@@ -1,0 +1,321 @@
+//! Allocation observability: a counting wrapper around the global
+//! allocator plus the process-wide / thread-local statistics the rest
+//! of the stack attributes to spans, bench cases and whole runs.
+//!
+//! # Design
+//!
+//! [`CountingAlloc`] wraps any [`GlobalAlloc`] (normally
+//! [`System`]) and, *when counting is enabled*, maintains
+//!
+//! * **process-wide** relaxed atomics: allocation / deallocation /
+//!   reallocation counts, cumulative requested bytes, live bytes and
+//!   the live-bytes high-water mark ([`snapshot`], [`AllocStats`]);
+//! * **thread-local** monotonic counters: bytes and allocations
+//!   requested *by the current thread* ([`mark`] / [`delta_since`]) —
+//!   the deterministic basis for per-span attribution, immune to what
+//!   concurrent workers allocate.
+//!
+//! Counting is off by default. The `TSV3D_TELEMETRY` switch enables it
+//! (via [`crate::TelemetryHandle::from_env`]), and the bench harness
+//! enables it around its timed loop; a disabled allocator forwards to
+//! the inner allocator behind a single relaxed load, so uninstrumented
+//! runs keep their exact allocation behaviour and byte-identical
+//! output.
+//!
+//! Installing a global allocator is necessarily a per-binary static:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: tsv3d_telemetry::alloc::CountingAlloc =
+//!     tsv3d_telemetry::alloc::CountingAlloc::system();
+//! ```
+//!
+//! The tsv3d workspace hosts this static in `tsv3d_experiments::obs`,
+//! which every experiment binary links. Code that merely *reads* the
+//! statistics must tolerate running without the allocator installed:
+//! [`is_active`] reports whether readings are meaningful, and stays
+//! `false` forever in binaries that never routed an allocation through
+//! a [`CountingAlloc`].
+//!
+//! # Safety
+//!
+//! This module is the one place in the crate that needs `unsafe`: the
+//! [`GlobalAlloc`] trait is an unsafe contract. The implementation
+//! delegates every placement decision to the inner allocator untouched
+//! and only *observes* sizes, so the contract is inherited, not
+//! re-established. The bookkeeping itself never allocates (relaxed
+//! atomics and const-initialised thread-locals), which keeps the
+//! allocator re-entrancy-free; thread-local access goes through
+//! `try_with` so allocations during TLS teardown degrade to
+//! uncounted rather than aborting.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+/// Global switch: when `false`, [`CountingAlloc`] is a passthrough.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Set the first time any `CountingAlloc` services a request — the
+/// signal that the binary actually routes allocations through us.
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static DEALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static REALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TL_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+    static TL_ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A counting wrapper around a [`GlobalAlloc`], normally installed as
+/// the `#[global_allocator]` of a binary (see the module docs).
+///
+/// All instances share one set of statistics — the process has one
+/// allocator, the generic parameter only chooses what it forwards to.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc<A = System> {
+    inner: A,
+}
+
+impl CountingAlloc<System> {
+    /// The standard configuration: counts on top of [`System`].
+    #[must_use]
+    pub const fn system() -> Self {
+        Self { inner: System }
+    }
+}
+
+impl<A> CountingAlloc<A> {
+    /// Wraps an arbitrary inner allocator.
+    pub const fn new(inner: A) -> Self {
+        Self { inner }
+    }
+}
+
+// SAFETY: every placement decision (pointer, alignment, zeroing) is
+// delegated verbatim to the inner allocator; this wrapper only reads
+// layout sizes after the fact, and its bookkeeping never allocates.
+unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { self.inner.alloc(layout) };
+        if !ptr.is_null() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { self.inner.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { self.inner.dealloc(ptr, layout) };
+        note_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { self.inner.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            note_realloc(layout.size(), new_size);
+        }
+        new_ptr
+    }
+}
+
+#[inline]
+fn mark_installed() {
+    // A plain load-then-store keeps the hot path to one relaxed load
+    // after the first allocation; racing stores all write `true`.
+    if !INSTALLED.load(Relaxed) {
+        INSTALLED.store(true, Relaxed);
+    }
+}
+
+#[inline]
+fn note_alloc(size: usize) {
+    mark_installed();
+    if !ENABLED.load(Relaxed) {
+        return;
+    }
+    let size = size as u64;
+    ALLOC_COUNT.fetch_add(1, Relaxed);
+    ALLOC_BYTES.fetch_add(size, Relaxed);
+    let live = LIVE_BYTES.fetch_add(size, Relaxed) + size;
+    PEAK_BYTES.fetch_max(live, Relaxed);
+    let _ = TL_ALLOC_BYTES.try_with(|c| c.set(c.get() + size));
+    let _ = TL_ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+}
+
+#[inline]
+fn note_dealloc(size: usize) {
+    mark_installed();
+    if !ENABLED.load(Relaxed) {
+        return;
+    }
+    DEALLOC_COUNT.fetch_add(1, Relaxed);
+    // Saturating: a block allocated while counting was disabled may be
+    // freed after enabling, and live-bytes must not wrap.
+    let _ = LIVE_BYTES.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(size as u64)));
+}
+
+#[inline]
+fn note_realloc(old_size: usize, new_size: usize) {
+    mark_installed();
+    if !ENABLED.load(Relaxed) {
+        return;
+    }
+    REALLOC_COUNT.fetch_add(1, Relaxed);
+    // Attribute the full new block to the requesting thread/process —
+    // the same accounting a free + fresh alloc would produce.
+    let new_size = new_size as u64;
+    ALLOC_BYTES.fetch_add(new_size, Relaxed);
+    let _ = LIVE_BYTES.fetch_update(Relaxed, Relaxed, |v| {
+        Some(v.saturating_sub(old_size as u64) + new_size)
+    });
+    PEAK_BYTES.fetch_max(LIVE_BYTES.load(Relaxed), Relaxed);
+    let _ = TL_ALLOC_BYTES.try_with(|c| c.set(c.get() + new_size));
+    let _ = TL_ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+}
+
+/// Turns counting on or off process-wide, returning the previous
+/// state. [`crate::TelemetryHandle::from_env`] calls this for `json`
+/// and `stderr` modes; the bench harness brackets its timed loop with
+/// it.
+pub fn set_enabled(on: bool) -> bool {
+    ENABLED.swap(on, Relaxed)
+}
+
+/// `true` while counting is switched on.
+#[must_use]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// `true` once any [`CountingAlloc`] has serviced a request — i.e. the
+/// running binary actually installed the wrapper as its global
+/// allocator.
+#[must_use]
+pub fn is_installed() -> bool {
+    INSTALLED.load(Relaxed)
+}
+
+/// `true` when readings are meaningful: counting is enabled *and* the
+/// wrapper is installed. Span close events and bench memory stats are
+/// only produced under this predicate.
+#[must_use]
+pub fn is_active() -> bool {
+    is_enabled() && is_installed()
+}
+
+/// A point-in-time copy of the process-wide allocation statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Allocations serviced (`alloc` + `alloc_zeroed`).
+    pub alloc_count: u64,
+    /// Deallocations serviced.
+    pub dealloc_count: u64,
+    /// Reallocations serviced.
+    pub realloc_count: u64,
+    /// Cumulative bytes requested (monotonic; reallocs add their full
+    /// new size).
+    pub alloc_bytes: u64,
+    /// Bytes currently live (allocated minus freed, saturating).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since enabling (or the last
+    /// [`reset_peak`]).
+    pub peak_bytes: u64,
+}
+
+/// Reads the process-wide statistics. All zeros while counting has
+/// never been enabled.
+#[must_use]
+pub fn snapshot() -> AllocStats {
+    AllocStats {
+        alloc_count: ALLOC_COUNT.load(Relaxed),
+        dealloc_count: DEALLOC_COUNT.load(Relaxed),
+        realloc_count: REALLOC_COUNT.load(Relaxed),
+        alloc_bytes: ALLOC_BYTES.load(Relaxed),
+        live_bytes: LIVE_BYTES.load(Relaxed),
+        peak_bytes: PEAK_BYTES.load(Relaxed),
+    }
+}
+
+/// Rebases the high-water mark to the current live bytes, so a scoped
+/// measurement (one bench case) reports its own peak instead of the
+/// largest peak any earlier work reached.
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Relaxed), Relaxed);
+}
+
+/// A baseline for delta measurements: the calling thread's monotonic
+/// counters plus the process peak, captured by [`mark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocMark {
+    thread_bytes: u64,
+    thread_count: u64,
+    peak: u64,
+}
+
+/// What happened between a [`mark`] and now ([`delta_since`]). All
+/// fields derive from monotonic counters with saturating subtraction,
+/// so they are never negative — nested spans always self-attribute
+/// cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocDelta {
+    /// Bytes the *current thread* requested since the mark.
+    pub alloc_bytes: u64,
+    /// Allocations the current thread made since the mark.
+    pub alloc_count: u64,
+    /// Growth of the process-wide live-bytes high-water mark since the
+    /// mark (0 when the peak predates the mark).
+    pub peak_delta: u64,
+}
+
+/// Captures the current thread's allocation counters and the process
+/// peak as a baseline for [`delta_since`].
+#[must_use]
+pub fn mark() -> AllocMark {
+    AllocMark {
+        thread_bytes: TL_ALLOC_BYTES.try_with(Cell::get).unwrap_or(0),
+        thread_count: TL_ALLOC_COUNT.try_with(Cell::get).unwrap_or(0),
+        peak: PEAK_BYTES.load(Relaxed),
+    }
+}
+
+/// The allocation activity since `mark` (see [`AllocDelta`]).
+#[must_use]
+pub fn delta_since(mark: &AllocMark) -> AllocDelta {
+    AllocDelta {
+        alloc_bytes: TL_ALLOC_BYTES
+            .try_with(Cell::get)
+            .unwrap_or(0)
+            .saturating_sub(mark.thread_bytes),
+        alloc_count: TL_ALLOC_COUNT
+            .try_with(Cell::get)
+            .unwrap_or(0)
+            .saturating_sub(mark.thread_count),
+        peak_delta: PEAK_BYTES.load(Relaxed).saturating_sub(mark.peak),
+    }
+}
+
+/// [`mark`], but only when readings would be meaningful
+/// ([`is_active`]); the form span instrumentation uses so binaries
+/// without the allocator never emit all-zero memory fields.
+#[must_use]
+pub fn active_mark() -> Option<AllocMark> {
+    if is_active() {
+        Some(mark())
+    } else {
+        None
+    }
+}

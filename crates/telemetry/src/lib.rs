@@ -26,6 +26,12 @@
 //! bit-identical results with any sink attached (`tsv3d-core` enforces
 //! this with a property test).
 //!
+//! The [`alloc`] module extends the same contract to *memory*: a
+//! [`alloc::CountingAlloc`] global allocator feeds process-wide and
+//! thread-local counters, and spans closing while counting is active
+//! ([`alloc::is_active`]) stamp their events with
+//! `alloc_bytes`/`alloc_count`/`peak_delta` deltas.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,9 +46,13 @@
 //! assert_eq!(tel.counter_value("nodes"), None);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`alloc`] module implements the
+// (unsafe by contract) `GlobalAlloc` trait and opts in locally; every
+// other module stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod histogram;
 mod sink;
 
@@ -211,6 +221,18 @@ impl TelemetryHandle {
     /// with a warning on stderr rather than failing the run.
     pub fn from_env(context: &str) -> Self {
         match std::env::var("TSV3D_TELEMETRY").as_deref() {
+            Ok("json") | Ok("stderr") => {}
+            _ => return Self::from_env_inner(context),
+        }
+        // An enabled run also switches on allocation counting, so span
+        // events carry memory deltas wherever a `CountingAlloc` is the
+        // global allocator (no-op passthrough otherwise).
+        alloc::set_enabled(true);
+        Self::from_env_inner(context)
+    }
+
+    fn from_env_inner(context: &str) -> Self {
+        match std::env::var("TSV3D_TELEMETRY").as_deref() {
             Ok("json") => {
                 let path = std::env::var("TSV3D_TELEMETRY_PATH")
                     .unwrap_or_else(|_| format!("results/{context}_telemetry.jsonl"));
@@ -298,12 +320,21 @@ impl TelemetryHandle {
     /// Starts a monotonic span timer; on drop the duration is recorded
     /// into histogram `name` and emitted as a `span` event (carrying
     /// the handle's thread label, if any).
+    ///
+    /// When allocation counting is active ([`alloc::is_active`]) the
+    /// close event additionally carries `alloc_bytes` / `alloc_count`
+    /// (this thread's requests while the span was open) and
+    /// `peak_delta` (growth of the process live-bytes high-water
+    /// mark). The deltas are cumulative over nested spans, exactly
+    /// like wall time — trace analysis subtracts children to recover
+    /// self-attribution.
     pub fn span(&self, name: &'static str) -> Span {
         Span {
             inner: self.inner.as_ref().map(|inner| SpanInner {
                 registry: Arc::clone(inner),
                 name,
                 thread: self.thread.clone(),
+                alloc: alloc::active_mark(),
                 start: Instant::now(),
             }),
         }
@@ -426,6 +457,9 @@ struct SpanInner {
     registry: Arc<Inner>,
     name: &'static str,
     thread: Option<Arc<str>>,
+    /// Allocation baseline captured at open; `None` when counting was
+    /// inactive, so binaries without the allocator never emit zeros.
+    alloc: Option<alloc::AllocMark>,
     start: Instant,
 }
 
@@ -442,6 +476,11 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(span) = self.inner.take() {
             let seconds = span.start.elapsed().as_secs_f64();
+            // Read the allocation deltas before any bookkeeping below
+            // allocates (histogram inserts, the fields vector): the
+            // measurement must cover only the span's own scope, which
+            // is also what makes single-threaded deltas repeatable.
+            let alloc_delta = span.alloc.as_ref().map(alloc::delta_since);
             {
                 let mut histograms = span
                     .registry
@@ -461,6 +500,11 @@ impl Drop for Span {
                 ("name", Value::Str(span.name.to_string())),
                 ("seconds", Value::F64(seconds)),
             ];
+            if let Some(delta) = alloc_delta {
+                fields.push(("alloc_bytes", Value::U64(delta.alloc_bytes)));
+                fields.push(("alloc_count", Value::U64(delta.alloc_count)));
+                fields.push(("peak_delta", Value::U64(delta.peak_delta)));
+            }
             if let Some(label) = &span.thread {
                 fields.push(("thread", Value::Str(label.to_string())));
             }

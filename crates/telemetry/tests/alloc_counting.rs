@@ -1,0 +1,167 @@
+//! End-to-end tests of the counting allocator: this test binary
+//! installs its own [`CountingAlloc`] (exactly as the experiments crate
+//! does), so every phase runs against real, serviced allocations.
+//!
+//! Everything lives in ONE test function: enablement is process-global
+//! state, and the default parallel test runner would race independent
+//! `set_enabled` toggles against each other.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use tsv3d_telemetry::alloc::{self, CountingAlloc};
+use tsv3d_telemetry::{JsonLinesSink, TelemetryHandle};
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc::system();
+
+/// A `Write` handle into a shared buffer (same idiom as `sinks.rs`).
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn new() -> Self {
+        Self(Arc::new(Mutex::new(Vec::new())))
+    }
+
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("valid UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Extracts the integer value of `"key":N` from a JSONL line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    let digits: String = line[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn counting_allocator_end_to_end() {
+    // ---- Phase 1: disabled (the default) means zero counting. ----
+    assert!(
+        alloc::is_installed(),
+        "the test harness itself allocates through GLOBAL before we run"
+    );
+    assert!(!alloc::is_enabled(), "counting must be opt-in");
+    assert!(alloc::active_mark().is_none());
+    let before = alloc::snapshot();
+    drop(std::hint::black_box(vec![0u8; 64 * 1024]));
+    let after = alloc::snapshot();
+    assert_eq!(before.alloc_count, after.alloc_count, "disabled: no counts");
+    assert_eq!(before.alloc_bytes, after.alloc_bytes, "disabled: no bytes");
+    assert_eq!(before.live_bytes, after.live_bytes);
+
+    // ---- Phase 2: enabled — counters, live bytes and peak move. ----
+    assert!(!alloc::set_enabled(true), "previous state was disabled");
+    assert!(alloc::is_active());
+    let mark = alloc::active_mark().expect("enabled + installed");
+    let block = std::hint::black_box(vec![7u8; 10_000]);
+    let held = alloc::delta_since(&mark);
+    assert!(held.alloc_count >= 1);
+    assert!(
+        held.alloc_bytes >= 10_000,
+        "at least the vec itself: {}",
+        held.alloc_bytes
+    );
+    let live_with_block = alloc::snapshot().live_bytes;
+    drop(block);
+    let snap = alloc::snapshot();
+    assert!(
+        snap.live_bytes + 10_000 <= live_with_block,
+        "freeing returns live bytes"
+    );
+    assert!(
+        snap.peak_bytes >= live_with_block,
+        "peak is a watermark, it must not drop with the free"
+    );
+
+    // ---- Phase 3: single-threaded deltas are deterministic. ----
+    let workload = || {
+        let m = alloc::active_mark().expect("still active");
+        let mut held: Vec<Vec<u8>> = Vec::new();
+        for i in 0..32usize {
+            held.push(std::hint::black_box(vec![i as u8; 100 + i]));
+        }
+        drop(held);
+        alloc::delta_since(&m)
+    };
+    let first = workload();
+    let second = workload();
+    assert_eq!(first.alloc_bytes, second.alloc_bytes, "same work, same bytes");
+    assert_eq!(first.alloc_count, second.alloc_count, "same work, same count");
+    assert!(first.alloc_bytes >= (0..32).map(|i| 100 + i).sum::<usize>() as u64);
+
+    // ---- Phase 4: reset_peak rebases the watermark to live. ----
+    alloc::reset_peak();
+    let rebased = alloc::snapshot();
+    assert_eq!(
+        rebased.peak_bytes, rebased.live_bytes,
+        "no allocation happened between reset and snapshot"
+    );
+
+    // ---- Phase 5: spans stamp alloc deltas; outer >= inner. ----
+    let buf = SharedBuf::new();
+    let tel = TelemetryHandle::with_sink(Box::new(JsonLinesSink::with_writer(
+        Box::new(buf.clone()),
+    )));
+    {
+        let _outer = tel.span("outer");
+        let _pad = std::hint::black_box(vec![0u8; 5_000]);
+        {
+            let _inner = tel.span("inner");
+            let _v = std::hint::black_box(vec![0u8; 20_000]);
+        }
+    }
+    tel.flush();
+    let out = buf.contents();
+    let inner_line = out
+        .lines()
+        .find(|l| l.contains("\"name\":\"inner\""))
+        .expect("inner span emitted");
+    let outer_line = out
+        .lines()
+        .find(|l| l.contains("\"name\":\"outer\""))
+        .expect("outer span emitted");
+    for line in [inner_line, outer_line] {
+        for key in ["alloc_bytes", "alloc_count", "peak_delta"] {
+            assert!(
+                field_u64(line, key).is_some(),
+                "span close must carry {key}: {line}"
+            );
+        }
+    }
+    let inner_bytes = field_u64(inner_line, "alloc_bytes").unwrap();
+    let outer_bytes = field_u64(outer_line, "alloc_bytes").unwrap();
+    assert!(inner_bytes >= 20_000, "inner saw its own vec: {inner_bytes}");
+    assert!(
+        outer_bytes >= inner_bytes + 5_000,
+        "outer contains inner plus its own pad: outer {outer_bytes} inner {inner_bytes}"
+    );
+
+    // ---- Phase 6: spans opened while disabled emit no mem fields. ----
+    assert!(alloc::set_enabled(false), "previous state was enabled");
+    let buf2 = SharedBuf::new();
+    let tel2 = TelemetryHandle::with_sink(Box::new(JsonLinesSink::with_writer(
+        Box::new(buf2.clone()),
+    )));
+    drop(tel2.span("quiet"));
+    tel2.flush();
+    let out2 = buf2.contents();
+    assert!(out2.contains("\"name\":\"quiet\""));
+    assert!(
+        !out2.contains("alloc_bytes"),
+        "disabled spans must not stamp zeros: {out2}"
+    );
+}

@@ -109,7 +109,7 @@ fn bench_writes_valid_artifacts_and_gates_against_baselines() {
     let value = json::parse(&text).expect("artifact is valid JSON");
     assert_eq!(
         value.get("schema").and_then(JsonValue::as_str),
-        Some("tsv3d-bench/v1")
+        Some("tsv3d-bench/v2")
     );
     assert_eq!(
         value.get("case").and_then(JsonValue::as_str),
@@ -169,7 +169,7 @@ fn bench_writes_valid_artifacts_and_gates_against_baselines() {
 
     // The combined baseline written above is itself a valid gate input.
     let base = std::fs::read_to_string(dir.join("base.json")).unwrap();
-    assert!(base.contains("tsv3d-bench-baseline/v1"));
+    assert!(base.contains("tsv3d-bench-baseline/v2"));
 
     let _ = std::fs::remove_dir_all(&dir);
 }
