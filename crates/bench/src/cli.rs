@@ -1,18 +1,23 @@
-//! Implementation of the `tsv3d bench` and `tsv3d trace` subcommands.
+//! Implementation of the `tsv3d bench`, `tsv3d trace`, `tsv3d history`
+//! and `tsv3d serve` subcommands.
 //!
 //! The multiplexer binary in `tsv3d-experiments` forwards its argument
 //! tail here; everything returns an exit code instead of calling
 //! `std::process::exit` so the logic stays testable in-process.
 //!
-//! Exit codes: `0` success, `1` failure (I/O, or a gated regression),
-//! `2` usage error.
+//! Exit codes: `0` success, `1` failure (I/O, a gated regression, or a
+//! failed bind), `2` usage error.
 
+use crate::flamegraph;
 use crate::gate;
 use crate::harness::{measure, BenchOptions};
+use crate::history;
 use crate::registry;
 use crate::report::{self, BenchReport};
 use crate::trace;
 use std::path::{Path, PathBuf};
+use tsv3d_telemetry::export::{MetricsServer, RunsJson};
+use tsv3d_telemetry::{NullSink, TelemetryHandle};
 
 /// Usage text of `tsv3d bench`.
 pub const BENCH_USAGE: &str = "\
@@ -40,6 +45,10 @@ Options:
                         PCT percent; cases without memory data on both
                         sides are skipped
   --write-baseline FILE also write a combined baseline artifact
+  --history FILE        cross-run ledger to append per-case summary
+                        records to (default results/history.jsonl;
+                        schema tsv3d-history/v1, see `tsv3d history`)
+  --no-history          skip the ledger append entirely
   --list                list the registered cases and exit
 ";
 
@@ -61,6 +70,58 @@ Options:
                         machine-readable rollup object on stdout
   --collapsed FILE      also write flamegraph collapsed stacks
                         (`parent;child self_ns` per line) to FILE
+  --svg FILE            also render a self-contained flamegraph SVG to
+                        FILE (time-weighted; bytes-weighted with --mem).
+                        Deterministic: same trace, byte-identical SVG
+";
+
+/// Usage text of `tsv3d history`.
+pub const HISTORY_USAGE: &str = "\
+Usage: tsv3d history [file.jsonl] [options]
+
+Analyzes the cross-run ledger (default results/history.jsonl) that
+`tsv3d bench` and instrumented experiment runs append to: one
+tsv3d-history/v1 record per case per run. Renders a per-case trend
+table comparing each case's latest record against the median of the
+trailing window; malformed ledger lines are skipped and counted.
+
+Options:
+  --window K            trailing records to take the median over
+                        (default 5)
+  --case SUBSTR         only show cases whose name contains SUBSTR
+  --gate-trend PCT      exit 1 if any case's latest median regressed
+                        more than PCT percent vs its window median;
+                        cases with fewer than 2 prior records are
+                        reported as `insufficient window` and never
+                        fail the gate
+  --format json|text    output format (default text)
+";
+
+/// Usage text of `tsv3d serve`.
+pub const SERVE_USAGE: &str = "\
+Usage: tsv3d serve [options]
+
+Starts a std-only HTTP listener exposing live metrics:
+  /metrics   Prometheus text exposition format (counters, log2
+             histogram buckets, allocator gauges)
+  /healthz   liveness probe (`ok`)
+  /runs      recent tsv3d-history/v1 run records as JSON
+
+The exporter only reads registry snapshots, so serving never perturbs
+measured results. The bound address is printed on stdout (useful with
+port 0).
+
+Options:
+  --addr HOST:PORT      bind address (default 127.0.0.1:9184, or the
+                        TSV3D_METRICS_ADDR env var; port 0 picks a
+                        free port)
+  --history FILE        ledger backing /runs (default
+                        results/history.jsonl; missing file serves [])
+  --demo                run the anneal_quick_3x3 workload in a loop on
+                        a background thread so /metrics shows a live,
+                        growing registry
+  --max-requests N      exit 0 after serving N requests (smoke tests;
+                        default: serve until killed)
 ";
 
 #[derive(Debug)]
@@ -73,6 +134,8 @@ struct BenchArgs {
     gate_pct: Option<f64>,
     mem_gate_pct: Option<f64>,
     write_baseline: Option<PathBuf>,
+    /// Ledger to append per-case records to; `None` with --no-history.
+    history: Option<PathBuf>,
     list: bool,
 }
 
@@ -86,6 +149,7 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
         gate_pct: None,
         mem_gate_pct: None,
         write_baseline: None,
+        history: Some(PathBuf::from("results/history.jsonl")),
         list: false,
     };
     let mut i = 0;
@@ -162,6 +226,14 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
             "--write-baseline" => {
                 parsed.write_baseline = Some(PathBuf::from(take_value()?));
                 i += 2;
+            }
+            "--history" => {
+                parsed.history = Some(PathBuf::from(take_value()?));
+                i += 2;
+            }
+            "--no-history" => {
+                parsed.history = None;
+                i += 1;
             }
             other => return Err(format!("unknown bench option `{other}`")),
         }
@@ -255,6 +327,39 @@ pub fn run_bench(args: &[String]) -> i32 {
         parsed.out_dir.display()
     );
 
+    if let Some(ledger_path) = &parsed.history {
+        let records: Vec<history::HistoryRecord> = reports
+            .iter()
+            .map(|r| history::HistoryRecord {
+                kind: "bench".to_string(),
+                case: r.measurement.case.clone(),
+                git_rev: r.git_rev.clone(),
+                unix_time_s: r.unix_time_s,
+                median_ns: r.measurement.wall.median_ns as f64,
+                p95_ns: Some(r.measurement.wall.p95_ns as f64),
+                alloc_bytes_per_iter: r
+                    .measurement
+                    .mem
+                    .as_ref()
+                    .map(|m| m.median_iter_bytes as f64),
+                threads: parsed.config.threads as u64,
+            })
+            .collect();
+        // The ledger is trajectory bookkeeping, not the measurement:
+        // an unwritable path degrades to a warning, never a failed run.
+        match history::append(ledger_path, &records) {
+            Ok(()) => println!(
+                "appended {} record(s) to {}",
+                records.len(),
+                ledger_path.display()
+            ),
+            Err(message) => eprintln!(
+                "warning: cannot append history to `{}`: {message}",
+                ledger_path.display()
+            ),
+        }
+    }
+
     if let Some(path) = &parsed.write_baseline {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -343,6 +448,7 @@ pub fn run_bench(args: &[String]) -> i32 {
 pub fn run_trace(args: &[String]) -> i32 {
     let mut file: Option<&String> = None;
     let mut collapsed_out: Option<PathBuf> = None;
+    let mut svg_out: Option<PathBuf> = None;
     let mut by_mem = false;
     let mut json_format = false;
     let mut i = 0;
@@ -355,6 +461,16 @@ pub fn run_trace(args: &[String]) -> i32 {
                 }
                 None => {
                     eprintln!("error: missing value for --collapsed\n{TRACE_USAGE}");
+                    return 2;
+                }
+            },
+            "--svg" => match args.get(i + 1) {
+                Some(path) => {
+                    svg_out = Some(PathBuf::from(path));
+                    i += 2;
+                }
+                None => {
+                    eprintln!("error: missing value for --svg\n{TRACE_USAGE}");
                     return 2;
                 }
             },
@@ -441,7 +557,247 @@ pub fn run_trace(args: &[String]) -> i32 {
             println!("\nwrote collapsed stacks to {}", path.display());
         }
     }
+    if let Some(path) = svg_out {
+        let weighting = if by_mem {
+            flamegraph::Weighting::Bytes
+        } else {
+            flamegraph::Weighting::Time
+        };
+        let svg = flamegraph::render_svg(&summary, weighting);
+        if let Err(message) = std::fs::write(&path, svg) {
+            eprintln!("error: cannot write `{}`: {message}", path.display());
+            return 1;
+        }
+        if !json_format {
+            println!("wrote flamegraph SVG to {}", path.display());
+        }
+    }
     0
+}
+
+/// Runs `tsv3d history` with the argument tail after the subcommand.
+pub fn run_history(args: &[String]) -> i32 {
+    let mut file: Option<PathBuf> = None;
+    let mut window: usize = 5;
+    let mut case_filter: Option<String> = None;
+    let mut gate_pct: Option<f64> = None;
+    let mut json_format = false;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let take_value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        let step = match key {
+            "--window" => match take_value().and_then(|v| {
+                v.parse::<usize>().map_err(|e| format!("--window: {e}"))
+            }) {
+                Ok(0) => Err("--window must be at least 1".to_string()),
+                Ok(k) => {
+                    window = k;
+                    Ok(2)
+                }
+                Err(message) => Err(message),
+            },
+            "--case" => take_value().map(|v| {
+                case_filter = Some(v.clone());
+                2
+            }),
+            "--gate-trend" => match take_value()
+                .and_then(|v| v.parse::<f64>().map_err(|e| format!("--gate-trend: {e}")))
+            {
+                Ok(pct) if pct.is_finite() && pct >= 0.0 => {
+                    gate_pct = Some(pct);
+                    Ok(2)
+                }
+                Ok(_) => {
+                    Err("--gate-trend must be a non-negative percentage".to_string())
+                }
+                Err(message) => Err(message),
+            },
+            "--format" => match take_value().map(String::as_str) {
+                Ok("json") => {
+                    json_format = true;
+                    Ok(2)
+                }
+                Ok("text") => {
+                    json_format = false;
+                    Ok(2)
+                }
+                Ok(other) => Err(format!("--format must be `json` or `text`, got `{other}`")),
+                Err(message) => Err(message),
+            },
+            other if other.starts_with("--") => {
+                Err(format!("unknown history option `{other}`"))
+            }
+            _ if file.is_none() => {
+                file = Some(PathBuf::from(key));
+                Ok(1)
+            }
+            other => Err(format!("unexpected argument `{other}`")),
+        };
+        match step {
+            Ok(n) => i += n,
+            Err(message) => {
+                eprintln!("error: {message}\n{HISTORY_USAGE}");
+                return 2;
+            }
+        }
+    }
+    let path = file.unwrap_or_else(|| PathBuf::from("results/history.jsonl"));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(message) => {
+            eprintln!("error: cannot read `{}`: {message}", path.display());
+            return 1;
+        }
+    };
+    let mut ledger = history::parse_ledger(&text);
+    if let Some(filter) = &case_filter {
+        ledger.records.retain(|r| r.case.contains(filter.as_str()));
+    }
+    if ledger.skipped > 0 {
+        eprintln!(
+            "warning: {} of {} ledger line(s) skipped as malformed",
+            ledger.skipped, ledger.lines
+        );
+    }
+    let rows = history::analyze(&ledger, window, gate_pct);
+    if json_format {
+        println!("{}", history::render_json(&rows, &ledger, window));
+    } else {
+        println!("ledger: {} ({} record(s))", path.display(), ledger.records.len());
+        print!("{}", history::render_table(&rows, window));
+    }
+    if gate_pct.is_some() {
+        let regressed: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.status == history::TrendStatus::Regressed)
+            .map(|r| r.case.as_str())
+            .collect();
+        if !regressed.is_empty() {
+            eprintln!(
+                "error: {} case(s) regressed beyond --gate-trend: {}",
+                regressed.len(),
+                regressed.join(", ")
+            );
+            return 1;
+        }
+    }
+    0
+}
+
+/// Runs `tsv3d serve` with the argument tail after the subcommand.
+pub fn run_serve(args: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut history_path = PathBuf::from("results/history.jsonl");
+    let mut demo = false;
+    let mut max_requests: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let take_value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        let step = match key {
+            "--addr" => take_value().map(|v| {
+                addr = Some(v.clone());
+                2
+            }),
+            "--history" => take_value().map(|v| {
+                history_path = PathBuf::from(v);
+                2
+            }),
+            "--demo" => {
+                demo = true;
+                Ok(1)
+            }
+            "--max-requests" => take_value()
+                .and_then(|v| {
+                    v.parse::<u64>().map_err(|e| format!("--max-requests: {e}"))
+                })
+                .map(|n| {
+                    max_requests = Some(n);
+                    2
+                }),
+            other => Err(format!("unknown serve option `{other}`")),
+        };
+        match step {
+            Ok(n) => i += n,
+            Err(message) => {
+                eprintln!("error: {message}\n{SERVE_USAGE}");
+                return 2;
+            }
+        }
+    }
+    let addr = addr
+        .or_else(|| std::env::var("TSV3D_METRICS_ADDR").ok().filter(|a| !a.is_empty()))
+        .unwrap_or_else(|| "127.0.0.1:9184".to_string());
+
+    // The serve registry aggregates locally (NullSink): scrape state
+    // lives in the counters/histograms, not an event stream.
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let runs: RunsJson = {
+        let path = history_path.clone();
+        std::sync::Arc::new(move || match std::fs::read_to_string(&path) {
+            Ok(text) => history::runs_json(&history::parse_ledger(&text), 50),
+            Err(_) => "[]\n".to_string(),
+        })
+    };
+    let server = match MetricsServer::start(addr.as_str(), &tel, Some(runs)) {
+        Ok(s) => s,
+        Err(message) => {
+            eprintln!("error: cannot bind `{addr}`: {message}");
+            return 1;
+        }
+    };
+    // Stdout is line-buffered even when piped: smoke tests parse the
+    // resolved address (port 0 → real port) from this line.
+    println!("serving metrics on http://{}/", server.local_addr());
+    println!("endpoints: /metrics /healthz /runs  (history: {})", history_path.display());
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let demo_thread = demo.then(|| {
+        let case = registry::cases()
+            .into_iter()
+            .find(|c| c.name == "anneal_quick_3x3")
+            .expect("demo case is registered");
+        let mut body = (case.setup)(&registry::BenchConfig::default());
+        let tel = tel.clone();
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _span = tel.span("serve.demo_iteration");
+                body(&tel);
+            }
+        })
+    });
+    if demo {
+        println!("demo workload: anneal_quick_3x3 looping in the background");
+    }
+
+    let code = match max_requests {
+        Some(limit) => loop {
+            if server.requests_served() >= limit {
+                break 0;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        },
+        // Until killed: the accept loop does the work; this thread
+        // only has to stay alive.
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    };
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(thread) = demo_thread {
+        let _ = thread.join();
+    }
+    println!("served {} request(s); exiting", server.requests_served());
+    server.shutdown();
+    code
 }
 
 #[cfg(test)]
@@ -506,6 +862,7 @@ mod tests {
         .unwrap();
         let args: Vec<String> = [
             "--quick",
+            "--no-history",
             "--warmup",
             "0",
             "--iters",
@@ -527,6 +884,68 @@ mod tests {
         let ungated: Vec<String> = args[..args.len() - 2].to_vec();
         assert_eq!(run_bench(&ungated), 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_history_flags_parse() {
+        let parsed = parse_bench_args(&[]).unwrap();
+        assert_eq!(
+            parsed.history.as_deref(),
+            Some(Path::new("results/history.jsonl"))
+        );
+        let custom: Vec<String> = vec!["--history".into(), "/tmp/h.jsonl".into()];
+        assert_eq!(
+            parse_bench_args(&custom).unwrap().history.as_deref(),
+            Some(Path::new("/tmp/h.jsonl"))
+        );
+        let off: Vec<String> = vec!["--no-history".into()];
+        assert_eq!(parse_bench_args(&off).unwrap().history, None);
+    }
+
+    #[test]
+    fn history_usage_errors_return_2() {
+        for bad in [
+            vec!["--window"],
+            vec!["--window", "0"],
+            vec!["--window", "five"],
+            vec!["--gate-trend"],
+            vec!["--gate-trend", "-1"],
+            vec!["--gate-trend", "inf"],
+            vec!["--format", "xml"],
+            vec!["--frobnicate"],
+            vec!["a.jsonl", "b.jsonl"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert_eq!(run_history(&args), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn history_missing_file_returns_1() {
+        assert_eq!(
+            run_history(&["/nonexistent/never_history.jsonl".to_string()]),
+            1
+        );
+    }
+
+    #[test]
+    fn serve_usage_errors_return_2() {
+        for bad in [
+            vec!["--addr"],
+            vec!["--max-requests"],
+            vec!["--max-requests", "many"],
+            vec!["--frobnicate"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert_eq!(run_serve(&args), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn serve_unbindable_address_returns_1() {
+        // Port 1 on a non-local address: bind must fail fast.
+        let args: Vec<String> = vec!["--addr".into(), "256.256.256.256:0".into()];
+        assert_eq!(run_serve(&args), 1);
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //!   nesting from interval containment.
 //! * [`gate`] — median-vs-baseline comparison with a percentage
 //!   threshold, so CI can detect hot-path regressions PR-over-PR.
+//! * [`history`] — the cross-run ledger (`results/history.jsonl`,
+//!   schema `tsv3d-history/v1`): every bench invocation and experiment
+//!   run appends a compact summary row, and `tsv3d history` renders
+//!   per-case trends with a trailing-window regression gate
+//!   (`--gate-trend`).
+//! * [`flamegraph`] — deterministic, self-contained flamegraph SVGs
+//!   from the collapsed-stack output (`tsv3d trace --svg`), time- or
+//!   bytes-weighted.
 //!
 //! Everything is std-only: [`json`] is a small hand-rolled JSON
 //! writer/parser, so the subsystem adds no dependencies. The
@@ -34,8 +42,10 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod flamegraph;
 pub mod gate;
 pub mod harness;
+pub mod history;
 pub mod json;
 pub mod registry;
 pub mod report;

@@ -22,7 +22,9 @@ use tsv3d_stats::{BitStream, SwitchingStats};
 use tsv3d_telemetry::TelemetryHandle;
 
 /// The measured body of one case, produced fresh by its setup.
-pub type BenchBody = Box<dyn FnMut(&TelemetryHandle)>;
+/// `Send` so a host (e.g. `tsv3d serve --demo`) may drive a body from
+/// a background thread.
+pub type BenchBody = Box<dyn FnMut(&TelemetryHandle) + Send>;
 
 /// Run-wide knobs the CLI threads through to every case setup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -11,6 +11,9 @@
 //!   noise     print the worst-case crosstalk summary
 //!   bench     run the benchmark registry, write BENCH_*.json artifacts
 //!   trace     aggregate a telemetry .jsonl stream into span rollups
+//!             (--svg renders a flamegraph)
+//!   history   analyze the cross-run ledger, gate on trend regressions
+//!   serve     HTTP listener: /metrics (Prometheus), /healthz, /runs
 //!   help      print this usage summary
 //!
 //! Common options:
@@ -57,10 +60,15 @@ Commands:
   noise     print the worst-case crosstalk summary
   bench     run the benchmark registry, write BENCH_*.json artifacts
   trace     aggregate a telemetry .jsonl stream into span rollups
+            (--svg renders a flamegraph)
+  history   analyze the cross-run ledger, gate on trend regressions
+  serve     HTTP listener: /metrics (Prometheus), /healthz, /runs
   help      print this usage summary
 
-Run `tsv3d bench --list` for the benchmark cases, or see the module
-docs (crates/experiments/src/bin/tsv3d.rs) for every option.
+Run `tsv3d bench --list` for the benchmark cases, `tsv3d history
+--help` / `tsv3d serve --help` for the observability surfaces, or see
+the module docs (crates/experiments/src/bin/tsv3d.rs) for every
+option.
 ";
 
 #[derive(Debug)]
@@ -376,6 +384,20 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("bench") => std::process::exit(tsv3d_bench::cli::run_bench(&args[1..])),
         Some("trace") => std::process::exit(tsv3d_bench::cli::run_trace(&args[1..])),
+        Some("history") => {
+            if args.get(1).is_some_and(|a| a == "--help" || a == "-h") {
+                print!("{}", tsv3d_bench::cli::HISTORY_USAGE);
+                return;
+            }
+            std::process::exit(tsv3d_bench::cli::run_history(&args[1..]))
+        }
+        Some("serve") => {
+            if args.get(1).is_some_and(|a| a == "--help" || a == "-h") {
+                print!("{}", tsv3d_bench::cli::SERVE_USAGE);
+                return;
+            }
+            std::process::exit(tsv3d_bench::cli::run_serve(&args[1..]))
+        }
         Some("help" | "--help" | "-h") => {
             print!("{USAGE}");
             return;

@@ -30,13 +30,79 @@
 
 pub use tsv3d_telemetry::{Span, TelemetryHandle, Value};
 
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use tsv3d_bench::history;
 use tsv3d_telemetry::alloc;
+use tsv3d_telemetry::export;
 
 /// The process-wide counting allocator (see the module docs). Plain
 /// `System` passthrough until telemetry (or the bench harness) enables
 /// counting.
 #[global_allocator]
 static GLOBAL_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc::system();
+
+/// The process-wide metrics listener, when `TSV3D_METRICS_ADDR` asked
+/// for one. Held for the process lifetime — the accept thread serves
+/// until exit; there is deliberately no shutdown path.
+static METRICS_SERVER: OnceLock<Option<export::MetricsServer>> = OnceLock::new();
+
+/// What [`finish`] needs to append a `run` history record: set once by
+/// the first [`for_binary_with`] call of the process.
+struct RunContext {
+    binary: String,
+    threads: u64,
+}
+
+static RUN_CONTEXT: OnceLock<RunContext> = OnceLock::new();
+
+/// The cross-run ledger path for experiment binaries: the opt-in
+/// `TSV3D_HISTORY` env var. Deliberately **no default** — `tsv3d bench`
+/// defaults to `results/history.jsonl`, but instrumented test runs and
+/// ad-hoc experiments must not grow the committed ledger unasked.
+fn history_path() -> Option<PathBuf> {
+    std::env::var("TSV3D_HISTORY")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Starts the live-metrics listener when `TSV3D_METRICS_ADDR` is set
+/// (e.g. `127.0.0.1:9184`; port 0 picks a free port). Idempotent; a
+/// failed bind warns and disables rather than failing the run — the
+/// exporter is an observability side-channel, never the workload.
+fn maybe_start_metrics_server(tel: &TelemetryHandle) {
+    let Ok(addr) = std::env::var("TSV3D_METRICS_ADDR") else {
+        return;
+    };
+    if addr.is_empty() {
+        return;
+    }
+    METRICS_SERVER.get_or_init(|| {
+        let runs: export::RunsJson = Arc::new(|| {
+            history_path()
+                .or_else(|| Some(PathBuf::from("results/history.jsonl")))
+                .and_then(|p| std::fs::read_to_string(p).ok())
+                .map_or_else(
+                    || "[]\n".to_string(),
+                    |text| history::runs_json(&history::parse_ledger(&text), 50),
+                )
+        });
+        match export::MetricsServer::start(addr.as_str(), tel, Some(runs)) {
+            Ok(server) => {
+                eprintln!("metrics: serving on http://{}/", server.local_addr());
+                Some(server)
+            }
+            Err(err) => {
+                eprintln!(
+                    "warning: TSV3D_METRICS_ADDR=`{addr}` is not bindable ({err}); \
+                     metrics export disabled"
+                );
+                None
+            }
+        }
+    });
+}
 
 /// Optional provenance for [`for_binary_with`]: what the binary knows
 /// about its own run beyond its name.
@@ -79,6 +145,11 @@ pub fn for_binary_with(binary: &str, meta: RunMeta) -> TelemetryHandle {
             fields.push(("seed", Value::from(seed)));
         }
         tel.event("run.start", &fields);
+        let _ = RUN_CONTEXT.set(RunContext {
+            binary: binary.to_string(),
+            threads: threads as u64,
+        });
+        maybe_start_metrics_server(&tel);
     }
     tel
 }
@@ -106,6 +177,27 @@ pub fn finish(tel: &TelemetryHandle) {
     tel.event("run.done", &fields);
     eprintln!("{}", tel.summary());
     tel.flush();
+    if let (Some(path), Some(ctx)) = (history_path(), RUN_CONTEXT.get()) {
+        let record = history::HistoryRecord {
+            kind: "run".to_string(),
+            case: ctx.binary.clone(),
+            git_rev: tsv3d_bench::report::git_rev(),
+            unix_time_s: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+            // A run record's "median" is its single wall time.
+            median_ns: tel.elapsed_seconds() * 1e9,
+            p95_ns: None,
+            alloc_bytes_per_iter: None,
+            threads: ctx.threads,
+        };
+        if let Err(err) = history::append(&path, &[record]) {
+            eprintln!(
+                "warning: cannot append run history to `{}`: {err}",
+                path.display()
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,454 @@
+//! Live metrics export: point-in-time snapshots of a telemetry
+//! registry rendered in the Prometheus text exposition format, plus a
+//! std-only HTTP listener serving them.
+//!
+//! The exporter obeys the workspace determinism contract by
+//! construction: it only *reads* — [`MetricsSnapshot::capture`] copies
+//! the handle's counter/histogram registries (the same snapshot API
+//! `tsv3d-bench` serialises) and the allocator statistics, and the
+//! [`MetricsServer`] answers every scrape from such a copy. No lock is
+//! held while a response is written, no RNG is touched, and the
+//! instrumented code cannot observe whether a scraper is attached, so
+//! seeded optimizer runs stay bit-identical with the listener up
+//! (pinned by the `tsv3d-core` determinism property test).
+//!
+//! Everything here is `std`-only (`std::net::TcpListener`, hand-rolled
+//! request parsing) — the same no-crates.io constraint as the rest of
+//! the workspace.
+//!
+//! # Endpoints
+//!
+//! | path | response |
+//! |---|---|
+//! | `/metrics` | Prometheus text exposition format (version 0.0.4) |
+//! | `/healthz` | `ok` — liveness for scripts and CI smoke jobs |
+//! | `/runs`    | JSON array of recent run summaries (ledger-backed) |
+//!
+//! Malformed request lines get `400`, non-GET methods `405`, unknown
+//! paths `404`; every response closes the connection.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsv3d_telemetry::{export, NullSink, TelemetryHandle};
+//!
+//! let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+//! tel.add("anneal.proposals", 8000);
+//! let text = export::render_prometheus(&export::MetricsSnapshot::capture(&tel));
+//! assert!(text.contains("tsv3d_anneal_proposals_total 8000"));
+//! ```
+
+use crate::alloc::{self, AllocStats};
+use crate::{Histogram, TelemetryHandle};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A point-in-time copy of everything `/metrics` exposes.
+///
+/// Counters and histograms are **sorted by name** (the registries are
+/// `BTreeMap`s and the copy preserves that order), so repeated scrapes
+/// of an idle process — and golden tests — are byte-stable.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values, in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram copies, in name order.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Process-wide allocator statistics, when a counting allocator is
+    /// installed and enabled ([`alloc::is_active`]).
+    pub alloc: Option<AllocStats>,
+    /// Seconds since the handle was created (0 for a disabled handle).
+    pub uptime_seconds: f64,
+}
+
+impl MetricsSnapshot {
+    /// Copies the handle's registries. A disabled handle yields an
+    /// empty snapshot (uptime 0, no series) — `/metrics` still answers
+    /// with a valid, nearly-empty exposition.
+    pub fn capture(tel: &TelemetryHandle) -> Self {
+        Self {
+            counters: tel.counters_snapshot().into_iter().collect(),
+            histograms: tel.histograms_snapshot().into_iter().collect(),
+            alloc: alloc::is_active().then(alloc::snapshot),
+            uptime_seconds: tel.elapsed_seconds(),
+        }
+    }
+}
+
+/// Maps a registry name (`anneal.proposals`, `core.anneal`) to a
+/// Prometheus metric-name fragment: every character outside
+/// `[A-Za-z0-9_:]` becomes `_`. The exporter always prefixes `tsv3d_`,
+/// so a leading digit in the input stays legal.
+pub fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Formats an `f64` for the exposition body. Rust's shortest-roundtrip
+/// `Display` is deterministic for a given bit pattern, which is what
+/// keeps repeated scrapes of unchanged state byte-identical.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format
+/// (content type `text/plain; version=0.0.4`).
+///
+/// * counters → `tsv3d_<name>_total` (TYPE `counter`);
+/// * histograms → `tsv3d_<name>` with cumulative `_bucket{le="…"}`
+///   series derived from the log2 buckets (each populated bucket
+///   reports its upper edge `2^(exp+1)`), plus `_sum`/`_count`;
+/// * allocator stats → `tsv3d_alloc_*` counters and
+///   `tsv3d_live_bytes`/`tsv3d_peak_bytes` gauges;
+/// * `tsv3d_uptime_seconds` gauge.
+///
+/// Series order is fixed (uptime, counters by name, histograms by
+/// name, allocator block), so two renders of equal snapshots are
+/// byte-identical.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# HELP tsv3d_uptime_seconds Seconds since the telemetry handle was created."
+    );
+    let _ = writeln!(out, "# TYPE tsv3d_uptime_seconds gauge");
+    let _ = writeln!(out, "tsv3d_uptime_seconds {}", fmt_f64(snap.uptime_seconds));
+    for (name, value) in &snap.counters {
+        let metric = format!("tsv3d_{}_total", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, hist) in &snap.histograms {
+        let metric = format!("tsv3d_{}", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        let mut cumulative = hist.zero_count();
+        if cumulative > 0 {
+            let _ = writeln!(out, "{metric}_bucket{{le=\"0\"}} {cumulative}");
+        }
+        for (exp, count) in hist.buckets() {
+            cumulative += count;
+            let upper = (f64::from(exp) + 1.0).exp2();
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}",
+                fmt_f64(upper)
+            );
+        }
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", hist.count());
+        let _ = writeln!(out, "{metric}_sum {}", fmt_f64(hist.sum()));
+        let _ = writeln!(out, "{metric}_count {}", hist.count());
+    }
+    if let Some(mem) = &snap.alloc {
+        for (metric, kind, value) in [
+            ("tsv3d_alloc_bytes_total", "counter", mem.alloc_bytes),
+            ("tsv3d_alloc_count_total", "counter", mem.alloc_count),
+            ("tsv3d_dealloc_count_total", "counter", mem.dealloc_count),
+            ("tsv3d_realloc_count_total", "counter", mem.realloc_count),
+            ("tsv3d_live_bytes", "gauge", mem.live_bytes),
+            ("tsv3d_peak_bytes", "gauge", mem.peak_bytes),
+        ] {
+            let _ = writeln!(out, "# TYPE {metric} {kind}");
+            let _ = writeln!(out, "{metric} {value}");
+        }
+    }
+    out
+}
+
+/// Producer of the `/runs` JSON body — a closure so the zero-dependency
+/// telemetry crate never learns about ledger files; the CLI layer
+/// injects one that reads `results/history.jsonl`.
+pub type RunsJson = Arc<dyn Fn() -> String + Send + Sync>;
+
+struct ServerShared {
+    tel: TelemetryHandle,
+    runs: Option<RunsJson>,
+    stop: AtomicBool,
+    requests: AtomicU64,
+}
+
+/// A background HTTP listener serving [`MetricsSnapshot`]s.
+///
+/// One accept thread handles connections sequentially; scrapes are
+/// cheap (snapshot + render) and the listener is an observability
+/// side-channel, not a traffic path. Dropping the server without
+/// [`shutdown`](Self::shutdown) detaches the thread (it keeps serving
+/// until the process exits — the behaviour the `TSV3D_METRICS_ADDR`
+/// wiring wants).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .field("requests", &self.requests_served())
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port)
+    /// and starts the accept thread. The handle is cloned — the server
+    /// shares the caller's registry and observes whatever the
+    /// instrumented run accumulates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (`EADDRINUSE`, bad address, …).
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        tel: &TelemetryHandle,
+        runs: Option<RunsJson>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            tel: tel.clone(),
+            runs,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+        });
+        let worker = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("tsv3d-metrics".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if worker.stop.load(Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        handle_connection(stream, &worker);
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far (any status code).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests.load(Relaxed)
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent-safe:
+    /// consumes the server.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Relaxed);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Reads the request head (up to the blank line, capped at 16 KiB) and
+/// returns the request line, or `None` for unreadable/empty input.
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n")
+                    || buf.windows(2).any(|w| w == b"\n\n")
+                    || buf.len() > 16 * 1024
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if buf.is_empty() {
+        return None;
+    }
+    let end = buf
+        .iter()
+        .position(|&b| b == b'\n')
+        .unwrap_or(buf.len());
+    Some(String::from_utf8_lossy(&buf[..end]).trim_end().to_string())
+}
+
+fn write_response(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
+    shared.requests.fetch_add(1, Relaxed);
+    let Some(line) = read_request_line(&mut stream) else {
+        write_response(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
+        return;
+    };
+    // Request line: METHOD SP request-target SP HTTP-version.
+    let mut parts = line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) if v.starts_with("HTTP/") => (m, t, v),
+        _ => {
+            write_response(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
+            return;
+        }
+    };
+    let _ = version;
+    if method != "GET" {
+        write_response(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+        return;
+    }
+    // Strip any query string; the endpoints take no parameters.
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/metrics" => {
+            let body = render_prometheus(&MetricsSnapshot::capture(&shared.tel));
+            write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => write_response(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/runs" => {
+            let body = shared
+                .runs
+                .as_ref()
+                .map_or_else(|| "[]\n".to_string(), |f| f());
+            write_response(&mut stream, "200 OK", "application/json", &body);
+        }
+        _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullSink;
+
+    #[test]
+    fn sanitizer_maps_dots_and_dashes_to_underscores() {
+        assert_eq!(sanitize_metric_name("anneal.proposals"), "anneal_proposals");
+        assert_eq!(sanitize_metric_name("a-b c/d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name("ok_name:42"), "ok_name:42");
+    }
+
+    #[test]
+    fn disabled_handle_renders_an_empty_but_valid_exposition() {
+        let snap = MetricsSnapshot::capture(&TelemetryHandle::disabled());
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+        let text = render_prometheus(&snap);
+        assert!(text.starts_with("# HELP tsv3d_uptime_seconds"), "{text}");
+        assert!(text.contains("tsv3d_uptime_seconds 0"), "{text}");
+    }
+
+    #[test]
+    fn counters_render_sorted_with_total_suffix() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        tel.add("b.second", 2);
+        tel.add("a.first", 1);
+        let text = render_prometheus(&MetricsSnapshot::capture(&tel));
+        let a = text.find("tsv3d_a_first_total 1").expect("a present");
+        let b = text.find("tsv3d_b_second_total 2").expect("b present");
+        assert!(a < b, "name-sorted output:\n{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_log2_edges() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        for v in [0.3, 0.3, 1.5, 3.0] {
+            tel.record("gap", v);
+        }
+        let text = render_prometheus(&MetricsSnapshot::capture(&tel));
+        // 0.3 twice → bucket -2 (upper edge 0.5); 1.5 → bucket 0 (edge
+        // 2); 3.0 → bucket 1 (edge 4). Cumulative: 2, 3, 4.
+        assert!(text.contains("tsv3d_gap_bucket{le=\"0.5\"} 2"), "{text}");
+        assert!(text.contains("tsv3d_gap_bucket{le=\"2\"} 3"), "{text}");
+        assert!(text.contains("tsv3d_gap_bucket{le=\"4\"} 4"), "{text}");
+        assert!(text.contains("tsv3d_gap_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("tsv3d_gap_count 4"), "{text}");
+        assert!(text.contains("tsv3d_gap_sum 5.1"), "{text}");
+    }
+
+    #[test]
+    fn zero_samples_get_their_own_bucket() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        tel.record("h", 0.0);
+        tel.record("h", 8.0);
+        let text = render_prometheus(&MetricsSnapshot::capture(&tel));
+        assert!(text.contains("tsv3d_h_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("tsv3d_h_bucket{le=\"16\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn alloc_stats_render_as_gauges_and_counters() {
+        let snap = MetricsSnapshot {
+            alloc: Some(AllocStats {
+                alloc_count: 10,
+                dealloc_count: 9,
+                realloc_count: 1,
+                alloc_bytes: 4096,
+                live_bytes: 512,
+                peak_bytes: 2048,
+            }),
+            ..MetricsSnapshot::default()
+        };
+        let text = render_prometheus(&snap);
+        assert!(text.contains("tsv3d_alloc_bytes_total 4096"), "{text}");
+        assert!(text.contains("tsv3d_live_bytes 512"), "{text}");
+        assert!(text.contains("tsv3d_peak_bytes 2048"), "{text}");
+    }
+
+    #[test]
+    fn render_is_byte_identical_for_equal_snapshots() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        tel.add("n", 3);
+        tel.record("h", 1.25);
+        let snap = MetricsSnapshot::capture(&tel);
+        assert_eq!(render_prometheus(&snap), render_prometheus(&snap.clone()));
+    }
+}

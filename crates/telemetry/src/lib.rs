@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod export;
 mod histogram;
 mod sink;
 

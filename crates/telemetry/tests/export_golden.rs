@@ -1,0 +1,69 @@
+//! Golden-file pin of the Prometheus text exposition format.
+//!
+//! The `/metrics` body is an interface other tooling parses (CI's
+//! serve-smoke job, any real Prometheus scraper), so its exact shape —
+//! series order, `_total` suffixes, cumulative log2 bucket edges, the
+//! zero bucket, sum/count formatting — is pinned byte-for-byte against
+//! `tests/data/metrics_golden.txt`. A deliberate format change must
+//! update the golden file in the same commit.
+
+use tsv3d_telemetry::alloc::AllocStats;
+use tsv3d_telemetry::export::{render_prometheus, MetricsSnapshot};
+use tsv3d_telemetry::Histogram;
+
+/// Builds the fixed snapshot the golden file describes. All values are
+/// exactly representable in binary floating point, so rendering is
+/// platform-independent.
+fn golden_snapshot() -> MetricsSnapshot {
+    let mut anneal = Histogram::new();
+    // 0 → zero bucket; 0.03 ≈ bucket -6 (edge 0.03125) twice via two
+    // exact values; 0.05 → bucket -5 (edge 0.0625); 1.0 and 1.5 →
+    // bucket 0 (edge 2).
+    for v in [0.0, 0.021484375, 0.025390625, 0.033203125, 0.994140625, 1.5] {
+        anneal.record(v);
+    }
+    let mut gap = Histogram::new();
+    for v in [2.5, 3.5, 7.5] {
+        gap.record(v);
+    }
+    MetricsSnapshot {
+        counters: vec![
+            ("anneal.accepted".to_string(), 311),
+            ("anneal.proposals".to_string(), 8000),
+            ("bnb.nodes".to_string(), 1729),
+        ],
+        histograms: vec![
+            ("core.anneal".to_string(), anneal),
+            ("gap.db".to_string(), gap),
+        ],
+        alloc: Some(AllocStats {
+            alloc_count: 2048,
+            dealloc_count: 2000,
+            realloc_count: 16,
+            alloc_bytes: 1 << 20,
+            live_bytes: 1 << 16,
+            peak_bytes: 1 << 19,
+        }),
+        uptime_seconds: 12.5,
+    }
+}
+
+#[test]
+fn prometheus_rendering_matches_the_golden_file() {
+    let rendered = render_prometheus(&golden_snapshot());
+    let golden = include_str!("data/metrics_golden.txt");
+    assert_eq!(
+        rendered, golden,
+        "exposition format drifted from tests/data/metrics_golden.txt; \
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn rendering_is_stable_across_repeated_calls() {
+    let snap = golden_snapshot();
+    let first = render_prometheus(&snap);
+    for _ in 0..3 {
+        assert_eq!(render_prometheus(&snap), first);
+    }
+}

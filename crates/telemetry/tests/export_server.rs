@@ -1,0 +1,227 @@
+//! Socket-level tests of the `export::MetricsServer` HTTP listener:
+//! endpoint routing, the malformed-input contract (400/404/405), and
+//! concurrent scrapes against a live registry.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tsv3d_telemetry::export::{MetricsServer, RunsJson};
+use tsv3d_telemetry::{NullSink, TelemetryHandle};
+
+fn start(tel: &TelemetryHandle, runs: Option<RunsJson>) -> MetricsServer {
+    MetricsServer::start("127.0.0.1:0", tel, runs).expect("bind an ephemeral port")
+}
+
+/// Sends raw bytes and returns the full response text.
+fn raw_request(server: &MetricsServer, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(request).expect("send request");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+fn get(server: &MetricsServer, path: &str) -> String {
+    raw_request(
+        server,
+        format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes(),
+    )
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("")
+}
+
+#[test]
+fn healthz_answers_ok() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    let response = get(&server, "/healthz");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert_eq!(body_of(&response), "ok\n");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_reflects_live_registry_state() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    tel.add("anneal.proposals", 41);
+    let server = start(&tel, None);
+    let first = get(&server, "/metrics");
+    assert!(first.contains("text/plain; version=0.0.4"), "{first}");
+    assert!(first.contains("tsv3d_anneal_proposals_total 41"), "{first}");
+    // A later scrape observes counter growth — the server reads the
+    // shared registry, not a startup copy.
+    tel.add("anneal.proposals", 1);
+    let second = get(&server, "/metrics");
+    assert!(
+        second.contains("tsv3d_anneal_proposals_total 42"),
+        "{second}"
+    );
+    assert!(server.requests_served() >= 2);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_query_string_is_ignored() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    let response = get(&server, "/metrics?debug=1");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_path_is_404() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    let response = get(&server, "/nope");
+    assert!(response.starts_with("HTTP/1.1 404 Not Found"), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn non_get_method_is_405() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    let response = raw_request(
+        &server,
+        b"POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert!(
+        response.starts_with("HTTP/1.1 405 Method Not Allowed"),
+        "{response}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_request_lines_get_400() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    for junk in [
+        &b"GARBAGE\r\n\r\n"[..],
+        &b"GET /metrics\r\n\r\n"[..],          // missing HTTP version
+        &b"GET /metrics FTP/1.0\r\n\r\n"[..],  // not an HTTP version
+        &b"GET / HTTP/1.1 extra\r\n\r\n"[..],  // 4 tokens
+        &b"\r\n\r\n"[..],                      // empty request line
+    ] {
+        let response = raw_request(&server, junk);
+        assert!(
+            response.starts_with("HTTP/1.1 400 Bad Request"),
+            "request {:?} got:\n{response}",
+            String::from_utf8_lossy(junk)
+        );
+    }
+    // The server must still answer well-formed requests afterwards.
+    let response = get(&server, "/healthz");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn runs_endpoint_uses_the_injected_callback() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let runs: RunsJson = Arc::new(|| "[{\"case\":\"demo\"}]\n".to_string());
+    let server = start(&tel, Some(runs));
+    let response = get(&server, "/runs");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("application/json"), "{response}");
+    assert_eq!(body_of(&response), "[{\"case\":\"demo\"}]\n");
+    server.shutdown();
+}
+
+#[test]
+fn runs_endpoint_defaults_to_empty_array() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    let response = get(&server, "/runs");
+    assert_eq!(body_of(&response), "[]\n");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_scrapes_during_active_recording_all_succeed() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    let addr = server.local_addr();
+
+    // A writer hammers the registry while scrapers poll /metrics —
+    // the shape of a live scrape against an annealing run.
+    let writer_tel = tel.clone();
+    let writer = std::thread::spawn(move || {
+        for i in 0..2000u64 {
+            writer_tel.add("load.ops", 1);
+            writer_tel.record("load.vals", (i % 17) as f64 + 0.5);
+        }
+    });
+    let scrapers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut ok = 0u32;
+                for _ in 0..10 {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+                    let mut response = String::new();
+                    let _ = stream.read_to_string(&mut response);
+                    assert!(
+                        response.starts_with("HTTP/1.1 200 OK"),
+                        "scrape failed:\n{response}"
+                    );
+                    // Every snapshot is internally consistent: the
+                    // +Inf bucket equals the histogram count.
+                    if let Some(count_line) = response
+                        .lines()
+                        .find(|l| l.starts_with("tsv3d_load_vals_count "))
+                    {
+                        let count: u64 =
+                            count_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+                        let inf_line = response
+                            .lines()
+                            .find(|l| l.starts_with("tsv3d_load_vals_bucket{le=\"+Inf\"}"))
+                            .expect("+Inf bucket present with count");
+                        let inf: u64 =
+                            inf_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+                        assert_eq!(inf, count, "cumulative buckets must end at count");
+                    }
+                    ok += 1;
+                }
+                ok
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for scraper in scrapers {
+        assert_eq!(scraper.join().unwrap(), 10);
+    }
+    assert_eq!(tel.counter_value("load.ops"), Some(2000));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_joins_and_stops_serving() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    let addr = server.local_addr();
+    assert!(get(&server, "/healthz").starts_with("HTTP/1.1 200 OK"));
+    server.shutdown();
+    // After shutdown the port no longer accepts (or resets instantly).
+    let alive = TcpStream::connect_timeout(&addr, Duration::from_millis(200))
+        .map(|mut s| {
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = String::new();
+            s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+            let _ = s.read_to_string(&mut buf);
+            !buf.is_empty()
+        })
+        .unwrap_or(false);
+    assert!(!alive, "server must stop answering after shutdown");
+}

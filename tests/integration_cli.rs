@@ -42,7 +42,9 @@ fn unknown_subcommand_prints_usage_and_exits_2() {
     let err = stderr(&out);
     assert!(err.contains("unknown command `frobnicate`"), "{err}");
     assert!(err.contains("Usage: tsv3d <command>"), "{err}");
-    assert!(err.contains("bench"), "usage must list subcommands: {err}");
+    for cmd in ["bench", "trace", "history", "serve"] {
+        assert!(err.contains(cmd), "usage must list `{cmd}`: {err}");
+    }
 }
 
 #[test]
@@ -57,7 +59,23 @@ fn help_prints_usage_on_stdout_and_exits_0() {
     for arg in ["help", "--help", "-h"] {
         let out = tsv3d(&[arg]);
         assert_eq!(out.status.code(), Some(0), "`{arg}`");
-        assert!(stdout(&out).contains("Usage: tsv3d <command>"), "`{arg}`");
+        let text = stdout(&out);
+        assert!(text.contains("Usage: tsv3d <command>"), "`{arg}`");
+        for cmd in ["bench", "trace", "history", "serve"] {
+            assert!(text.contains(cmd), "`{arg}` must list `{cmd}`: {text}");
+        }
+    }
+}
+
+#[test]
+fn subcommand_help_prints_dedicated_usage() {
+    for (cmd, marker) in [
+        ("history", "Usage: tsv3d history"),
+        ("serve", "Usage: tsv3d serve"),
+    ] {
+        let out = tsv3d(&[cmd, "--help"]);
+        assert_eq!(out.status.code(), Some(0), "`{cmd} --help`");
+        assert!(stdout(&out).contains(marker), "{}", stdout(&out));
     }
 }
 
@@ -100,8 +118,15 @@ fn bench_writes_valid_artifacts_and_gates_against_baselines() {
         out_dir.to_str().unwrap(),
         "--write-baseline",
         dir.join("base.json").to_str().unwrap(),
+        "--history",
+        dir.join("history.jsonl").to_str().unwrap(),
     ]);
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    // The run appended a cross-run ledger record alongside artifacts.
+    let ledger = std::fs::read_to_string(dir.join("history.jsonl")).expect("ledger written");
+    assert!(ledger.contains("\"schema\":\"tsv3d-history/v1\""), "{ledger}");
+    assert!(ledger.contains("\"case\":\"gray_encode_w16_4k\""), "{ledger}");
 
     // Artifact exists and matches the documented schema.
     let artifact = out_dir.join("BENCH_gray_encode_w16_4k.json");
@@ -144,6 +169,7 @@ fn bench_writes_valid_artifacts_and_gates_against_baselines() {
         dir.join("fast.json").to_str().unwrap(),
         "--gate",
         "10",
+        "--no-history",
     ]);
     assert_eq!(out.status.code(), Some(1), "regression must exit nonzero");
     assert!(stdout(&out).contains("REGRESSED"), "{}", stdout(&out));
@@ -164,6 +190,7 @@ fn bench_writes_valid_artifacts_and_gates_against_baselines() {
         dir.join("slow.json").to_str().unwrap(),
         "--gate",
         "10",
+        "--no-history",
     ]);
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
 
@@ -204,6 +231,30 @@ fn trace_rolls_up_a_real_telemetry_file() {
         flame.lines().any(|l| l.contains("cli.solve;core.anneal")),
         "nested stack reconstructed:\n{flame}"
     );
+
+    // The SVG flamegraph renders the same spans and is deterministic:
+    // rendering the same trace twice is byte-identical.
+    let svg_a = dir.join("flame_a.svg");
+    let svg_b = dir.join("flame_b.svg");
+    for svg in [&svg_a, &svg_b] {
+        let out = tsv3d(&[
+            "trace",
+            trace_path.to_str().unwrap(),
+            "--svg",
+            svg.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    }
+    let rendered = std::fs::read(&svg_a).unwrap();
+    assert_eq!(
+        rendered,
+        std::fs::read(&svg_b).unwrap(),
+        "same trace must render a byte-identical SVG"
+    );
+    let text = String::from_utf8(rendered).unwrap();
+    assert!(text.starts_with("<?xml"), "self-contained SVG document");
+    assert!(text.contains("core.anneal"), "span frames labelled:\n{text}");
+    assert!(text.ends_with("</svg>\n"), "document is complete");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

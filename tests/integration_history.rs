@@ -1,0 +1,153 @@
+//! End-to-end tests of `tsv3d history` against the committed fixture
+//! ledgers in `tests/data/`: trend tables, the `--gate-trend` exit
+//! contract (0 pass / 1 regressed / 2 usage), and the skip-and-count
+//! robustness policy for malformed ledger lines.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tsv3d(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tsv3d"))
+        .args(args)
+        .env_remove("TSV3D_TELEMETRY")
+        .output()
+        .expect("tsv3d binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// Path of a committed fixture ledger (tests run from the package
+/// root, `crates/experiments`).
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/data")
+        .join(name)
+        .to_str()
+        .expect("fixture path is UTF-8")
+        .to_string()
+}
+
+#[test]
+fn steady_ledger_passes_the_trend_gate() {
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_steady.jsonl"),
+        "--gate-trend",
+        "10",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("anneal_quick_3x3"), "{text}");
+    assert!(text.contains(" ok"), "{text}");
+    assert!(!text.contains("REGRESSED"), "{text}");
+    // The fixture carries one junk line and one truncated line — the
+    // crash-mid-append failure modes — which are skipped and counted.
+    assert!(
+        stderr(&out).contains("2 of 7 ledger line(s) skipped"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn regressed_ledger_fails_the_trend_gate() {
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_regressed.jsonl"),
+        "--gate-trend",
+        "10",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("REGRESSED"), "{text}");
+    // The steady sibling case in the same ledger stays green.
+    assert!(text.contains("mna_lu_factor_n40"), "{text}");
+    let err = stderr(&out);
+    assert!(
+        err.contains("regressed beyond --gate-trend") && err.contains("gray_encode_w16_4k"),
+        "{err}"
+    );
+}
+
+#[test]
+fn case_filter_can_rescue_a_gated_run() {
+    // Filtering to the healthy case removes the regression from view,
+    // so the same ledger gates green.
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_regressed.jsonl"),
+        "--case",
+        "mna_lu",
+        "--gate-trend",
+        "10",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(!stdout(&out).contains("gray_encode"), "{}", stdout(&out));
+}
+
+#[test]
+fn insufficient_window_never_fails_the_gate() {
+    // One prior record is below MIN_WINDOW: even a 3x slowdown under
+    // --gate-trend 0 is reported, not gated — a young ledger is not a
+    // regression.
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_short.jsonl"),
+        "--gate-trend",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", stdout(&out));
+    assert!(stdout(&out).contains("insufficient window"), "{}", stdout(&out));
+}
+
+#[test]
+fn json_format_emits_a_machine_readable_report() {
+    use tsv3d_bench::json::{self, JsonValue};
+
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_regressed.jsonl"),
+        "--format",
+        "json",
+        "--gate-trend",
+        "10",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "gate verdict survives --format json");
+    let value = json::parse(&stdout(&out)).expect("stdout is one JSON document");
+    assert_eq!(
+        value.get("schema").and_then(JsonValue::as_str),
+        Some("tsv3d-history-report/v1")
+    );
+    assert_eq!(value.get("records").and_then(JsonValue::as_u64), Some(9));
+    let cases = match value.get("cases") {
+        Some(JsonValue::Array(items)) => items,
+        other => panic!("cases must be an array, got {other:?}"),
+    };
+    assert_eq!(cases.len(), 2);
+    let statuses: Vec<&str> = cases
+        .iter()
+        .filter_map(|c| c.get("status").and_then(JsonValue::as_str))
+        .collect();
+    assert!(statuses.contains(&"regressed"), "{statuses:?}");
+    assert!(statuses.contains(&"ok"), "{statuses:?}");
+}
+
+#[test]
+fn usage_errors_exit_2_and_missing_ledger_exits_1() {
+    let out = tsv3d(&["history", "--window", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("Usage: tsv3d history"));
+
+    let out = tsv3d(&["history", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = tsv3d(&["history", "/nonexistent/ledger.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot read"));
+}

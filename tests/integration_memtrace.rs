@@ -199,6 +199,7 @@ fn bench_records_mem_stats_and_gate_mem_catches_regressions() {
     let baseline = dir.join("base.json");
     let out = tsv3d(&[
         "bench",
+        "--no-history",
         "--case",
         "gray_encode",
         "--iters",
@@ -255,6 +256,7 @@ fn bench_records_mem_stats_and_gate_mem_catches_regressions() {
     std::fs::write(&edited_path, &edited).unwrap();
     let out = tsv3d(&[
         "bench",
+        "--no-history",
         "--case",
         "gray_encode",
         "--iters",
@@ -280,6 +282,7 @@ fn bench_records_mem_stats_and_gate_mem_catches_regressions() {
     // Same baseline without --gate-mem: informational only.
     let out = tsv3d(&[
         "bench",
+        "--no-history",
         "--case",
         "gray_encode",
         "--iters",
@@ -296,6 +299,7 @@ fn bench_records_mem_stats_and_gate_mem_catches_regressions() {
     // The self-written baseline gates clean on both axes.
     let out = tsv3d(&[
         "bench",
+        "--no-history",
         "--case",
         "gray_encode",
         "--iters",
@@ -322,6 +326,7 @@ fn bench_records_mem_stats_and_gate_mem_catches_regressions() {
     std::fs::write(&v1_path, v1).unwrap();
     let out = tsv3d(&[
         "bench",
+        "--no-history",
         "--case",
         "gray_encode",
         "--iters",

@@ -1,0 +1,168 @@
+//! End-to-end tests of `tsv3d serve`: spawn the real binary on an
+//! ephemeral port, scrape `/metrics`, `/healthz` and `/runs` over raw
+//! TCP, and verify the `--max-requests` smoke-test exit path.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// A serve child that is killed on drop, so a failing assertion never
+/// leaks a listener process into the test run.
+struct ServeGuard {
+    child: Child,
+    addr: String,
+    // Keeps the child's stdout pipe open: the serve process prints a
+    // final summary line on exit, and a closed pipe would turn that
+    // into a broken-pipe failure instead of a clean exit 0.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ServeGuard {
+    /// Spawns `tsv3d serve --addr 127.0.0.1:0 <extra>` and parses the
+    /// resolved bound address from the announcement line on stdout.
+    fn spawn(extra: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_tsv3d"))
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .args(extra)
+            .env_remove("TSV3D_TELEMETRY")
+            .env_remove("TSV3D_METRICS_ADDR")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("tsv3d serve spawns");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut reader = BufReader::new(stdout);
+        let addr = loop {
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).expect("stdout is readable");
+            assert!(n > 0, "serve announces its address before EOF");
+            if let Some(rest) = line.trim_end().strip_prefix("serving metrics on http://") {
+                break rest.trim_end_matches('/').to_string();
+            }
+        };
+        ServeGuard {
+            child,
+            addr,
+            _stdout: reader,
+        }
+    }
+
+    /// One raw HTTP GET; returns the full response (head + body).
+    fn get(&self, path: &str) -> String {
+        let mut conn = TcpStream::connect(&self.addr).expect("connect to serve");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .expect("request written");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("response read");
+        response
+    }
+
+    /// Waits for the child and returns its exit code.
+    fn wait(mut self) -> i32 {
+        let status = self.child.wait().expect("serve exits");
+        status.code().expect("serve exits with a code")
+    }
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/data")
+        .join(name)
+        .to_str()
+        .expect("fixture path is UTF-8")
+        .to_string()
+}
+
+#[test]
+fn serve_smoke_answers_all_endpoints_and_exits_after_max_requests() {
+    let serve = ServeGuard::spawn(&[
+        "--max-requests",
+        "3",
+        "--history",
+        &fixture("history_steady.jsonl"),
+    ]);
+
+    let health = serve.get("/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.contains("ok"), "{health}");
+
+    let metrics = serve.get("/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    assert!(
+        metrics.contains("# TYPE tsv3d_uptime_seconds gauge"),
+        "{metrics}"
+    );
+
+    // /runs serves the fixture ledger, newest record first.
+    let runs = serve.get("/runs");
+    assert!(runs.starts_with("HTTP/1.1 200 OK"), "{runs}");
+    assert!(runs.contains("application/json"), "{runs}");
+    assert!(runs.contains("tsv3d-history/v1"), "{runs}");
+    assert!(runs.contains("anneal_quick_3x3"), "{runs}");
+    let newest = runs.find("\"git_rev\":\"eeee555\"").expect("newest record");
+    let oldest = runs.find("\"git_rev\":\"aaaa111\"").expect("oldest record");
+    assert!(newest < oldest, "records are newest-first:\n{runs}");
+
+    assert_eq!(serve.wait(), 0, "--max-requests is a clean exit path");
+}
+
+#[test]
+fn serve_demo_exposes_a_live_growing_registry() {
+    // No --max-requests: the guard kills the listener at the end; the
+    // clean-exit path is covered by the smoke test above.
+    let serve = ServeGuard::spawn(&["--demo"]);
+
+    // The demo workload loops the annealer on a background thread —
+    // scrapes race its first counter increments, so poll until the
+    // registry shows life.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let first = loop {
+        let body = serve.get("/metrics");
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+        if body.contains("tsv3d_anneal_proposals_total ") {
+            break body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "demo counters never appeared:\n{body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let count_of = |body: &str| -> f64 {
+        body.lines()
+            .find(|l| l.starts_with("tsv3d_anneal_proposals_total "))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .expect("proposals counter present")
+    };
+    let second = serve.get("/metrics");
+    assert!(
+        count_of(&second) >= count_of(&first),
+        "counters are monotone across scrapes"
+    );
+}
+
+#[test]
+fn serve_without_ledger_serves_an_empty_runs_array() {
+    let serve = ServeGuard::spawn(&[
+        "--max-requests",
+        "1",
+        "--history",
+        "/nonexistent/ledger.jsonl",
+    ]);
+    let runs = serve.get("/runs");
+    assert!(runs.starts_with("HTTP/1.1 200 OK"), "{runs}");
+    assert!(runs.ends_with("[]\n"), "missing ledger degrades to []:\n{runs}");
+    assert_eq!(serve.wait(), 0);
+}
