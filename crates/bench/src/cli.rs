@@ -8,16 +8,17 @@
 //! Exit codes: `0` success, `1` failure (I/O, a gated regression, or a
 //! failed bind), `2` usage error.
 
+use crate::converge;
 use crate::flamegraph;
 use crate::gate;
-use crate::harness::{measure, BenchOptions};
+use crate::harness::{measure, measure_with_handle, BenchOptions};
 use crate::history;
 use crate::registry;
 use crate::report::{self, BenchReport};
 use crate::trace;
 use std::path::{Path, PathBuf};
 use tsv3d_telemetry::export::{MetricsServer, RunsJson};
-use tsv3d_telemetry::{NullSink, TelemetryHandle};
+use tsv3d_telemetry::{JsonLinesSink, NullSink, Sink, TelemetryHandle, Value};
 
 /// Usage text of `tsv3d bench`.
 pub const BENCH_USAGE: &str = "\
@@ -49,6 +50,12 @@ Options:
                         records to (default results/history.jsonl;
                         schema tsv3d-history/v1, see `tsv3d history`)
   --no-history          skip the ledger append entirely
+  --trace FILE          record the timed loop's telemetry events
+                        (anneal.epoch, spans, counters' sources) to
+                        FILE as JSON lines for `tsv3d converge`;
+                        warmup stays unrecorded. Best with a single
+                        --case and --iters 1 --warmup 0 so the trace
+                        covers exactly one run per restart
   --list                list the registered cases and exit
 ";
 
@@ -73,6 +80,35 @@ Options:
   --svg FILE            also render a self-contained flamegraph SVG to
                         FILE (time-weighted; bytes-weighted with --mem).
                         Deterministic: same trace, byte-identical SVG
+";
+
+/// Usage text of `tsv3d converge`.
+pub const CONVERGE_USAGE: &str = "\
+Usage: tsv3d converge <trace.jsonl> [options]
+       tsv3d converge --compare <a.jsonl> <b.jsonl> [options]
+
+Analyzes the annealer's search trajectory from a telemetry JSON-lines
+trace (TSV3D_TELEMETRY=json, or `tsv3d bench --trace`): per-restart
+energy descent, acceptance-rate decay, swap/flip move mix and
+iterations-to-within-epsilon-of-final-best, plus cross-restart
+dispersion diagnostics — which restarts improved the global best,
+wasted-iteration fraction, spread of final energies. Restarts are
+separated by their thread labels (r0..rN). Malformed lines are skipped
+and counted, never fatal; a trace with no anneal.epoch events exits 1.
+
+Options:
+  --compare A B         diff two traces restart-by-restart (e.g.
+                        same-seed serial vs --threads runs) and flag
+                        divergence in accept rate, descent speed or
+                        final energy
+  --epsilon PCT         convergence threshold as a percentage of each
+                        restart's final best energy (default 1)
+  --format json|text    output format (default text); json emits one
+                        tsv3d-converge/v1 object on stdout
+  --svg FILE            also render a deterministic convergence SVG
+                        (one polyline per restart, best power vs
+                        iteration; byte-identical across runs;
+                        single-trace mode only)
 ";
 
 /// Usage text of `tsv3d history`.
@@ -107,9 +143,11 @@ Starts a std-only HTTP listener exposing live metrics:
   /healthz   liveness probe (`ok`)
   /runs      recent tsv3d-history/v1 run records as JSON
 
-The exporter only reads registry snapshots, so serving never perturbs
-measured results. The bound address is printed on stdout (useful with
-port 0).
+The exporter answers every scrape from a registry snapshot and its
+only writes are its own serve.requests.* counters (per-endpoint plus a
+4xx/bad-request counter, visible on the next /metrics scrape), so
+serving never perturbs measured results. The bound address is printed
+on stdout (useful with port 0).
 
 Options:
   --addr HOST:PORT      bind address (default 127.0.0.1:9184, or the
@@ -136,6 +174,8 @@ struct BenchArgs {
     write_baseline: Option<PathBuf>,
     /// Ledger to append per-case records to; `None` with --no-history.
     history: Option<PathBuf>,
+    /// JSONL file to record the timed loop's telemetry events to.
+    trace: Option<PathBuf>,
     list: bool,
 }
 
@@ -150,6 +190,7 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
         mem_gate_pct: None,
         write_baseline: None,
         history: Some(PathBuf::from("results/history.jsonl")),
+        trace: None,
         list: false,
     };
     let mut i = 0;
@@ -235,6 +276,10 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
                 parsed.history = None;
                 i += 1;
             }
+            "--trace" => {
+                parsed.trace = Some(PathBuf::from(take_value()?));
+                i += 2;
+            }
             other => return Err(format!("unknown bench option `{other}`")),
         }
     }
@@ -286,6 +331,27 @@ pub fn run_bench(args: &[String]) -> i32 {
         return 1;
     }
 
+    // One shared JSONL sink across the cases' timed-loop handles; the
+    // Arc delegation in tsv3d-telemetry lets each case get a fresh
+    // handle (clean counters) writing to the same file.
+    let trace_sink = match &parsed.trace {
+        Some(path) => match JsonLinesSink::create(path) {
+            Ok(sink) => Some(std::sync::Arc::new(sink)),
+            Err(message) => {
+                eprintln!("error: cannot create `{}`: {message}", path.display());
+                return 1;
+            }
+        },
+        None => None,
+    };
+    if trace_sink.is_some() && cases.len() > 1 {
+        eprintln!(
+            "warning: --trace with {} cases interleaves their restart labels \
+             in one file; prefer a single --case for `tsv3d converge`",
+            cases.len()
+        );
+    }
+
     println!(
         "tsv3d bench: {} case(s), {} warmup + {} timed iteration(s) each, \
          --threads {}",
@@ -297,7 +363,21 @@ pub fn run_bench(args: &[String]) -> i32 {
     let mut reports = Vec::with_capacity(cases.len());
     for case in &cases {
         let mut body = (case.setup)(&parsed.config);
-        let measurement = measure(case.name, case.area, parsed.options, &mut *body);
+        let measurement = match &trace_sink {
+            Some(sink) => {
+                let tel =
+                    TelemetryHandle::with_sink(Box::new(std::sync::Arc::clone(sink)));
+                tel.event(
+                    "bench.case",
+                    &[
+                        ("case", Value::Str(case.name.to_string())),
+                        ("threads", Value::U64(parsed.config.threads as u64)),
+                    ],
+                );
+                measure_with_handle(case.name, case.area, parsed.options, &mut *body, tel)
+            }
+            None => measure(case.name, case.area, parsed.options, &mut *body),
+        };
         let report = BenchReport::stamp(measurement);
         match &report.measurement.mem {
             Some(mem) => println!(
@@ -326,6 +406,10 @@ pub fn run_bench(args: &[String]) -> i32 {
         reports.len(),
         parsed.out_dir.display()
     );
+    if let (Some(sink), Some(path)) = (&trace_sink, &parsed.trace) {
+        sink.flush();
+        println!("wrote telemetry trace to {}", path.display());
+    }
 
     if let Some(ledger_path) = &parsed.history {
         let records: Vec<history::HistoryRecord> = reports
@@ -571,6 +655,173 @@ pub fn run_trace(args: &[String]) -> i32 {
         if !json_format {
             println!("wrote flamegraph SVG to {}", path.display());
         }
+    }
+    0
+}
+
+/// Runs `tsv3d converge` with the argument tail after the subcommand.
+pub fn run_converge(args: &[String]) -> i32 {
+    let mut file: Option<PathBuf> = None;
+    let mut compare_files: Option<(PathBuf, PathBuf)> = None;
+    let mut epsilon_pct: f64 = converge::DEFAULT_EPSILON * 100.0;
+    let mut json_format = false;
+    let mut svg_out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let take_value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        let step = match key {
+            "--compare" => match (args.get(i + 1), args.get(i + 2)) {
+                (Some(a), Some(b)) if !a.starts_with("--") && !b.starts_with("--") => {
+                    compare_files = Some((PathBuf::from(a), PathBuf::from(b)));
+                    Ok(3)
+                }
+                _ => Err("--compare requires two trace files".to_string()),
+            },
+            "--epsilon" => match take_value()
+                .and_then(|v| v.parse::<f64>().map_err(|e| format!("--epsilon: {e}")))
+            {
+                Ok(pct) if pct.is_finite() && pct >= 0.0 => {
+                    epsilon_pct = pct;
+                    Ok(2)
+                }
+                Ok(_) => Err("--epsilon must be a non-negative percentage".to_string()),
+                Err(message) => Err(message),
+            },
+            "--format" => match take_value().map(String::as_str) {
+                Ok("json") => {
+                    json_format = true;
+                    Ok(2)
+                }
+                Ok("text") => {
+                    json_format = false;
+                    Ok(2)
+                }
+                Ok(other) => {
+                    Err(format!("--format must be `json` or `text`, got `{other}`"))
+                }
+                Err(message) => Err(message),
+            },
+            "--svg" => take_value().map(|v| {
+                svg_out = Some(PathBuf::from(v));
+                2
+            }),
+            other if other.starts_with("--") => {
+                Err(format!("unknown converge option `{other}`"))
+            }
+            _ if file.is_none() => {
+                file = Some(PathBuf::from(key));
+                Ok(1)
+            }
+            other => Err(format!("unexpected argument `{other}`")),
+        };
+        match step {
+            Ok(n) => i += n,
+            Err(message) => {
+                eprintln!("error: {message}\n{CONVERGE_USAGE}");
+                return 2;
+            }
+        }
+    }
+    let usage_error = |message: &str| -> i32 {
+        eprintln!("error: {message}\n{CONVERGE_USAGE}");
+        2
+    };
+    if compare_files.is_some() && file.is_some() {
+        return usage_error("--compare takes its two files as values, not positionals");
+    }
+    if compare_files.is_some() && svg_out.is_some() {
+        // One SVG per trace is the single-mode contract; a compare
+        // overlay would double the series without saying which run is
+        // which. Render each file separately instead.
+        return usage_error("--svg is single-trace only; render each file separately");
+    }
+    if compare_files.is_none() && file.is_none() {
+        return usage_error("converge requires a .jsonl trace file");
+    }
+    let epsilon = epsilon_pct / 100.0;
+    let load = |path: &Path| -> Result<converge::ConvergeData, i32> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(message) => {
+                eprintln!("error: cannot read `{}`: {message}", path.display());
+                return Err(1);
+            }
+        };
+        let data = converge::extract(&trace::parse_jsonl(&text));
+        // Same channel discipline as `tsv3d trace`: the skipped count
+        // rides inside the outputs, but a degraded trace deserves a
+        // warning that survives `| jq`.
+        if data.skipped > 0 {
+            eprintln!(
+                "warning: {} of {} line(s) in `{}` skipped as malformed",
+                data.skipped,
+                data.lines,
+                path.display()
+            );
+        }
+        Ok(data)
+    };
+
+    if let Some((path_a, path_b)) = compare_files {
+        let (data_a, data_b) = match (load(&path_a), load(&path_b)) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => return 1,
+        };
+        let empty = data_a.series.is_empty() || data_b.series.is_empty();
+        let report = converge::compare(
+            converge::analyze(&data_a, epsilon),
+            converge::analyze(&data_b, epsilon),
+        );
+        let (name_a, name_b) =
+            (path_a.display().to_string(), path_b.display().to_string());
+        if json_format {
+            println!("{}", converge::render_compare_json(&report, &name_a, &name_b));
+        } else {
+            print!("{}", converge::render_compare(&report, &name_a, &name_b));
+        }
+        if empty {
+            eprintln!("error: no anneal.epoch series on at least one side of --compare");
+            return 1;
+        }
+        return 0;
+    }
+
+    let path = file.expect("checked above");
+    let data = match load(&path) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let report = converge::analyze(&data, epsilon);
+    if json_format {
+        println!(
+            "{}",
+            converge::render_json(&report, &path.display().to_string())
+        );
+    } else {
+        println!("file: {}", path.display());
+        print!("{}", converge::render_report(&report));
+    }
+    if let Some(svg_path) = svg_out {
+        let svg = converge::render_svg(&data);
+        if let Err(message) = std::fs::write(&svg_path, svg) {
+            eprintln!("error: cannot write `{}`: {message}", svg_path.display());
+            return 1;
+        }
+        if !json_format {
+            println!("wrote convergence SVG to {}", svg_path.display());
+        }
+    }
+    if report.restarts.is_empty() {
+        eprintln!(
+            "error: no anneal.epoch series in `{}` — was the annealer run with \
+             telemetry enabled?",
+            path.display()
+        );
+        return 1;
     }
     0
 }
@@ -969,5 +1220,104 @@ mod tests {
             run_trace(&["/nonexistent/definitely_missing.jsonl".to_string()]),
             1
         );
+    }
+
+    #[test]
+    fn bench_trace_flag_parses() {
+        let args: Vec<String> = vec!["--trace".into(), "/tmp/t.jsonl".into()];
+        assert_eq!(
+            parse_bench_args(&args).unwrap().trace.as_deref(),
+            Some(Path::new("/tmp/t.jsonl"))
+        );
+        assert_eq!(parse_bench_args(&[]).unwrap().trace, None);
+        let missing: Vec<String> = vec!["--trace".into()];
+        assert!(parse_bench_args(&missing).is_err());
+    }
+
+    #[test]
+    fn converge_usage_errors_return_2() {
+        for bad in [
+            vec![],
+            vec!["--epsilon"],
+            vec!["a.jsonl", "--epsilon", "-1"],
+            vec!["a.jsonl", "--epsilon", "nan"],
+            vec!["a.jsonl", "--format", "xml"],
+            vec!["a.jsonl", "--svg"],
+            vec!["--compare", "a.jsonl"],
+            vec!["--compare", "a.jsonl", "--format"],
+            vec!["a.jsonl", "b.jsonl"],
+            vec!["--compare", "a.jsonl", "b.jsonl", "c.jsonl"],
+            vec!["--compare", "a.jsonl", "b.jsonl", "--svg", "out.svg"],
+            vec!["--frobnicate"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert_eq!(run_converge(&args), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn converge_missing_file_returns_1() {
+        assert_eq!(
+            run_converge(&["/nonexistent/never_converge.jsonl".to_string()]),
+            1
+        );
+        let args: Vec<String> = vec![
+            "--compare".into(),
+            "/nonexistent/a.jsonl".into(),
+            "/nonexistent/b.jsonl".into(),
+        ];
+        assert_eq!(run_converge(&args), 1);
+    }
+
+    #[test]
+    fn converge_trace_without_epochs_returns_1() {
+        let dir = std::env::temp_dir().join(format!(
+            "tsv3d_cli_converge_empty_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spans_only.jsonl");
+        std::fs::write(
+            &path,
+            "{\"t\":1.0,\"event\":\"span\",\"name\":\"x\",\"seconds\":0.5}\n",
+        )
+        .unwrap();
+        assert_eq!(run_converge(&[path.to_str().unwrap().to_string()]), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn converge_analyzes_and_compares_a_real_epoch_trace() {
+        let dir = std::env::temp_dir().join(format!(
+            "tsv3d_cli_converge_ok_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("epochs.jsonl");
+        let mut text = String::new();
+        for (iteration, best) in [(10u64, 100.0), (20, 60.0), (30, 59.9)] {
+            text.push_str(&format!(
+                "{{\"t\":0.1,\"event\":\"anneal.epoch\",\"restart\":0,\
+                 \"iteration\":{iteration},\"best_power\":{best},\
+                 \"accept_rate\":0.5,\"thread\":\"r0\"}}\n"
+            ));
+        }
+        std::fs::write(&path, &text).unwrap();
+        let file = path.to_str().unwrap().to_string();
+        let svg_path = dir.join("converge.svg");
+        let args: Vec<String> =
+            vec![file.clone(), "--svg".into(), svg_path.to_str().unwrap().into()];
+        assert_eq!(run_converge(&args), 0);
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<?xml"), "{svg}");
+        let compare: Vec<String> = vec![
+            "--compare".into(),
+            file.clone(),
+            file.clone(),
+            "--format".into(),
+            "json".into(),
+        ];
+        assert_eq!(run_converge(&compare), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -86,8 +86,10 @@ fn build_tree(collapsed: &[CollapsedPath], weighting: Weighting) -> Frame {
 }
 
 /// FNV-1a 64-bit hash — the deterministic replacement for the random
-/// jitter classic flamegraphs use to pick a shade.
-fn fnv1a(name: &str) -> u64 {
+/// jitter classic flamegraphs use to pick a shade. Shared with the
+/// convergence renderer so every SVG in the repo keys colors the same
+/// way.
+pub(crate) fn fnv1a(name: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in name.bytes() {
         hash ^= u64::from(byte);
@@ -106,7 +108,7 @@ fn color_of(name: &str) -> String {
     format!("rgb({r},{g},{b})")
 }
 
-fn xml_escape(text: &str) -> String {
+pub(crate) fn xml_escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for c in text.chars() {
         match c {

@@ -161,12 +161,29 @@ pub fn measure(
     options: BenchOptions,
     body: &mut dyn FnMut(&TelemetryHandle),
 ) -> Measurement {
+    // A fresh handle so warmup counters don't pollute the snapshot.
+    let tel = TelemetryHandle::with_sink(Box::new(tsv3d_telemetry::NullSink));
+    measure_with_handle(case, area, options, body, tel)
+}
+
+/// [`measure`] with a caller-supplied handle for the timed loop — the
+/// hook behind `tsv3d bench --trace`, which routes the loop's events
+/// (the annealer's `anneal.epoch` stream, spans, …) into a shared
+/// JSON-lines sink for `tsv3d converge`. Warmup always runs on a
+/// private null-sink handle so the recorded trace covers exactly the
+/// timed iterations; the counters snapshot is taken from `tel` after
+/// the loop, so pass a fresh handle unless accumulation is intended.
+pub fn measure_with_handle(
+    case: &str,
+    area: &str,
+    options: BenchOptions,
+    body: &mut dyn FnMut(&TelemetryHandle),
+    tel: TelemetryHandle,
+) -> Measurement {
     let warm_tel = TelemetryHandle::with_sink(Box::new(tsv3d_telemetry::NullSink));
     for _ in 0..options.warmup_iters {
         body(&warm_tel);
     }
-    // A fresh handle so warmup counters don't pollute the snapshot.
-    let tel = TelemetryHandle::with_sink(Box::new(tsv3d_telemetry::NullSink));
     // Allocation accounting brackets only the timed loop; the previous
     // enablement state is restored afterwards so a bench run inside an
     // otherwise-uninstrumented process leaves no residue.
@@ -260,6 +277,43 @@ mod tests {
     fn two_samples_have_a_stddev_again() {
         let s = WallStats::from_samples(&[10, 30]).unwrap();
         assert!((s.stddev_ns.unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_with_handle_routes_timed_loop_events_to_the_sink() {
+        use std::sync::{Arc, Mutex};
+        #[derive(Clone)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf(Arc::new(Mutex::new(Vec::new())));
+        let sink = tsv3d_telemetry::JsonLinesSink::with_writer(Box::new(buf.clone()));
+        let tel = TelemetryHandle::with_sink(Box::new(sink));
+        let opts = BenchOptions {
+            warmup_iters: 1,
+            iters: 2,
+        };
+        let m = measure_with_handle(
+            "demo",
+            "test",
+            opts,
+            &mut |tel| tel.event("probe.tick", &[]),
+            tel,
+        );
+        assert_eq!(m.samples_ns.len(), 2);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text.matches("probe.tick").count(),
+            2,
+            "exactly the timed iterations are recorded, never warmup: {text}"
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //! * [`flamegraph`] — deterministic, self-contained flamegraph SVGs
 //!   from the collapsed-stack output (`tsv3d trace --svg`), time- or
 //!   bytes-weighted.
+//! * [`converge`] — convergence analysis of the annealer's
+//!   `anneal.epoch` stream (`tsv3d converge`): per-restart descent
+//!   tables, cross-restart dispersion diagnostics, a deterministic
+//!   convergence SVG and a restart-by-restart `--compare` of two runs.
 //!
 //! Everything is std-only: [`json`] is a small hand-rolled JSON
 //! writer/parser, so the subsystem adds no dependencies. The
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod converge;
 pub mod flamegraph;
 pub mod gate;
 pub mod harness;

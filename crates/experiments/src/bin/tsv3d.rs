@@ -12,6 +12,8 @@
 //!   bench     run the benchmark registry, write BENCH_*.json artifacts
 //!   trace     aggregate a telemetry .jsonl stream into span rollups
 //!             (--svg renders a flamegraph)
+//!   converge  per-restart convergence report from anneal.epoch events
+//!             (--compare diffs two traces, --svg renders descent curves)
 //!   history   analyze the cross-run ledger, gate on trend regressions
 //!   serve     HTTP listener: /metrics (Prometheus), /healthz, /runs
 //!   help      print this usage summary
@@ -61,14 +63,16 @@ Commands:
   bench     run the benchmark registry, write BENCH_*.json artifacts
   trace     aggregate a telemetry .jsonl stream into span rollups
             (--svg renders a flamegraph)
+  converge  per-restart convergence report from anneal.epoch events
+            (--compare diffs two traces, --svg renders descent curves)
   history   analyze the cross-run ledger, gate on trend regressions
   serve     HTTP listener: /metrics (Prometheus), /healthz, /runs
   help      print this usage summary
 
-Run `tsv3d bench --list` for the benchmark cases, `tsv3d history
---help` / `tsv3d serve --help` for the observability surfaces, or see
-the module docs (crates/experiments/src/bin/tsv3d.rs) for every
-option.
+Run `tsv3d bench --list` for the benchmark cases, `tsv3d converge
+--help` / `tsv3d history --help` / `tsv3d serve --help` for the
+observability surfaces, or see the module docs
+(crates/experiments/src/bin/tsv3d.rs) for every option.
 ";
 
 #[derive(Debug)]
@@ -384,6 +388,13 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("bench") => std::process::exit(tsv3d_bench::cli::run_bench(&args[1..])),
         Some("trace") => std::process::exit(tsv3d_bench::cli::run_trace(&args[1..])),
+        Some("converge") => {
+            if args.get(1).is_some_and(|a| a == "--help" || a == "-h") {
+                print!("{}", tsv3d_bench::cli::CONVERGE_USAGE);
+                return;
+            }
+            std::process::exit(tsv3d_bench::cli::run_converge(&args[1..]))
+        }
         Some("history") => {
             if args.get(1).is_some_and(|a| a == "--help" || a == "-h") {
                 print!("{}", tsv3d_bench::cli::HISTORY_USAGE);

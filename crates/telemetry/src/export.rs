@@ -3,14 +3,16 @@
 //! std-only HTTP listener serving them.
 //!
 //! The exporter obeys the workspace determinism contract by
-//! construction: it only *reads* — [`MetricsSnapshot::capture`] copies
-//! the handle's counter/histogram registries (the same snapshot API
-//! `tsv3d-bench` serialises) and the allocator statistics, and the
-//! [`MetricsServer`] answers every scrape from such a copy. No lock is
-//! held while a response is written, no RNG is touched, and the
-//! instrumented code cannot observe whether a scraper is attached, so
-//! seeded optimizer runs stay bit-identical with the listener up
-//! (pinned by the `tsv3d-core` determinism property test).
+//! construction: [`MetricsSnapshot::capture`] copies the handle's
+//! counter/histogram registries (the same snapshot API `tsv3d-bench`
+//! serialises) and the allocator statistics, and the [`MetricsServer`]
+//! answers every scrape from such a copy. The serve loop's only writes
+//! are its own `serve.requests.*` bookkeeping counters — plain
+//! registry increments, no events and no RNG — so the instrumented
+//! workload cannot observe whether a scraper is attached and seeded
+//! optimizer runs stay bit-identical with the listener up (pinned by
+//! the `tsv3d-core` determinism property test). No lock is held while
+//! a response is written.
 //!
 //! Everything here is `std`-only (`std::net::TcpListener`, hand-rolled
 //! request parsing) — the same no-crates.io constraint as the rest of
@@ -63,6 +65,10 @@ pub struct MetricsSnapshot {
     pub alloc: Option<AllocStats>,
     /// Seconds since the handle was created (0 for a disabled handle).
     pub uptime_seconds: f64,
+    /// Build provenance stamped on the `tsv3d_build_info` gauge —
+    /// the same revision the history ledger records. Empty (the
+    /// `Default`) suppresses the gauge.
+    pub git_rev: String,
 }
 
 impl MetricsSnapshot {
@@ -75,8 +81,51 @@ impl MetricsSnapshot {
             histograms: tel.histograms_snapshot().into_iter().collect(),
             alloc: alloc::is_active().then(alloc::snapshot),
             uptime_seconds: tel.elapsed_seconds(),
+            git_rev: build_git_rev().to_string(),
         }
     }
+}
+
+/// The build revision `/metrics` advertises, resolved once per process:
+/// the `TSV3D_GIT_REV` environment variable when set (containers and CI
+/// without a `.git`), else `git rev-parse --short HEAD`, else
+/// `"unknown"` — mirroring what the bench reports stamp into the
+/// history ledger, so a scrape and a ledger row can be correlated.
+pub fn build_git_rev() -> &'static str {
+    static REV: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    REV.get_or_init(|| {
+        if let Ok(rev) = std::env::var("TSV3D_GIT_REV") {
+            let rev = rev.trim().to_string();
+            if !rev.is_empty() {
+                return rev;
+            }
+        }
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
+
+/// Escapes a Prometheus label value: backslash, double quote and
+/// newline are the three characters the exposition format requires
+/// escaping in quoted label values.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Maps a registry name (`anneal.proposals`, `core.anneal`) to a
@@ -119,11 +168,12 @@ fn fmt_f64(v: f64) -> String {
 ///   reports its upper edge `2^(exp+1)`), plus `_sum`/`_count`;
 /// * allocator stats → `tsv3d_alloc_*` counters and
 ///   `tsv3d_live_bytes`/`tsv3d_peak_bytes` gauges;
-/// * `tsv3d_uptime_seconds` gauge.
+/// * `tsv3d_uptime_seconds` gauge and (when the snapshot carries a
+///   revision) the `tsv3d_build_info{git_rev="…"} 1` provenance gauge.
 ///
-/// Series order is fixed (uptime, counters by name, histograms by
-/// name, allocator block), so two renders of equal snapshots are
-/// byte-identical.
+/// Series order is fixed (uptime, build info, counters by name,
+/// histograms by name, allocator block), so two renders of equal
+/// snapshots are byte-identical.
 pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -132,6 +182,18 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     );
     let _ = writeln!(out, "# TYPE tsv3d_uptime_seconds gauge");
     let _ = writeln!(out, "tsv3d_uptime_seconds {}", fmt_f64(snap.uptime_seconds));
+    if !snap.git_rev.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP tsv3d_build_info Build provenance; the value is always 1."
+        );
+        let _ = writeln!(out, "# TYPE tsv3d_build_info gauge");
+        let _ = writeln!(
+            out,
+            "tsv3d_build_info{{git_rev=\"{}\"}} 1",
+            escape_label_value(&snap.git_rev)
+        );
+    }
     for (name, value) in &snap.counters {
         let metric = format!("tsv3d_{}_total", sanitize_metric_name(name));
         let _ = writeln!(out, "# TYPE {metric} counter");
@@ -318,6 +380,7 @@ fn write_response(stream: &mut TcpStream, status: &str, content_type: &str, body
 fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
     shared.requests.fetch_add(1, Relaxed);
     let Some(line) = read_request_line(&mut stream) else {
+        shared.tel.add("serve.requests.bad", 1);
         write_response(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
         return;
     };
@@ -327,12 +390,14 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
     {
         (Some(m), Some(t), Some(v), None) if v.starts_with("HTTP/") => (m, t, v),
         _ => {
+            shared.tel.add("serve.requests.bad", 1);
             write_response(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
             return;
         }
     };
     let _ = version;
     if method != "GET" {
+        shared.tel.add("serve.requests.bad", 1);
         write_response(
             &mut stream,
             "405 Method Not Allowed",
@@ -345,6 +410,9 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
     let path = target.split('?').next().unwrap_or(target);
     match path {
         "/metrics" => {
+            // Count before capturing so the exporter observes itself:
+            // this very scrape appears in the body it returns.
+            shared.tel.add("serve.requests.metrics", 1);
             let body = render_prometheus(&MetricsSnapshot::capture(&shared.tel));
             write_response(
                 &mut stream,
@@ -353,15 +421,22 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
                 &body,
             );
         }
-        "/healthz" => write_response(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/healthz" => {
+            shared.tel.add("serve.requests.healthz", 1);
+            write_response(&mut stream, "200 OK", "text/plain", "ok\n");
+        }
         "/runs" => {
+            shared.tel.add("serve.requests.runs", 1);
             let body = shared
                 .runs
                 .as_ref()
                 .map_or_else(|| "[]\n".to_string(), |f| f());
             write_response(&mut stream, "200 OK", "application/json", &body);
         }
-        _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+        _ => {
+            shared.tel.add("serve.requests.bad", 1);
+            write_response(&mut stream, "404 Not Found", "text/plain", "not found\n");
+        }
     }
 }
 
@@ -441,6 +516,38 @@ mod tests {
         assert!(text.contains("tsv3d_alloc_bytes_total 4096"), "{text}");
         assert!(text.contains("tsv3d_live_bytes 512"), "{text}");
         assert!(text.contains("tsv3d_peak_bytes 2048"), "{text}");
+    }
+
+    #[test]
+    fn build_info_renders_after_uptime_with_escaped_label() {
+        let snap = MetricsSnapshot {
+            git_rev: "abc\"def\\g\n".to_string(),
+            ..MetricsSnapshot::default()
+        };
+        let text = render_prometheus(&snap);
+        assert!(
+            text.contains("tsv3d_build_info{git_rev=\"abc\\\"def\\\\g\\n\"} 1"),
+            "{text}"
+        );
+        let uptime = text.find("tsv3d_uptime_seconds 0").expect("uptime");
+        let info = text.find("tsv3d_build_info").expect("build info");
+        assert!(uptime < info, "build info follows the uptime block:\n{text}");
+    }
+
+    #[test]
+    fn empty_git_rev_suppresses_build_info() {
+        let text = render_prometheus(&MetricsSnapshot::default());
+        assert!(!text.contains("tsv3d_build_info"), "{text}");
+    }
+
+    #[test]
+    fn captured_snapshots_always_carry_a_revision() {
+        let snap = MetricsSnapshot::capture(&TelemetryHandle::disabled());
+        assert!(
+            !snap.git_rev.is_empty(),
+            "capture falls back to `unknown`, never empty"
+        );
+        assert_eq!(snap.git_rev, build_git_rev());
     }
 
     #[test]

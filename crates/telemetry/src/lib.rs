@@ -58,7 +58,7 @@ mod histogram;
 mod sink;
 
 pub use histogram::Histogram;
-pub use sink::{Event, JsonLinesSink, NullSink, Sink, StderrSink};
+pub use sink::{push_json_str, Event, JsonLinesSink, NullSink, Sink, StderrSink};
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

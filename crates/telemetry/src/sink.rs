@@ -26,6 +26,21 @@ pub trait Sink: Send + Sync {
     fn flush(&self) {}
 }
 
+/// Shared sinks delegate: lets several [`TelemetryHandle`]s (e.g. one
+/// per bench case) write to one `Arc<JsonLinesSink>` without a wrapper
+/// type.
+///
+/// [`TelemetryHandle`]: crate::TelemetryHandle
+impl<S: Sink + ?Sized> Sink for std::sync::Arc<S> {
+    fn emit(&self, event: &Event<'_>) {
+        (**self).emit(event);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
 /// Discards everything — the default, near-zero-overhead sink.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullSink;

@@ -45,6 +45,9 @@ fn golden_snapshot() -> MetricsSnapshot {
             peak_bytes: 1 << 19,
         }),
         uptime_seconds: 12.5,
+        // A fixed revision: the golden file pins the label formatting,
+        // not whatever HEAD the test machine happens to have.
+        git_rev: "deadbee".to_string(),
     }
 }
 

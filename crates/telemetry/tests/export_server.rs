@@ -71,6 +71,44 @@ fn metrics_reflects_live_registry_state() {
 }
 
 #[test]
+fn serve_request_counters_advance_and_scrape_themselves() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    // The /metrics endpoint counts itself *before* capturing, so even
+    // the first scrape reports its own request.
+    let first = get(&server, "/metrics");
+    assert!(
+        first.contains("tsv3d_serve_requests_metrics_total 1"),
+        "{first}"
+    );
+    // Per-endpoint counters advance with traffic on other endpoints…
+    let _ = get(&server, "/healthz");
+    let _ = get(&server, "/healthz");
+    let _ = get(&server, "/runs");
+    // …and bad requests (404 here) land in the 4xx counter.
+    let _ = get(&server, "/nope");
+    let second = get(&server, "/metrics");
+    assert!(
+        second.contains("tsv3d_serve_requests_metrics_total 2"),
+        "{second}"
+    );
+    assert!(
+        second.contains("tsv3d_serve_requests_healthz_total 2"),
+        "{second}"
+    );
+    assert!(
+        second.contains("tsv3d_serve_requests_runs_total 1"),
+        "{second}"
+    );
+    assert!(
+        second.contains("tsv3d_serve_requests_bad_total 1"),
+        "{second}"
+    );
+    assert_eq!(tel.counter_value("serve.requests.healthz"), Some(2));
+    server.shutdown();
+}
+
+#[test]
 fn metrics_query_string_is_ignored() {
     let tel = TelemetryHandle::with_sink(Box::new(NullSink));
     let server = start(&tel, None);
