@@ -1,5 +1,6 @@
-//! Implementation of the `tsv3d bench`, `tsv3d trace`, `tsv3d history`
-//! and `tsv3d serve` subcommands.
+//! Implementation of the `tsv3d bench`, `tsv3d trace`, `tsv3d
+//! converge`, `tsv3d history`, `tsv3d serve` and `tsv3d explain`
+//! subcommands.
 //!
 //! The multiplexer binary in `tsv3d-experiments` forwards its argument
 //! tail here; everything returns an exit code instead of calling
@@ -9,6 +10,7 @@
 //! failed bind), `2` usage error.
 
 use crate::converge;
+use crate::explain;
 use crate::flamegraph;
 use crate::gate;
 use crate::harness::{measure, measure_with_handle, BenchOptions};
@@ -160,6 +162,44 @@ Options:
                         growing registry
   --max-requests N      exit 0 after serving N requests (smoke tests;
                         default: serve until killed)
+";
+
+/// Usage text of `tsv3d explain`.
+pub const EXPLAIN_USAGE: &str = "\
+Usage: tsv3d explain [options]
+
+Explains where an assignment's power goes: decomposes the objective
+⟨T', C'⟩ into per-TSV self terms and per-pair coupling terms (an exact
+identity — parts sum back to power() to round-off), ranks the hottest
+vias and coupling pairs, rolls coupling up by neighbor distance class
+(adjacent/diagonal/distant), and can attribute the savings of an
+optimized assignment over a baseline pair by pair. Fully seeded and
+deterministic: the same options produce byte-identical text, JSON and
+SVG output.
+
+Options:
+  --rows N, --cols N    array size (default 4x4)
+  --geometry KIND       min | wide | fig2 (default wide)
+  --stream SPEC         data stream: seq:P | gauss:SIGMA[,RHO] |
+                        uniform (default seq:0.02)
+  --cycles N            stream length in cycles (default 8000)
+  --seed N              stream and annealer seed (default 7)
+  --method M            how the explained assignment is obtained:
+                        identity | anneal | greedy | spiral | sawtooth
+                        (default anneal, quick fixed budget)
+  --assignment PERM     explain an explicit assignment instead, in
+                        compact form (\"2,0-,1\"; `-` = inverted)
+  --top N               rows in the ranked tables (default 8)
+  --svg FILE            render the array heatmap SVG: one cell per
+                        via, shaded by attributed charge on a
+                        sequential value ramp; byte-identical across
+                        runs
+  --compare BASE        diff against a baseline: `identity`, a JSON
+                        file with an \"assignment\" field, or a file
+                        holding the compact form; shows which pairs
+                        the explained assignment de-weighted
+  --format json|text    output format (default text); json emits one
+                        tsv3d-explain/v1 object on stdout
 ";
 
 #[derive(Debug)]
@@ -826,6 +866,157 @@ pub fn run_converge(args: &[String]) -> i32 {
     0
 }
 
+/// Runs `tsv3d explain` with the argument tail after the subcommand.
+pub fn run_explain(args: &[String]) -> i32 {
+    let mut spec = explain::ExplainSpec::default();
+    let mut method = explain::Method::Anneal;
+    let mut assignment_text: Option<String> = None;
+    let mut top: usize = 8;
+    let mut svg_out: Option<PathBuf> = None;
+    let mut compare_with: Option<String> = None;
+    let mut json_format = false;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let take_value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        let parse_usize = |flag: &str, v: &str| -> Result<usize, String> {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!("{flag} must be a positive integer, got `{v}`")),
+            }
+        };
+        let step = match key {
+            "--rows" => take_value().and_then(|v| parse_usize(key, v)).map(|n| {
+                spec.rows = n;
+                2
+            }),
+            "--cols" => take_value().and_then(|v| parse_usize(key, v)).map(|n| {
+                spec.cols = n;
+                2
+            }),
+            "--geometry" => take_value()
+                .and_then(|v| explain::GeometryKind::parse(v))
+                .map(|g| {
+                    spec.geometry = g;
+                    2
+                }),
+            "--stream" => take_value()
+                .and_then(|v| explain::StreamSpec::parse(v))
+                .map(|s| {
+                    spec.stream = s;
+                    2
+                }),
+            "--cycles" => take_value().and_then(|v| parse_usize(key, v)).map(|n| {
+                spec.cycles = n;
+                2
+            }),
+            "--seed" => take_value().and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--seed must be an integer, got `{v}`"))
+                    .map(|s| {
+                        spec.seed = s;
+                        2
+                    })
+            }),
+            "--method" => take_value()
+                .and_then(|v| explain::Method::parse(v))
+                .map(|m| {
+                    method = m;
+                    2
+                }),
+            "--assignment" => take_value().map(|v| {
+                assignment_text = Some(v.clone());
+                2
+            }),
+            "--top" => take_value().and_then(|v| parse_usize(key, v)).map(|n| {
+                top = n;
+                2
+            }),
+            "--svg" => take_value().map(|v| {
+                svg_out = Some(PathBuf::from(v));
+                2
+            }),
+            "--compare" => take_value().map(|v| {
+                compare_with = Some(v.clone());
+                2
+            }),
+            "--format" => match take_value().map(String::as_str) {
+                Ok("json") => {
+                    json_format = true;
+                    Ok(2)
+                }
+                Ok("text") => {
+                    json_format = false;
+                    Ok(2)
+                }
+                Ok(other) => Err(format!("--format must be `json` or `text`, got `{other}`")),
+                Err(message) => Err(message),
+            },
+            other if other.starts_with("--") => Err(format!("unknown explain option `{other}`")),
+            other => Err(format!("unexpected argument `{other}`")),
+        };
+        match step {
+            Ok(n) => i += n,
+            Err(message) => {
+                eprintln!("error: {message}\n{EXPLAIN_USAGE}");
+                return 2;
+            }
+        }
+    }
+    let usage_error = |message: &str| -> i32 {
+        eprintln!("error: {message}\n{EXPLAIN_USAGE}");
+        2
+    };
+    let problem = match spec.build_problem() {
+        Ok(p) => p,
+        Err(message) => return usage_error(&message),
+    };
+    let (name, assignment) =
+        match spec.resolve_assignment(&problem, method, assignment_text.as_deref()) {
+            Ok(r) => r,
+            Err(message) => return usage_error(&message),
+        };
+    let report = explain::analyze(&spec, &problem, name, assignment);
+    let cmp = match compare_with {
+        Some(operand) => {
+            match explain::load_compare_assignment(&operand, problem.n()) {
+                Ok((base_name, base)) => {
+                    Some(explain::compare(&problem, &report, base_name, base))
+                }
+                Err((2, message)) => return usage_error(&message),
+                Err((code, message)) => {
+                    eprintln!("error: {message}");
+                    return code;
+                }
+            }
+        }
+        None => None,
+    };
+    if json_format {
+        println!("{}", explain::render_json(&report, top, cmp.as_ref()));
+    } else {
+        print!("{}", explain::render_text(&report, top));
+        if let Some(cmp) = &cmp {
+            println!();
+            print!("{}", explain::render_compare_text(&report, cmp, top));
+        }
+    }
+    if let Some(svg_path) = svg_out {
+        let svg = explain::render_heatmap(&report);
+        if let Err(message) = std::fs::write(&svg_path, svg) {
+            eprintln!("error: cannot write `{}`: {message}", svg_path.display());
+            return 1;
+        }
+        if !json_format {
+            println!("wrote heatmap SVG to {}", svg_path.display());
+        }
+    }
+    0
+}
+
 /// Runs `tsv3d history` with the argument tail after the subcommand.
 pub fn run_history(args: &[String]) -> i32 {
     let mut file: Option<PathBuf> = None;
@@ -1151,6 +1342,79 @@ mod tests {
         );
         let off: Vec<String> = vec!["--no-history".into()];
         assert_eq!(parse_bench_args(&off).unwrap().history, None);
+    }
+
+    #[test]
+    fn explain_usage_errors_return_2() {
+        for bad in [
+            vec!["--rows"],
+            vec!["--rows", "0"],
+            vec!["--cols", "three"],
+            vec!["--geometry", "hex"],
+            vec!["--stream", "noise"],
+            vec!["--stream", "seq:2"],
+            vec!["--method", "magic"],
+            vec!["--format", "xml"],
+            vec!["--assignment", "garbage"],
+            vec!["--assignment", "0,1"],
+            vec!["--frobnicate"],
+            vec!["positional"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert_eq!(run_explain(&args), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn explain_quick_run_succeeds_and_svg_is_byte_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "tsv3d_explain_cli_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let svg = dir.join("heat.svg");
+        let args: Vec<String> = [
+            "--rows",
+            "3",
+            "--cols",
+            "3",
+            "--cycles",
+            "800",
+            "--method",
+            "greedy",
+            "--compare",
+            "identity",
+            "--svg",
+            svg.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run_explain(&args), 0);
+        let first = std::fs::read(&svg).unwrap();
+        assert_eq!(run_explain(&args), 0);
+        assert_eq!(std::fs::read(&svg).unwrap(), first, "SVG must be byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_unreadable_compare_file_is_a_runtime_error() {
+        let args: Vec<String> = [
+            "--rows",
+            "2",
+            "--cols",
+            "2",
+            "--cycles",
+            "200",
+            "--method",
+            "identity",
+            "--compare",
+            "/nonexistent/tsv3d/assignment.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run_explain(&args), 1);
     }
 
     #[test]

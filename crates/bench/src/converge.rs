@@ -22,7 +22,7 @@
 //! pass and reports the extras — analysis never panics on a degraded
 //! input.
 
-use crate::flamegraph::{fnv1a, xml_escape};
+use crate::svg::{document_open, fnv1a, xml_escape};
 use crate::json::{JsonValue, ObjectWriter};
 use crate::trace::ParsedTrace;
 use std::collections::BTreeMap;
@@ -873,16 +873,7 @@ fn series_color(label: &str) -> String {
 /// timestamps, and are printed with fixed two-decimal precision, so
 /// the same trace renders to byte-identical SVG on every run.
 pub fn render_svg(data: &ConvergeData) -> String {
-    let mut out = String::new();
-    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\" standalone=\"no\"?>\n");
-    let _ = writeln!(
-        out,
-        r#"<svg version="1.1" width="{SVG_WIDTH}" height="{SVG_HEIGHT}" viewBox="0 0 {SVG_WIDTH} {SVG_HEIGHT}" xmlns="http://www.w3.org/2000/svg">"#
-    );
-    let _ = writeln!(
-        out,
-        r##"<rect x="0" y="0" width="{SVG_WIDTH}" height="{SVG_HEIGHT}" fill="#f8f8f8"/>"##
-    );
+    let mut out = document_open(SVG_WIDTH, SVG_HEIGHT);
     let _ = writeln!(
         out,
         r##"<text x="10" y="24" font-size="15" font-family="monospace" fill="#000">tsv3d convergence — best power vs iteration</text>"##

@@ -14,6 +14,7 @@
 //! — so the same trace renders to **byte-identical** SVG every time,
 //! making the artifact diffable and safe to commit.
 
+use crate::svg::{document_open, fnv1a, xml_escape};
 use crate::trace::{CollapsedPath, TraceSummary};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -85,19 +86,6 @@ fn build_tree(collapsed: &[CollapsedPath], weighting: Weighting) -> Frame {
     root
 }
 
-/// FNV-1a 64-bit hash — the deterministic replacement for the random
-/// jitter classic flamegraphs use to pick a shade. Shared with the
-/// convergence renderer so every SVG in the repo keys colors the same
-/// way.
-pub(crate) fn fnv1a(name: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in name.bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
 /// The classic warm flamegraph palette (red-orange-yellow), with the
 /// shade chosen by name hash instead of RNG.
 fn color_of(name: &str) -> String {
@@ -106,20 +94,6 @@ fn color_of(name: &str) -> String {
     let g = 50 + ((hash >> 8) % 160) as u32;
     let b = ((hash >> 16) % 60) as u32;
     format!("rgb({r},{g},{b})")
-}
-
-pub(crate) fn xml_escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 const IMAGE_WIDTH: f64 = 1200.0;
@@ -207,16 +181,7 @@ pub fn render_svg(summary: &TraceSummary, weighting: Weighting) -> String {
     let root_total = root.total();
     let rows = root.depth().saturating_sub(1).max(1);
     let height = HEADER_HEIGHT + rows as f64 * ROW_HEIGHT + FOOTER_HEIGHT;
-    let mut out = String::new();
-    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\" standalone=\"no\"?>\n");
-    let _ = writeln!(
-        out,
-        r#"<svg version="1.1" width="{IMAGE_WIDTH}" height="{height}" viewBox="0 0 {IMAGE_WIDTH} {height}" xmlns="http://www.w3.org/2000/svg">"#
-    );
-    let _ = writeln!(
-        out,
-        r##"<rect x="0" y="0" width="{IMAGE_WIDTH}" height="{height}" fill="#f8f8f8"/>"##
-    );
+    let mut out = document_open(IMAGE_WIDTH, height);
     let title = match weighting {
         Weighting::Time => "tsv3d flamegraph — self time",
         Weighting::Bytes => "tsv3d flamegraph — self allocated bytes",

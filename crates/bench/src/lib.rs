@@ -32,6 +32,13 @@
 //!   `anneal.epoch` stream (`tsv3d converge`): per-restart descent
 //!   tables, cross-restart dispersion diagnostics, a deterministic
 //!   convergence SVG and a restart-by-restart `--compare` of two runs.
+//! * [`explain`] — per-TSV power attribution (`tsv3d explain`): ranked
+//!   contribution tables from [`tsv3d_core::attribution`], array
+//!   heatmap SVGs, and assignment `--compare` diff reports showing
+//!   where an optimised assignment's savings come from.
+//! * [`svg`] — the shared deterministic-SVG primitives (document
+//!   skeleton, escaping, FNV-1a color keying) behind all three
+//!   renderers.
 //!
 //! Everything is std-only: [`json`] is a small hand-rolled JSON
 //! writer/parser, so the subsystem adds no dependencies. The
@@ -47,6 +54,7 @@
 
 pub mod cli;
 pub mod converge;
+pub mod explain;
 pub mod flamegraph;
 pub mod gate;
 pub mod harness;
@@ -54,4 +62,5 @@ pub mod history;
 pub mod json;
 pub mod registry;
 pub mod report;
+pub mod svg;
 pub mod trace;

@@ -1,0 +1,88 @@
+//! Shared primitives for the repo's deterministic SVG renderers
+//! ([`crate::flamegraph`], [`crate::converge`], [`crate::explain`]).
+//!
+//! Every SVG the workspace emits follows the same discipline — pure
+//! function of the input, fixed-precision coordinates, self-contained
+//! markup — so the artifacts are diffable and safe to commit. The
+//! document skeleton, XML escaping and the FNV-1a name hash that keys
+//! the hash-based palettes live here; each renderer keeps its own
+//! palette and layout.
+
+/// FNV-1a 64-bit hash — the deterministic replacement for the random
+/// jitter classic flamegraphs use to pick a shade. Both hash-keyed
+/// palettes (flamegraph warm, converge cool) derive their channels
+/// from it so color is a pure function of the name.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Escapes `&`, `<`, `>` and `"` for use in SVG text and attributes.
+pub fn xml_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The common document opening: XML declaration, the `<svg>` root with
+/// a `viewBox` matching the pixel size, and the light-grey page
+/// background every renderer draws first. Dimensions are formatted
+/// with `f64` `Display` (no trailing zeros), byte-identical to the
+/// headers the renderers previously hand-rolled.
+pub fn document_open(width: f64, height: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\" standalone=\"no\"?>\n");
+    let _ = writeln!(
+        out,
+        r#"<svg version="1.1" width="{width}" height="{height}" viewBox="0 0 {width} {height}" xmlns="http://www.w3.org/2000/svg">"#
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect x="0" y="0" width="{width}" height="{height}" fill="#f8f8f8"/>"##
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn escaping_covers_the_four_specials() {
+        assert_eq!(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+        assert_eq!(xml_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn document_open_is_the_pinned_header_shape() {
+        let head = document_open(1200.0, 392.0);
+        assert!(head.starts_with("<?xml version=\"1.0\" encoding=\"UTF-8\" standalone=\"no\"?>\n"));
+        assert!(head.contains(
+            r#"<svg version="1.1" width="1200" height="392" viewBox="0 0 1200 392" xmlns="http://www.w3.org/2000/svg">"#
+        ));
+        assert!(head.ends_with("<rect x=\"0\" y=\"0\" width=\"1200\" height=\"392\" fill=\"#f8f8f8\"/>\n"));
+        // Non-integral sizes keep the plain Display formatting.
+        assert!(document_open(10.5, 20.0).contains(r#"width="10.5" height="20""#));
+    }
+}

@@ -1,0 +1,486 @@
+//! Exact attribution of the power objective to individual TSVs and
+//! coupling pairs.
+//!
+//! [`AssignmentProblem::power`] collapses the whole array into one
+//! scalar `⟨T'(Aπ), C'(Aπ)⟩`. This module re-runs the same sum but
+//! *keeps the parts*: the diagonal (self-capacitance) charge of every
+//! via and the combined off-diagonal (coupling) charge of every
+//! unordered line pair, exactly as the fast evaluator accumulates
+//! them. The decomposition is an identity, not a model:
+//!
+//! ```text
+//! power(Aπ) = Σ_j self_j  +  Σ_{j<k} pair_jk
+//! ```
+//!
+//! with each addend taken verbatim from the Eq. 10 sum, so the parts
+//! recombine to [`power()`]/[`power_matrix_form()`] to floating-point
+//! round-off (the test suite pins 1e-9 relative). Per-TSV totals
+//! half-split every incident pair charge between its two endpoints —
+//! the convention used by the `tsv3d explain` tables and heatmaps.
+//!
+//! Attribution is strictly *observational*: it borrows the problem and
+//! the assignment immutably and never touches the optimisers, so a run
+//! with attribution enabled is bit-identical to one without.
+//!
+//! [`power()`]: AssignmentProblem::power
+//! [`power_matrix_form()`]: AssignmentProblem::power_matrix_form
+
+use crate::AssignmentProblem;
+use tsv3d_matrix::SignedPerm;
+
+/// Grid-distance class of a line pair — the vocabulary crosstalk work
+/// (e.g. 3DCAM) uses for per-neighbour coupling: orthogonal
+/// nearest neighbours couple strongest, diagonals next, everything
+/// further is parasitically small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NeighborClass {
+    /// Orthogonally adjacent vias (grid distance 1).
+    Adjacent,
+    /// Diagonally adjacent vias (grid distance √2).
+    Diagonal,
+    /// Any pair further apart than one grid step.
+    Distant,
+}
+
+impl NeighborClass {
+    /// Stable lower-case name used by tables, JSON and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NeighborClass::Adjacent => "adjacent",
+            NeighborClass::Diagonal => "diagonal",
+            NeighborClass::Distant => "distant",
+        }
+    }
+}
+
+/// Classifies the unordered line pair `(a, b)` on a `rows × cols`
+/// row-major grid (the layout of [`tsv3d_model::TsvArray`]).
+///
+/// # Panics
+///
+/// Panics if either index is outside the grid or `a == b`.
+pub fn neighbor_class(rows: usize, cols: usize, a: usize, b: usize) -> NeighborClass {
+    assert!(a < rows * cols && b < rows * cols, "line outside the grid");
+    assert_ne!(a, b, "a pair needs two distinct lines");
+    let (ra, ca) = (a / cols, a % cols);
+    let (rb, cb) = (b / cols, b % cols);
+    let dr = ra.abs_diff(rb);
+    let dc = ca.abs_diff(cb);
+    match (dr.max(dc), dr.min(dc)) {
+        (1, 0) => NeighborClass::Adjacent,
+        (1, 1) => NeighborClass::Diagonal,
+        _ => NeighborClass::Distant,
+    }
+}
+
+/// The combined charge of one unordered line pair: the `(j,k)` and
+/// `(k,j)` off-diagonal entries of the Eq. 10 sum added together.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairTerm {
+    /// Lower line index of the pair.
+    pub line_lo: usize,
+    /// Higher line index of the pair.
+    pub line_hi: usize,
+    /// Bit carried by `line_lo` under the explained assignment.
+    pub bit_lo: usize,
+    /// Bit carried by `line_hi` under the explained assignment.
+    pub bit_hi: usize,
+    /// `(Ts_lo − Tc')·C'_lo,hi + (Ts_hi − Tc')·C'_hi,lo` — the pair's
+    /// exact share of `power()`. Negative values mean the pair's
+    /// correlated switching *recovers* charge.
+    pub charge: f64,
+}
+
+/// One via's share of the power: its diagonal self term plus half of
+/// every coupling pair it participates in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsvTerm {
+    /// Line (via) index in the array.
+    pub line: usize,
+    /// Bit assigned to this line.
+    pub bit: usize,
+    /// Whether the bit is transmitted inverted.
+    pub inverted: bool,
+    /// Diagonal term `Ts_j · (C_R,jj + 2·ΔC_jj·ε'_j)` — the charge the
+    /// via would draw with no neighbours.
+    pub self_charge: f64,
+    /// Half of each incident [`PairTerm::charge`], summed.
+    pub coupling_charge: f64,
+    /// `power` delta of flipping this bit's inversion
+    /// ([`AssignmentProblem::flip_bit_delta`]); `None` when the bit is
+    /// not invertible. Negative = flipping would save power.
+    pub flip_effect: Option<f64>,
+}
+
+impl TsvTerm {
+    /// The via's total attributed charge (self + half-split coupling).
+    pub fn total(&self) -> f64 {
+        self.self_charge + self.coupling_charge
+    }
+}
+
+/// Per-class roll-up of a [`PowerBreakdown`] on a concrete grid.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassTotals {
+    /// Sum of all diagonal self terms.
+    pub self_charge: f64,
+    /// Coupling charge of orthogonally adjacent pairs.
+    pub adjacent: f64,
+    /// Coupling charge of diagonally adjacent pairs.
+    pub diagonal: f64,
+    /// Coupling charge of all remaining pairs.
+    pub distant: f64,
+    /// Number of adjacent pairs.
+    pub adjacent_pairs: usize,
+    /// Number of diagonal pairs.
+    pub diagonal_pairs: usize,
+    /// Number of distant pairs.
+    pub distant_pairs: usize,
+}
+
+impl ClassTotals {
+    /// Total coupling charge across the three classes.
+    pub fn coupling(&self) -> f64 {
+        self.adjacent + self.diagonal + self.distant
+    }
+
+    /// Grand total — equals the breakdown's [`PowerBreakdown::total`].
+    pub fn total(&self) -> f64 {
+        self.self_charge + self.coupling()
+    }
+}
+
+/// The exact decomposition of `power(assignment)` into per-TSV and
+/// per-pair parts.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_core::attribution::PowerBreakdown;
+/// use tsv3d_core::AssignmentProblem;
+/// use tsv3d_matrix::SignedPerm;
+/// use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+/// use tsv3d_stats::{BitStream, SwitchingStats};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cap = LinearCapModel::fit(&Extractor::new(
+///     TsvArray::new(2, 2, TsvGeometry::wide_2018())?,
+/// ))?;
+/// let stream = BitStream::from_words(4, vec![0b0000, 0b0110, 0b0000, 0b0101])?;
+/// let problem = AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap)?;
+/// let a = SignedPerm::identity(4);
+/// let b = PowerBreakdown::compute(&problem, &a);
+/// let p = problem.power(&a);
+/// assert!((b.total() - p).abs() <= 1e-9 * p.abs().max(1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerBreakdown {
+    per_tsv: Vec<TsvTerm>,
+    /// All `n·(n−1)/2` unordered pairs in `(lo, hi)` lexicographic
+    /// order.
+    pairs: Vec<PairTerm>,
+    self_total: f64,
+    coupling_total: f64,
+}
+
+impl PowerBreakdown {
+    /// Computes the full decomposition of `problem.power(assignment)`.
+    ///
+    /// Walks the same `C_R + ΔC·(ε'_j + ε'_k)` entries as the fast
+    /// evaluator, keeping the diagonal of each line and the summed
+    /// ordered off-diagonals of each pair, then half-splits every pair
+    /// charge onto its two endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment size differs from the problem size.
+    pub fn compute(problem: &AssignmentProblem, assignment: &SignedPerm) -> Self {
+        assert_eq!(assignment.n(), problem.n(), "assignment size mismatch");
+        let n = problem.n();
+        let stats = problem.stats();
+        let c_r = problem.cap_model().c_r();
+        let delta_c = problem.cap_model().delta_c();
+        let eps = stats.epsilons();
+
+        // Line-indexed occupant cache, as in `power()`.
+        let bit: Vec<usize> = (0..n).map(|l| assignment.bit_of_line(l)).collect();
+        let sign: Vec<f64> = (0..n).map(|l| assignment.sign_of_bit(bit[l])).collect();
+        let eps_l: Vec<f64> = (0..n).map(|l| sign[l] * eps[bit[l]]).collect();
+        let ts: Vec<f64> = (0..n).map(|l| stats.self_switching(bit[l])).collect();
+
+        let mut per_tsv: Vec<TsvTerm> = (0..n)
+            .map(|l| {
+                // Diagonal of Eq. 10: C'_ll = C_R,ll + ΔC_ll·(ε'_l + ε'_l).
+                let self_charge = ts[l] * (c_r[(l, l)] + delta_c[(l, l)] * (eps_l[l] + eps_l[l]));
+                TsvTerm {
+                    line: l,
+                    bit: bit[l],
+                    inverted: assignment.is_inverted(bit[l]),
+                    self_charge,
+                    coupling_charge: 0.0,
+                    flip_effect: problem
+                        .is_invertible(bit[l])
+                        .then(|| problem.flip_bit_delta(assignment, bit[l])),
+                }
+            })
+            .collect();
+
+        let mut pairs = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for j in 0..n {
+            for k in (j + 1)..n {
+                // Both ordered off-diagonal entries of the Eq. 10 sum,
+                // verbatim — exact even if C_R/ΔC were asymmetric.
+                let c_jk = c_r[(j, k)] + delta_c[(j, k)] * (eps_l[j] + eps_l[k]);
+                let c_kj = c_r[(k, j)] + delta_c[(k, j)] * (eps_l[k] + eps_l[j]);
+                let tc_jk = sign[j] * sign[k] * stats.coupling_switching(bit[j], bit[k]);
+                let tc_kj = sign[k] * sign[j] * stats.coupling_switching(bit[k], bit[j]);
+                let charge = (ts[j] - tc_jk) * c_jk + (ts[k] - tc_kj) * c_kj;
+                per_tsv[j].coupling_charge += 0.5 * charge;
+                per_tsv[k].coupling_charge += 0.5 * charge;
+                pairs.push(PairTerm {
+                    line_lo: j,
+                    line_hi: k,
+                    bit_lo: bit[j],
+                    bit_hi: bit[k],
+                    charge,
+                });
+            }
+        }
+
+        let self_total = per_tsv.iter().map(|t| t.self_charge).sum();
+        let coupling_total = pairs.iter().map(|p| p.charge).sum();
+        Self {
+            per_tsv,
+            pairs,
+            self_total,
+            coupling_total,
+        }
+    }
+
+    /// Number of TSVs in the bundle.
+    pub fn n(&self) -> usize {
+        self.per_tsv.len()
+    }
+
+    /// Per-via terms, indexed by line.
+    pub fn per_tsv(&self) -> &[TsvTerm] {
+        &self.per_tsv
+    }
+
+    /// All unordered pair terms in `(lo, hi)` lexicographic order.
+    pub fn pairs(&self) -> &[PairTerm] {
+        &self.pairs
+    }
+
+    /// The pair term of unordered lines `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `a == b`.
+    pub fn pair(&self, a: usize, b: usize) -> &PairTerm {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let n = self.n();
+        assert!(hi < n && lo != hi, "invalid pair ({a}, {b})");
+        // Row `lo` of the strict upper triangle starts after
+        // lo·n − lo·(lo+1)/2 entries.
+        &self.pairs[lo * n - lo * (lo + 1) / 2 + (hi - lo - 1)]
+    }
+
+    /// Sum of all diagonal self terms — the assignment-independent part
+    /// of the power up to the MOS-effect ε correction.
+    pub fn self_total(&self) -> f64 {
+        self.self_total
+    }
+
+    /// Sum of all pair charges — the part the assignment optimises.
+    pub fn coupling_total(&self) -> f64 {
+        self.coupling_total
+    }
+
+    /// `self_total() + coupling_total()` — recombines to
+    /// `problem.power(assignment)` to floating-point round-off.
+    pub fn total(&self) -> f64 {
+        self.self_total + self.coupling_total
+    }
+
+    /// Rolls the pair charges up by [`NeighborClass`] on a concrete
+    /// `rows × cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols != n()`.
+    pub fn class_totals(&self, rows: usize, cols: usize) -> ClassTotals {
+        assert_eq!(rows * cols, self.n(), "grid does not match the bundle");
+        let mut t = ClassTotals {
+            self_charge: self.self_total,
+            ..ClassTotals::default()
+        };
+        for p in &self.pairs {
+            match neighbor_class(rows, cols, p.line_lo, p.line_hi) {
+                NeighborClass::Adjacent => {
+                    t.adjacent += p.charge;
+                    t.adjacent_pairs += 1;
+                }
+                NeighborClass::Diagonal => {
+                    t.diagonal += p.charge;
+                    t.diagonal_pairs += 1;
+                }
+                NeighborClass::Distant => {
+                    t.distant += p.charge;
+                    t.distant_pairs += 1;
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+    use tsv3d_stats::{BitStream, SwitchingStats};
+
+    fn problem(rows: usize, cols: usize, words: Vec<u64>) -> AssignmentProblem {
+        let cap = LinearCapModel::fit(&Extractor::new(
+            TsvArray::new(rows, cols, TsvGeometry::wide_2018()).expect("array"),
+        ))
+        .expect("fit");
+        let stream = BitStream::from_words(rows * cols, words).expect("stream");
+        AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap).expect("problem")
+    }
+
+    fn rel_close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1e-12)
+    }
+
+    #[test]
+    fn parts_recombine_to_power() {
+        let p = problem(3, 3, vec![0x1AB, 0x0F3, 0x1C2, 0x02A, 0x155, 0x1FF, 0x080]);
+        let assignments = [
+            SignedPerm::identity(9),
+            SignedPerm::from_parts(
+                vec![3, 1, 4, 0, 8, 2, 7, 5, 6],
+                vec![true, false, false, true, false, true, false, false, true],
+            )
+            .unwrap(),
+        ];
+        for a in &assignments {
+            let b = PowerBreakdown::compute(&p, a);
+            assert!(rel_close(b.total(), p.power(a)), "sum vs power()");
+            assert!(
+                rel_close(b.total(), p.power_matrix_form(a)),
+                "sum vs power_matrix_form()"
+            );
+            // The per-TSV view is the same total under a different split.
+            let tsv_sum: f64 = b.per_tsv().iter().map(TsvTerm::total).sum();
+            assert!(rel_close(tsv_sum, p.power(a)), "per-TSV half-split sum");
+        }
+    }
+
+    #[test]
+    fn half_split_is_consistent_with_pairs() {
+        let p = problem(2, 2, vec![0b0110, 0b1001, 0b0101, 0b0011, 0b1110]);
+        let a = SignedPerm::identity(4);
+        let b = PowerBreakdown::compute(&p, &a);
+        for term in b.per_tsv() {
+            let incident: f64 = b
+                .pairs()
+                .iter()
+                .filter(|pr| pr.line_lo == term.line || pr.line_hi == term.line)
+                .map(|pr| 0.5 * pr.charge)
+                .sum();
+            assert!(
+                (term.coupling_charge - incident).abs() <= 1e-12 * incident.abs().max(1e-12),
+                "line {} coupling {} vs incident {}",
+                term.line,
+                term.coupling_charge,
+                incident
+            );
+        }
+    }
+
+    #[test]
+    fn pair_lookup_matches_lexicographic_layout() {
+        let p = problem(2, 3, vec![0x15, 0x2A, 0x3F, 0x00, 0x0C]);
+        let b = PowerBreakdown::compute(&p, &SignedPerm::identity(6));
+        assert_eq!(b.pairs().len(), 15);
+        for pr in b.pairs() {
+            assert_eq!(b.pair(pr.line_lo, pr.line_hi), pr);
+            assert_eq!(b.pair(pr.line_hi, pr.line_lo), pr);
+        }
+    }
+
+    #[test]
+    fn flip_effect_matches_recomputation() {
+        let p = problem(2, 2, vec![0b01, 0b10, 0b01, 0b10, 0b01, 0b10]);
+        let a = SignedPerm::identity(4);
+        let b = PowerBreakdown::compute(&p, &a);
+        for term in b.per_tsv() {
+            let mut flipped = a.clone();
+            flipped.flip_bit(term.bit);
+            let expected = p.power(&flipped) - p.power(&a);
+            let effect = term.flip_effect.expect("all bits invertible");
+            assert!(
+                (effect - expected).abs() <= 1e-9 * expected.abs().max(1e-12),
+                "bit {}: flip_effect {} vs recomputed {}",
+                term.bit,
+                effect,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn non_invertible_bits_have_no_flip_effect() {
+        let p = problem(2, 2, vec![1, 2, 3, 4])
+            .with_invertible(vec![true, false, true, false])
+            .unwrap();
+        let b = PowerBreakdown::compute(&p, &SignedPerm::identity(4));
+        assert!(b.per_tsv()[0].flip_effect.is_some());
+        assert!(b.per_tsv()[1].flip_effect.is_none());
+        assert!(b.per_tsv()[3].flip_effect.is_none());
+    }
+
+    #[test]
+    fn neighbor_classes_on_a_3x3_grid() {
+        // Row-major 3×3: centre is line 4.
+        assert_eq!(neighbor_class(3, 3, 4, 1), NeighborClass::Adjacent);
+        assert_eq!(neighbor_class(3, 3, 4, 3), NeighborClass::Adjacent);
+        assert_eq!(neighbor_class(3, 3, 4, 0), NeighborClass::Diagonal);
+        assert_eq!(neighbor_class(3, 3, 4, 8), NeighborClass::Diagonal);
+        assert_eq!(neighbor_class(3, 3, 0, 2), NeighborClass::Distant);
+        assert_eq!(neighbor_class(3, 3, 0, 8), NeighborClass::Distant);
+        // Row wrap must not count as adjacency: lines 2 and 3 are the
+        // end of row 0 and the start of row 1.
+        assert_eq!(neighbor_class(3, 3, 2, 3), NeighborClass::Distant);
+    }
+
+    #[test]
+    fn class_totals_cover_every_pair_exactly_once() {
+        let p = problem(3, 3, vec![0x1AB, 0x0F3, 0x1C2, 0x02A, 0x155]);
+        let b = PowerBreakdown::compute(&p, &SignedPerm::identity(9));
+        let t = b.class_totals(3, 3);
+        assert_eq!(t.adjacent_pairs + t.diagonal_pairs + t.distant_pairs, 36);
+        assert_eq!(t.adjacent_pairs, 12);
+        assert_eq!(t.diagonal_pairs, 8);
+        assert!(rel_close(t.total(), b.total()));
+        assert!(rel_close(t.coupling(), b.coupling_total()));
+    }
+
+    #[test]
+    fn identity_minus_optimized_totals_equal_the_power_delta() {
+        let words: Vec<u64> = (0..64).map(|t| if t % 2 == 0 { 0 } else { 0x1F } << 2).collect();
+        let p = problem(3, 3, words);
+        let identity = SignedPerm::identity(9);
+        let mut better = SignedPerm::identity(9);
+        better.swap_lines(0, 4);
+        let bi = PowerBreakdown::compute(&p, &identity);
+        let bo = PowerBreakdown::compute(&p, &better);
+        let savings = bi.total() - bo.total();
+        let direct = p.power(&identity) - p.power(&better);
+        assert!((savings - direct).abs() <= 1e-9 * direct.abs().max(1e-12));
+    }
+}

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod bundles;
 mod error;
 pub mod optimize;

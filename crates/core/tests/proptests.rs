@@ -1,7 +1,7 @@
 //! Property-based tests of the power model's algebraic invariants.
 
 use proptest::prelude::*;
-use tsv3d_core::{AssignmentProblem, SignedPerm};
+use tsv3d_core::{attribution, AssignmentProblem, SignedPerm};
 use tsv3d_matrix::Matrix;
 use tsv3d_model::LinearCapModel;
 use tsv3d_stats::SwitchingStats;
@@ -204,6 +204,73 @@ proptest! {
 }
 
 proptest! {
+    #[test]
+    fn breakdown_sums_to_both_power_forms(p in problem(), a in signed_perm(4)) {
+        // The attribution invariant: per-TSV terms (self + half-split
+        // coupling) recombine to the exact power, in both the fast and
+        // the explicit matrix evaluation, signed lines included.
+        let b = attribution::PowerBreakdown::compute(&p, &a);
+        let fast = p.power(&a);
+        let explicit = p.power_matrix_form(&a);
+        let tol = 1e-9 * fast.abs().max(1e-12);
+        prop_assert!((b.total() - fast).abs() < tol, "total {:.6e} vs power {fast:.6e}", b.total());
+        prop_assert!((b.total() - explicit).abs() < tol, "total {:.6e} vs matrix {explicit:.6e}", b.total());
+        let tsv_sum: f64 = b.per_tsv().iter().map(|t| t.total()).sum();
+        prop_assert!((tsv_sum - fast).abs() < tol, "per-TSV sum {tsv_sum:.6e} vs {fast:.6e}");
+        let part_sum = b.self_total() + b.coupling_total();
+        prop_assert!((part_sum - fast).abs() < tol, "self+coupling {part_sum:.6e} vs {fast:.6e}");
+        // Per-class roll-up on the 2×2 grid covers the same charge.
+        let classes = b.class_totals(2, 2);
+        prop_assert!(
+            (classes.total() - fast).abs() < tol,
+            "class totals {:.6e} vs {fast:.6e}", classes.total()
+        );
+    }
+
+    #[test]
+    fn breakdown_is_exact_for_pinned_problems(p in pinned_problem(), seed in any::<u64>()) {
+        // Pins restrict the feasible set and inversion permissions gate
+        // `flip_effect`; neither may break the sum invariant.
+        let options = tsv3d_core::optimize::AnnealOptions {
+            iterations: 200,
+            restarts: 1,
+            seed,
+            threads: 1,
+        };
+        let result = tsv3d_core::optimize::anneal(&p, &options).expect("non-empty budget");
+        let b = attribution::PowerBreakdown::compute(&p, &result.assignment);
+        let power = p.power(&result.assignment);
+        let tol = 1e-9 * power.abs().max(1e-12);
+        prop_assert!((b.total() - power).abs() < tol);
+        let explicit = p.power_matrix_form(&result.assignment);
+        prop_assert!((b.total() - explicit).abs() < tol);
+        for term in b.per_tsv() {
+            prop_assert_eq!(
+                term.flip_effect.is_some(),
+                p.is_invertible(term.bit),
+                "flip_effect gating must follow inversion permissions"
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_is_bit_identical_with_attribution_interleaved(p in problem(), seed in any::<u64>()) {
+        // Attribution is strictly observational: computing a breakdown
+        // between two identically seeded optimizer runs must not change
+        // the second run's result in a single bit.
+        let options = tsv3d_core::optimize::AnnealOptions {
+            iterations: 300,
+            restarts: 1,
+            seed,
+            threads: 1,
+        };
+        let first = tsv3d_core::optimize::anneal(&p, &options).expect("non-empty budget");
+        let _breakdown = attribution::PowerBreakdown::compute(&p, &first.assignment);
+        let second = tsv3d_core::optimize::anneal(&p, &options).expect("non-empty budget");
+        prop_assert_eq!(&first.assignment, &second.assignment);
+        prop_assert_eq!(first.power.to_bits(), second.power.to_bits());
+    }
+
     #[test]
     fn swap_delta_matches_full_recompute(p in problem(), a in signed_perm(4), x in 0usize..4, y in 0usize..4) {
         let before = p.power(&a);

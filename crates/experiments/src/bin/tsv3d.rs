@@ -14,6 +14,8 @@
 //!             (--svg renders a flamegraph)
 //!   converge  per-restart convergence report from anneal.epoch events
 //!             (--compare diffs two traces, --svg renders descent curves)
+//!   explain   per-TSV power attribution: ranked contribution tables,
+//!             array heatmap SVG, --compare savings diff reports
 //!   history   analyze the cross-run ledger, gate on trend regressions
 //!   serve     HTTP listener: /metrics (Prometheus), /healthz, /runs
 //!   help      print this usage summary
@@ -41,9 +43,10 @@
 //! `tsv3d spice --rows 3 --cols 3 > bundle.sp`
 //! `tsv3d eval --assignment "1,2,0-,3,4,5,6,7,8" --stream uniform`
 
-use tsv3d_core::{optimize, systematic, AssignmentProblem, SignedPerm};
+use tsv3d_core::{attribution, optimize, systematic, AssignmentProblem, SignedPerm};
 use tsv3d_experiments::common;
 use tsv3d_experiments::obs::{self, TelemetryHandle};
+use tsv3d_telemetry::Value;
 use tsv3d_model::{
     io, noise, Extractor, PositionClass, TsvArray, TsvGeometry, TsvRcNetlist,
 };
@@ -65,14 +68,16 @@ Commands:
             (--svg renders a flamegraph)
   converge  per-restart convergence report from anneal.epoch events
             (--compare diffs two traces, --svg renders descent curves)
+  explain   per-TSV power attribution: ranked contribution tables,
+            array heatmap SVG, --compare savings diff reports
   history   analyze the cross-run ledger, gate on trend regressions
   serve     HTTP listener: /metrics (Prometheus), /healthz, /runs
   help      print this usage summary
 
 Run `tsv3d bench --list` for the benchmark cases, `tsv3d converge
---help` / `tsv3d history --help` / `tsv3d serve --help` for the
-observability surfaces, or see the module docs
-(crates/experiments/src/bin/tsv3d.rs) for every option.
+--help` / `tsv3d explain --help` / `tsv3d history --help` /
+`tsv3d serve --help` for the observability surfaces, or see the module
+docs (crates/experiments/src/bin/tsv3d.rs) for every option.
 ";
 
 #[derive(Debug)]
@@ -206,6 +211,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole.abs() < 1e-300 {
+        0.0
+    } else {
+        part / whole * 100.0
+    }
+}
+
 fn generate_stream(opts: &Options) -> Result<BitStream, String> {
     let width = opts.rows * opts.cols;
     match opts.stream {
@@ -258,10 +271,32 @@ fn report_assignment(
     problem: &AssignmentProblem,
     assignment: &SignedPerm,
     method_name: &str,
+    tel: &TelemetryHandle,
 ) -> Result<(), String> {
     let power = problem.power(assignment);
     let identity = problem.identity_power();
     let random = optimize::random_mean(problem, 300, opts.seed).map_err(|e| e.to_string())?;
+
+    // Attribution is computed *after* the search, from its result — a
+    // pure observation that cannot perturb the optimizer.
+    let breakdown = {
+        let _span = tel.span("cli.attribution");
+        attribution::PowerBreakdown::compute(problem, assignment)
+    };
+    let classes = breakdown.class_totals(opts.rows, opts.cols);
+    tel.set_gauge("power.self_charge", breakdown.self_total());
+    tel.set_gauge("power.coupling_charge", breakdown.coupling_total());
+    tel.set_gauge("power.total", power);
+    tel.event(
+        "power.attribution",
+        &[
+            ("self_charge", Value::F64(breakdown.self_total())),
+            ("coupling_charge", Value::F64(breakdown.coupling_total())),
+            ("adjacent", Value::F64(classes.adjacent)),
+            ("diagonal", Value::F64(classes.diagonal)),
+            ("distant", Value::F64(classes.distant)),
+        ],
+    );
 
     println!(
         "array {}x{} (r = {:.1} um, pitch {:.1} um), {} cycles of {:?}",
@@ -282,6 +317,20 @@ fn report_assignment(
     println!(
         "  random (mean)   : {random:.4e}  ({:+.1} % vs this)",
         (random / power - 1.0) * 100.0
+    );
+    println!("\nattribution (see `tsv3d explain` for the full breakdown):");
+    println!(
+        "  self charge     : {:.4e}  ({:.1} %)",
+        breakdown.self_total(),
+        pct(breakdown.self_total(), power)
+    );
+    println!(
+        "  coupling charge : {:.4e}  ({:.1} %)  [adjacent {:.3e}, diagonal {:.3e}, distant {:.3e}]",
+        breakdown.coupling_total(),
+        pct(breakdown.coupling_total(), power),
+        classes.adjacent,
+        classes.diagonal,
+        classes.distant
     );
     println!("\ncompact form: {assignment}");
     println!("\nbit -> via mapping (row, col) [class]:");
@@ -318,7 +367,7 @@ fn run(opts: &Options, tel: &TelemetryHandle) -> Result<(), String> {
                 .map_err(|e| e.to_string())?
             };
             let (assignment, method_name) = solve(&problem, opts.method, tel)?;
-            report_assignment(opts, &array, &problem, &assignment, method_name)
+            report_assignment(opts, &array, &problem, &assignment, method_name, tel)
         }
         Command::Eval => {
             let text = opts
@@ -338,7 +387,7 @@ fn run(opts: &Options, tel: &TelemetryHandle) -> Result<(), String> {
                 common::cap_model(opts.rows, opts.cols, opts.geometry),
             )
             .map_err(|e| e.to_string())?;
-            report_assignment(opts, &array, &problem, &assignment, "user-supplied (eval)")
+            report_assignment(opts, &array, &problem, &assignment, "user-supplied (eval)", tel)
         }
         Command::Extract => {
             let cap = Extractor::new(array)
@@ -394,6 +443,13 @@ fn main() {
                 return;
             }
             std::process::exit(tsv3d_bench::cli::run_converge(&args[1..]))
+        }
+        Some("explain") => {
+            if args.get(1).is_some_and(|a| a == "--help" || a == "-h") {
+                print!("{}", tsv3d_bench::cli::EXPLAIN_USAGE);
+                return;
+            }
+            std::process::exit(tsv3d_bench::cli::run_explain(&args[1..]))
         }
         Some("history") => {
             if args.get(1).is_some_and(|a| a == "--help" || a == "-h") {

@@ -6,7 +6,7 @@
 //! The reference is the *worst-case* random assignment.
 
 use crate::common;
-use tsv3d_core::{optimize, systematic};
+use tsv3d_core::{attribution, optimize, systematic};
 use tsv3d_model::TsvGeometry;
 use tsv3d_stats::gen::SequentialSource;
 
@@ -60,6 +60,15 @@ pub struct Fig2Point {
     pub reduction_optimal: f64,
     /// Power reduction of the Spiral assignment, percent.
     pub reduction_spiral: f64,
+    /// Share of the optimal assignment's power drawn by the fixed
+    /// self terms, percent (the assignment can only shrink the rest).
+    pub self_share: f64,
+    /// Share drawn by orthogonally adjacent coupling pairs, percent.
+    pub adjacent_share: f64,
+    /// Share drawn by diagonal coupling pairs, percent.
+    pub diagonal_share: f64,
+    /// Share drawn by all more-distant coupling pairs, percent.
+    pub distant_share: f64,
 }
 
 /// The branch probabilities swept in the figure.
@@ -82,15 +91,28 @@ pub fn point(array: Fig2Array, branch_probability: f64, cycles: usize, quick: bo
     } else {
         common::anneal_options()
     };
-    let optimal = optimize::anneal(&problem, &opts).expect("non-empty budget").power;
+    let best = optimize::anneal(&problem, &opts).expect("non-empty budget");
     let spiral = problem.power(&systematic::spiral(&problem));
     let worst = optimize::worst_case(&problem, &opts)
         .expect("non-empty budget")
         .power;
+    let classes = attribution::PowerBreakdown::compute(&problem, &best.assignment)
+        .class_totals(rows, cols);
+    let share = |part: f64| {
+        if best.power == 0.0 {
+            0.0
+        } else {
+            part / best.power * 100.0
+        }
+    };
     Fig2Point {
         branch_probability,
-        reduction_optimal: common::reduction_pct(optimal, worst),
+        reduction_optimal: common::reduction_pct(best.power, worst),
         reduction_spiral: common::reduction_pct(spiral, worst),
+        self_share: share(classes.self_charge),
+        adjacent_share: share(classes.adjacent),
+        diagonal_share: share(classes.diagonal),
+        distant_share: share(classes.distant),
     }
 }
 
@@ -129,5 +151,16 @@ mod tests {
             assert!(p.reduction_optimal > 0.0, "{array:?}: {p:?}");
             assert!(p.reduction_spiral > 0.0, "{array:?}: {p:?}");
         }
+    }
+
+    #[test]
+    fn class_shares_sum_to_one_hundred_and_adjacent_dominates_coupling() {
+        let p = point(Fig2Array::Wide4x4, 1e-2, 6_000, true);
+        let sum = p.self_share + p.adjacent_share + p.diagonal_share + p.distant_share;
+        assert!((sum - 100.0).abs() < 1e-6, "{p:?}");
+        assert!(p.self_share > 0.0, "{p:?}");
+        // Direct neighbours couple strongest, so whatever coupling
+        // charge survives optimisation sits mostly in that class.
+        assert!(p.adjacent_share.abs() >= p.distant_share.abs(), "{p:?}");
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::common;
 use tsv3d_circuit::{DriverModel, TsvLink};
-use tsv3d_core::{optimize, systematic, AssignmentProblem, SignedPerm};
+use tsv3d_core::{attribution, optimize, systematic, AssignmentProblem, SignedPerm};
 use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry, TsvRcNetlist};
 use tsv3d_stats::{BitStream, SwitchingStats};
 use tsv3d_telemetry::{TelemetryHandle, Value};
@@ -41,6 +41,10 @@ pub struct FlowReport {
     pub circuit_power: Option<f64>,
     /// Circuit-level mean power of the unassigned stream, W.
     pub circuit_power_plain: Option<f64>,
+    /// Per-class power attribution of the optimal assignment
+    /// (self / adjacent / diagonal / distant charge): the fig-table
+    /// breakdown columns and the `tsv3d explain` headline figures.
+    pub attribution: attribution::ClassTotals,
 }
 
 impl FlowReport {
@@ -48,6 +52,24 @@ impl FlowReport {
     /// percent.
     pub fn optimal_reduction(&self) -> f64 {
         common::reduction_pct(self.optimal_power, self.random_power)
+    }
+
+    /// The optimal assignment's power split into percentage shares of
+    /// `(self, adjacent, diagonal, distant)` charge — the per-class
+    /// breakdown columns the fig tables append. Zero power yields all
+    /// zeros rather than NaNs.
+    pub fn attribution_shares(&self) -> (f64, f64, f64, f64) {
+        let total = self.attribution.total();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let pct = |part: f64| part / total * 100.0;
+        (
+            pct(self.attribution.self_charge),
+            pct(self.attribution.adjacent),
+            pct(self.attribution.diagonal),
+            pct(self.attribution.distant),
+        )
     }
 
     /// The better of the two systematic assignments, as
@@ -81,7 +103,7 @@ impl Flow {
     /// [`Flow::new`] with instrumentation: the extraction stage of the
     /// constructor and every stage of [`Flow::analyze`] report spans
     /// (`flow.extract`, `flow.problem_build`, `flow.optimize`,
-    /// `flow.systematic`, `flow.random_baseline`,
+    /// `flow.systematic`, `flow.random_baseline`, `flow.attribution`,
     /// `flow.circuit_validation`) on `tel`, and the optimiser streams
     /// its per-epoch telemetry through the same handle. A disabled
     /// handle reproduces [`Flow::new`] exactly.
@@ -156,6 +178,11 @@ impl Flow {
             let _span = tel.span("flow.random_baseline");
             optimize::random_mean(&problem, 300, self.anneal.seed)?
         };
+        let class_totals = {
+            let _span = tel.span("flow.attribution");
+            attribution::PowerBreakdown::compute(&problem, &best.assignment)
+                .class_totals(self.array.rows(), self.array.cols())
+        };
 
         let (circuit_power, circuit_power_plain) = if self.circuit {
             let _span = tel.span("flow.circuit_validation");
@@ -176,6 +203,9 @@ impl Flow {
         };
 
         if tel.is_enabled() {
+            tel.set_gauge("power.self_charge", class_totals.self_charge);
+            tel.set_gauge("power.coupling_charge", class_totals.coupling());
+            tel.set_gauge("power.total", best.power);
             tel.event(
                 "flow.report",
                 &[
@@ -186,6 +216,11 @@ impl Flow {
                     (
                         "circuit_power_w",
                         Value::from(circuit_power.unwrap_or(f64::NAN)),
+                    ),
+                    ("power_self_charge", Value::from(class_totals.self_charge)),
+                    (
+                        "power_coupling_charge",
+                        Value::from(class_totals.coupling()),
                     ),
                 ],
             );
@@ -199,6 +234,7 @@ impl Flow {
             random_power,
             circuit_power,
             circuit_power_plain,
+            attribution: class_totals,
         })
     }
 }
@@ -237,6 +273,17 @@ mod tests {
         assert_eq!(name, "Spiral"); // sequential data favours Spiral
         assert!(red > 0.0);
         assert!(report.circuit_power.is_none());
+        // The attribution roll-up is exact: classes sum back to the
+        // optimal power, and the shares sum to 100 %.
+        assert!(
+            (report.attribution.total() - report.optimal_power).abs() < 1e-9,
+            "attribution {:?} vs power {}",
+            report.attribution,
+            report.optimal_power
+        );
+        let (s, a, d, far) = report.attribution_shares();
+        assert!((s + a + d + far - 100.0).abs() < 1e-6);
+        assert!(s > 0.0, "self charge always positive: {s}");
     }
 
     #[test]
@@ -277,6 +324,7 @@ mod tests {
             "flow.optimize",
             "flow.systematic",
             "flow.random_baseline",
+            "flow.attribution",
         ] {
             assert_eq!(
                 tel.histogram(stage).map(|h| h.count()),
@@ -285,6 +333,14 @@ mod tests {
             );
         }
         assert!(tel.counter_value("anneal.proposals").unwrap_or(0) > 0);
+        // The attribution gauges carry the instrumented run's split.
+        let self_charge = tel.gauge_value("power.self_charge").expect("gauge set");
+        let coupling = tel.gauge_value("power.coupling_charge").expect("gauge set");
+        assert!(
+            (self_charge + coupling - observed.optimal_power).abs() < 1e-9,
+            "{self_charge} + {coupling} != {}",
+            observed.optimal_power
+        );
     }
 
     #[test]

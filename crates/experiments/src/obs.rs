@@ -162,11 +162,23 @@ pub fn for_binary_with(binary: &str, meta: RunMeta) -> TelemetryHandle {
 /// the process-wide memory picture: `peak_bytes` (live-bytes
 /// high-water mark), `alloc_bytes` and `alloc_count` (cumulative),
 /// and `live_bytes` at exit.
+///
+/// When the run published power-attribution gauges (`tsv3d assign` /
+/// `tsv3d eval` do, via [`tsv3d_core::attribution`]), `run.done` also
+/// carries `power_self_charge` and `power_coupling_charge`, so a trace
+/// alone answers "where did the final assignment's power go" without
+/// re-running the workload.
 pub fn finish(tel: &TelemetryHandle) {
     if !tel.is_enabled() {
         return;
     }
     let mut fields = vec![("wall_seconds", Value::from(tel.elapsed_seconds()))];
+    if let Some(self_charge) = tel.gauge_value("power.self_charge") {
+        fields.push(("power_self_charge", Value::from(self_charge)));
+    }
+    if let Some(coupling) = tel.gauge_value("power.coupling_charge") {
+        fields.push(("power_coupling_charge", Value::from(coupling)));
+    }
     if alloc::is_active() {
         let mem = alloc::snapshot();
         fields.push(("peak_bytes", Value::from(mem.peak_bytes)));
@@ -222,6 +234,65 @@ mod tests {
         }
         finish(&tel);
         assert_eq!(tel.counter_value("demo.counter"), Some(3));
+    }
+
+    #[test]
+    fn finish_stamps_power_gauges_onto_run_done() {
+        use std::sync::Mutex;
+        use tsv3d_telemetry::{Event, Sink};
+
+        type CapturedEvent = (String, Vec<(&'static str, Value)>);
+        struct Capture(std::sync::Arc<Mutex<Vec<CapturedEvent>>>);
+        impl Sink for Capture {
+            fn emit(&self, event: &Event<'_>) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((event.name.to_string(), event.fields.to_vec()));
+            }
+        }
+
+        let events = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let tel = TelemetryHandle::with_sink(Box::new(Capture(std::sync::Arc::clone(&events))));
+        tel.set_gauge("power.self_charge", 0.125);
+        tel.set_gauge("power.coupling_charge", 0.0625);
+        finish(&tel);
+
+        let events = events.lock().unwrap();
+        let (name, fields) = events.last().expect("run.done emitted");
+        assert_eq!(name, "run.done");
+        let field = |key: &str| {
+            fields.iter().find_map(|(k, v)| match v {
+                Value::F64(x) if *k == key => Some(*x),
+                _ => None,
+            })
+        };
+        assert_eq!(field("power_self_charge"), Some(0.125));
+        assert_eq!(field("power_coupling_charge"), Some(0.0625));
+    }
+
+    #[test]
+    fn finish_omits_power_fields_when_no_gauges_were_set() {
+        use std::sync::Mutex;
+        use tsv3d_telemetry::{Event, Sink};
+
+        struct Capture(std::sync::Arc<Mutex<Vec<Vec<&'static str>>>>);
+        impl Sink for Capture {
+            fn emit(&self, event: &Event<'_>) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(event.fields.iter().map(|(k, _)| *k).collect());
+            }
+        }
+
+        let keys = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let tel = TelemetryHandle::with_sink(Box::new(Capture(std::sync::Arc::clone(&keys))));
+        finish(&tel);
+        let keys = keys.lock().unwrap();
+        let done = keys.last().expect("run.done emitted");
+        assert!(!done.contains(&"power_self_charge"), "{done:?}");
+        assert!(!done.contains(&"power_coupling_charge"), "{done:?}");
     }
 
     #[test]

@@ -58,6 +58,9 @@ use std::time::Duration;
 pub struct MetricsSnapshot {
     /// Counter values, in name order.
     pub counters: Vec<(String, u64)>,
+    /// Gauge values (last-write-wins `f64` readings, e.g. the power
+    /// attribution figures), in name order.
+    pub gauges: Vec<(String, f64)>,
     /// Histogram copies, in name order.
     pub histograms: Vec<(String, Histogram)>,
     /// Process-wide allocator statistics, when a counting allocator is
@@ -78,6 +81,7 @@ impl MetricsSnapshot {
     pub fn capture(tel: &TelemetryHandle) -> Self {
         Self {
             counters: tel.counters_snapshot().into_iter().collect(),
+            gauges: tel.gauges_snapshot().into_iter().collect(),
             histograms: tel.histograms_snapshot().into_iter().collect(),
             alloc: alloc::is_active().then(alloc::snapshot),
             uptime_seconds: tel.elapsed_seconds(),
@@ -163,6 +167,8 @@ fn fmt_f64(v: f64) -> String {
 /// (content type `text/plain; version=0.0.4`).
 ///
 /// * counters → `tsv3d_<name>_total` (TYPE `counter`);
+/// * gauges → `tsv3d_<name>` (TYPE `gauge`), rendered with the
+///   shortest-roundtrip `f64` formatting;
 /// * histograms → `tsv3d_<name>` with cumulative `_bucket{le="…"}`
 ///   series derived from the log2 buckets (each populated bucket
 ///   reports its upper edge `2^(exp+1)`), plus `_sum`/`_count`;
@@ -171,9 +177,9 @@ fn fmt_f64(v: f64) -> String {
 /// * `tsv3d_uptime_seconds` gauge and (when the snapshot carries a
 ///   revision) the `tsv3d_build_info{git_rev="…"} 1` provenance gauge.
 ///
-/// Series order is fixed (uptime, build info, counters by name,
-/// histograms by name, allocator block), so two renders of equal
-/// snapshots are byte-identical.
+/// Series order is fixed (uptime, build info, counters by name, gauges
+/// by name, histograms by name, allocator block), so two renders of
+/// equal snapshots are byte-identical.
 pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -198,6 +204,11 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
         let metric = format!("tsv3d_{}_total", sanitize_metric_name(name));
         let _ = writeln!(out, "# TYPE {metric} counter");
         let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let metric = format!("tsv3d_{}", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {}", fmt_f64(*value));
     }
     for (name, hist) in &snap.histograms {
         let metric = format!("tsv3d_{}", sanitize_metric_name(name));
@@ -470,6 +481,23 @@ mod tests {
         let a = text.find("tsv3d_a_first_total 1").expect("a present");
         let b = text.find("tsv3d_b_second_total 2").expect("b present");
         assert!(a < b, "name-sorted output:\n{text}");
+    }
+
+    #[test]
+    fn gauges_render_between_counters_and_histograms() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        tel.add("runs", 1);
+        tel.set_gauge("power.total", 0.001953125);
+        tel.set_gauge("power.self_charge", 0.5);
+        tel.record("gap", 1.0);
+        let text = render_prometheus(&MetricsSnapshot::capture(&tel));
+        assert!(text.contains("# TYPE tsv3d_power_total gauge"), "{text}");
+        assert!(text.contains("tsv3d_power_total 0.001953125"), "{text}");
+        assert!(text.contains("tsv3d_power_self_charge 0.5"), "{text}");
+        let counter = text.find("tsv3d_runs_total 1").expect("counter present");
+        let gauge = text.find("tsv3d_power_self_charge 0.5").expect("gauge");
+        let hist = text.find("# TYPE tsv3d_gap histogram").expect("histogram");
+        assert!(counter < gauge && gauge < hist, "ordering:\n{text}");
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!   effectively nothing;
 //! * monotonic **span timers** ([`TelemetryHandle::span`]) feeding
 //!   per-name duration [`Histogram`]s;
-//! * **counters** ([`TelemetryHandle::add`]) and **value histograms**
-//!   ([`TelemetryHandle::record`]), log-bucketed;
+//! * **counters** ([`TelemetryHandle::add`]), **gauges**
+//!   ([`TelemetryHandle::set_gauge`], last-write-wins `f64` readings)
+//!   and **value histograms** ([`TelemetryHandle::record`]),
+//!   log-bucketed;
 //! * a pluggable [`Sink`] for event streams: [`NullSink`] (default),
 //!   [`StderrSink`] (human-readable) and [`JsonLinesSink`]
 //!   (machine-readable `.jsonl`);
@@ -133,6 +135,7 @@ struct Inner {
     epoch: Instant,
     counters: Mutex<BTreeMap<String, u64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
 }
 
 /// Cheap, cloneable entry point to the telemetry registry.
@@ -185,6 +188,7 @@ impl TelemetryHandle {
                 epoch: Instant::now(),
                 counters: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
             })),
             thread: None,
         }
@@ -278,6 +282,24 @@ impl TelemetryHandle {
         }
     }
 
+    /// Sets gauge `name` to `value`, replacing any previous reading.
+    ///
+    /// Gauges are last-write-wins point-in-time values (a power figure,
+    /// a queue depth) — unlike [`add`](Self::add) counters they do not
+    /// accumulate. Non-finite values are stored as-is; the exporter
+    /// renders them as `NaN`/`±Inf` per the exposition format.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut gauges = inner.gauges.lock().expect("gauge registry poisoned");
+            match gauges.get_mut(name) {
+                Some(slot) => *slot = value,
+                None => {
+                    gauges.insert(name.to_string(), value);
+                }
+            }
+        }
+    }
+
     /// Records `value` into histogram `name`.
     pub fn record(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
@@ -353,6 +375,18 @@ impl TelemetryHandle {
             .copied()
     }
 
+    /// The current value of gauge `name` (`None` when disabled or
+    /// never set).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .get(name)
+            .copied()
+    }
+
     /// A snapshot of histogram `name`.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
         let inner = self.inner.as_ref()?;
@@ -398,6 +432,19 @@ impl TelemetryHandle {
         }
     }
 
+    /// A point-in-time copy of every gauge, in name order. Empty for
+    /// a disabled handle.
+    pub fn gauges_snapshot(&self) -> BTreeMap<String, f64> {
+        match &self.inner {
+            Some(inner) => inner
+                .gauges
+                .lock()
+                .expect("gauge registry poisoned")
+                .clone(),
+            None => BTreeMap::new(),
+        }
+    }
+
     /// Seconds since the handle was created (0 when disabled).
     pub fn elapsed_seconds(&self) -> f64 {
         self.inner
@@ -414,6 +461,7 @@ impl TelemetryHandle {
         };
         let counters = inner.counters.lock().expect("counter registry poisoned");
         let histograms = inner.histograms.lock().expect("histogram registry poisoned");
+        let gauges = inner.gauges.lock().expect("gauge registry poisoned");
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -425,6 +473,13 @@ impl TelemetryHandle {
             let _ = writeln!(out, "  counters:");
             for (name, value) in counters.iter() {
                 let _ = writeln!(out, "    {name:<width$}  {value}");
+            }
+        }
+        if !gauges.is_empty() {
+            let width = gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            let _ = writeln!(out, "  gauges:");
+            for (name, value) in gauges.iter() {
+                let _ = writeln!(out, "    {name:<width$}  {value:.6e}");
             }
         }
         if !histograms.is_empty() {
@@ -527,11 +582,34 @@ mod tests {
         let tel = TelemetryHandle::disabled();
         tel.add("c", 5);
         tel.record("h", 1.0);
+        tel.set_gauge("g", 2.5);
         tel.event("e", &[("k", Value::U64(1))]);
         drop(tel.span("s"));
         assert_eq!(tel.counter_value("c"), None);
+        assert_eq!(tel.gauge_value("g"), None);
         assert!(tel.histogram("h").is_none());
+        assert!(tel.gauges_snapshot().is_empty());
         assert_eq!(tel.summary(), "");
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+        tel.set_gauge("power.total", 1.5);
+        tel.set_gauge("power.total", 0.75);
+        tel.set_gauge("power.self_charge", 0.25);
+        assert_eq!(tel.gauge_value("power.total"), Some(0.75));
+        let snapshot = tel.gauges_snapshot();
+        assert_eq!(
+            snapshot.into_iter().collect::<Vec<_>>(),
+            vec![
+                ("power.self_charge".to_string(), 0.25),
+                ("power.total".to_string(), 0.75),
+            ]
+        );
+        let summary = tel.summary();
+        assert!(summary.contains("gauges:"), "{summary}");
+        assert!(summary.contains("power.total"), "{summary}");
     }
 
     #[test]

@@ -32,6 +32,14 @@ fn golden_snapshot() -> MetricsSnapshot {
             ("anneal.proposals".to_string(), 8000),
             ("bnb.nodes".to_string(), 1729),
         ],
+        // The power-attribution gauges `tsv3d explain` / `tsv3d assign`
+        // publish; dyadic values so the shortest-roundtrip rendering is
+        // platform-independent.
+        gauges: vec![
+            ("power.coupling_charge".to_string(), 0.000244140625),
+            ("power.self_charge".to_string(), 0.001953125),
+            ("power.total".to_string(), 0.002197265625),
+        ],
         histograms: vec![
             ("core.anneal".to_string(), anneal),
             ("gap.db".to_string(), gap),

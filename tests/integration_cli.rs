@@ -42,7 +42,7 @@ fn unknown_subcommand_prints_usage_and_exits_2() {
     let err = stderr(&out);
     assert!(err.contains("unknown command `frobnicate`"), "{err}");
     assert!(err.contains("Usage: tsv3d <command>"), "{err}");
-    for cmd in ["bench", "trace", "converge", "history", "serve"] {
+    for cmd in ["bench", "trace", "converge", "explain", "history", "serve"] {
         assert!(err.contains(cmd), "usage must list `{cmd}`: {err}");
     }
 }
@@ -61,7 +61,7 @@ fn help_prints_usage_on_stdout_and_exits_0() {
         assert_eq!(out.status.code(), Some(0), "`{arg}`");
         let text = stdout(&out);
         assert!(text.contains("Usage: tsv3d <command>"), "`{arg}`");
-        for cmd in ["bench", "trace", "converge", "history", "serve"] {
+        for cmd in ["bench", "trace", "converge", "explain", "history", "serve"] {
             assert!(text.contains(cmd), "`{arg}` must list `{cmd}`: {text}");
         }
     }
@@ -71,6 +71,7 @@ fn help_prints_usage_on_stdout_and_exits_0() {
 fn subcommand_help_prints_dedicated_usage() {
     for (cmd, marker) in [
         ("converge", "Usage: tsv3d converge"),
+        ("explain", "Usage: tsv3d explain"),
         ("history", "Usage: tsv3d history"),
         ("serve", "Usage: tsv3d serve"),
     ] {
