@@ -172,6 +172,21 @@ pub fn cases() -> Vec<BenchCase> {
             },
         },
         BenchCase {
+            name: "anneal_objective_xtalk_4x4",
+            area: "core",
+            about: "incrementally-priced P + λ·X annealing (4k iters x 2 restarts) on a 4x4 gaussian problem",
+            setup: |_cfg| {
+                let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
+                Box::new(move |tel| {
+                    let objective = optimize::PowerCrosstalkObjective::new(&problem, 0.5);
+                    let r = optimize::anneal_with_objective(&problem, &objective, &quick_anneal())
+                        .expect("anneal budget is non-empty");
+                    tel.add("bench.objective_runs", 1);
+                    black_box(r.power);
+                })
+            },
+        },
+        BenchCase {
             name: "power_eval_4x4_x256",
             area: "core",
             about: "256 full <T',C'> power evaluations (Eq. 10 objective) on a 4x4 problem",

@@ -18,6 +18,20 @@
 //! * [`branch_and_bound`] — an exact solver with admissible lower
 //!   bounds, extending provably optimal solutions to full 3×3 bundles
 //!   with inversions (an ablation subject in DESIGN.md).
+//!
+//! # Incremental objectives
+//!
+//! Every hot loop prices candidate moves incrementally: an O(n) delta
+//! instead of a full O(n²) re-evaluation. The [`Objective`] trait makes
+//! that pluggable — [`PowerObjective`] and [`PowerCrosstalkObjective`]
+//! ship incremental `delta_swap`/`delta_flip` implementations backed by
+//! [`AssignmentProblem::swap_lines_delta`] and friends, while
+//! [`FnObjective`] wraps an arbitrary closure with a mutate–evaluate–
+//! revert fallback. Accumulated deltas are resynchronised against a
+//! full evaluation every 1024 accepted moves, and each restart's final
+//! value is recomputed exactly before the cross-restart reduction, so
+//! float drift can neither corrupt the reported power nor flip which
+//! restart wins.
 
 mod bnb;
 
@@ -76,6 +90,110 @@ impl AnnealOptions {
     }
 }
 
+/// A minimisation target the annealer can price incrementally.
+///
+/// `eval` is the ground truth; `delta_swap`/`delta_flip` price a
+/// candidate move *without* committing it and default to a
+/// mutate–evaluate–revert round trip (correct for any objective, O(full
+/// eval) per move). Implementations with cheap exact deltas —
+/// [`PowerObjective`], [`PowerCrosstalkObjective`] — override them with
+/// O(n) pricing; the annealer resynchronises the accumulated value
+/// against `eval` every 1024 accepts, so a delta only needs to be
+/// accurate to float-rounding, not bit-exact.
+///
+/// Objectives must be `Sync`: restarts fan out over scoped worker
+/// threads that share the objective by reference.
+pub trait Objective: Sync {
+    /// The objective value of `assignment` (full evaluation).
+    fn eval(&self, assignment: &SignedPerm) -> f64;
+
+    /// Price swapping the occupants of lines `a` and `b`:
+    /// `eval(after) - current`. Must leave `assignment` unchanged.
+    fn delta_swap(&self, assignment: &mut SignedPerm, current: f64, a: usize, b: usize) -> f64 {
+        assignment.swap_lines(a, b);
+        let value = self.eval(assignment);
+        assignment.swap_lines(a, b);
+        value - current
+    }
+
+    /// Price flipping the inversion of `bit`: `eval(after) - current`.
+    /// Must leave `assignment` unchanged.
+    fn delta_flip(&self, assignment: &mut SignedPerm, current: f64, bit: usize) -> f64 {
+        assignment.flip_bit(bit);
+        let value = self.eval(assignment);
+        assignment.flip_bit(bit);
+        value - current
+    }
+}
+
+/// Wraps an arbitrary closure as an [`Objective`] with the default
+/// (full-evaluation) move pricing — what [`anneal_objective`] uses
+/// under the hood.
+pub struct FnObjective<F>(pub F);
+
+impl<F: Fn(&SignedPerm) -> f64 + Sync> Objective for FnObjective<F> {
+    fn eval(&self, assignment: &SignedPerm) -> f64 {
+        (self.0)(assignment)
+    }
+}
+
+/// The paper's Eq. 10 power objective with O(n) incremental pricing.
+pub struct PowerObjective<'p> {
+    problem: &'p AssignmentProblem,
+}
+
+impl<'p> PowerObjective<'p> {
+    /// Builds the objective for `problem`.
+    pub fn new(problem: &'p AssignmentProblem) -> Self {
+        Self { problem }
+    }
+}
+
+impl Objective for PowerObjective<'_> {
+    fn eval(&self, assignment: &SignedPerm) -> f64 {
+        self.problem.power(assignment)
+    }
+
+    fn delta_swap(&self, assignment: &mut SignedPerm, _current: f64, a: usize, b: usize) -> f64 {
+        self.problem.swap_lines_delta(assignment, a, b)
+    }
+
+    fn delta_flip(&self, assignment: &mut SignedPerm, _current: f64, bit: usize) -> f64 {
+        self.problem.flip_bit_delta(assignment, bit)
+    }
+}
+
+/// `power + λ · crosstalk_activity` with O(n) incremental pricing —
+/// the multi-objective of the Pareto study, now priced per move instead
+/// of re-evaluated from scratch.
+pub struct PowerCrosstalkObjective<'p> {
+    problem: &'p AssignmentProblem,
+    lambda: f64,
+}
+
+impl<'p> PowerCrosstalkObjective<'p> {
+    /// Builds the combined objective with crosstalk weight `lambda`.
+    pub fn new(problem: &'p AssignmentProblem, lambda: f64) -> Self {
+        Self { problem, lambda }
+    }
+}
+
+impl Objective for PowerCrosstalkObjective<'_> {
+    fn eval(&self, assignment: &SignedPerm) -> f64 {
+        self.problem.power(assignment) + self.lambda * self.problem.crosstalk_activity(assignment)
+    }
+
+    fn delta_swap(&self, assignment: &mut SignedPerm, _current: f64, a: usize, b: usize) -> f64 {
+        self.problem.swap_lines_delta(assignment, a, b)
+            + self.lambda * self.problem.crosstalk_swap_delta(assignment, a, b)
+    }
+
+    fn delta_flip(&self, assignment: &mut SignedPerm, _current: f64, bit: usize) -> f64 {
+        self.problem.flip_bit_delta(assignment, bit)
+            + self.lambda * self.problem.crosstalk_flip_delta(assignment, bit)
+    }
+}
+
 /// SplitMix64 finaliser over a stream-salted state. Restart `r` draws
 /// from stream `r + 1` and the calibration probe from stream `0`, so
 /// streams stay statistically independent even for small consecutive
@@ -93,20 +211,37 @@ fn stream_seed(seed: u64, stream: u64) -> u64 {
 /// Runs `jobs` independent restarts over at most `threads` scoped
 /// workers and returns the results in job order. Worker `w` takes jobs
 /// `w, w + W, …` — restarts cost the same, so striding balances the
-/// pool without a queue. One worker (or one job) runs inline on the
-/// caller's thread with no spawn at all; a panicking job propagates.
-fn fan_out<R: Send>(jobs: usize, threads: usize, job: impl Fn(usize) -> R + Sync) -> Vec<R> {
-    let workers = threads.clamp(1, jobs.max(1));
+/// pool without a queue. Each worker builds one `init()` state and
+/// threads it through its jobs, so per-restart scratch buffers are
+/// allocated once per worker, not once per restart. The pool is capped
+/// at the machine's available parallelism: oversubscribing cores would
+/// only add scheduler churn, and with one worker (or one job) the whole
+/// fan-out runs inline on the caller's thread with no spawn at all. A
+/// panicking job propagates.
+fn fan_out<R: Send, S>(
+    jobs: usize,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    job: impl Fn(&mut S, usize) -> R + Sync,
+) -> Vec<R> {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = threads.min(cores).clamp(1, jobs.max(1));
     if workers == 1 {
-        return (0..jobs).map(job).collect();
+        let mut state = init();
+        return (0..jobs).map(|i| job(&mut state, i)).collect();
     }
     let mut slots: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
+                let init = &init;
                 let job = &job;
                 scope.spawn(move || -> Vec<(usize, R)> {
-                    (w..jobs).step_by(workers).map(|i| (i, job(i))).collect()
+                    let mut state = init();
+                    (w..jobs)
+                        .step_by(workers)
+                        .map(|i| (i, job(&mut state, i)))
+                        .collect()
                 })
             })
             .collect();
@@ -124,6 +259,8 @@ fn fan_out<R: Send>(jobs: usize, threads: usize, job: impl Fn(usize) -> R + Sync
 
 /// Restart-order reduction to the minimising result; strict `<` keeps
 /// the earliest restart on ties, matching what a serial loop returns.
+/// Callers must hand in *exactly recomputed* powers — comparing
+/// drift-accumulated values here could crown the wrong restart.
 fn reduce_min(locals: Vec<OptimizeResult>) -> OptimizeResult {
     locals
         .into_iter()
@@ -149,6 +286,77 @@ fn distinct_pair(rng: &mut StdRng, lines: &[usize]) -> (usize, usize) {
         b += 1;
     }
     (lines[a], lines[b])
+}
+
+/// Per-worker reusable state: every buffer a restart needs, allocated
+/// once and recycled, so the steady-state move loop allocates nothing.
+struct RestartScratch {
+    /// Shuffle pool for the free lines (Fisher–Yates workspace).
+    pool: Vec<usize>,
+    /// `line_of_bit` under construction.
+    lines: Vec<usize>,
+    /// Inversion flags under construction.
+    inverted: Vec<bool>,
+    /// The walking state of the current restart.
+    current: SignedPerm,
+    /// The restart-local best (updated by copy-in, never re-allocated).
+    best: SignedPerm,
+}
+
+impl RestartScratch {
+    fn new(problem: &AssignmentProblem) -> Self {
+        let n = problem.n();
+        Self {
+            pool: Vec::with_capacity(n),
+            lines: Vec::with_capacity(n),
+            inverted: Vec::with_capacity(n),
+            current: problem.base_assignment(),
+            best: problem.base_assignment(),
+        }
+    }
+}
+
+/// Draws a uniformly random pin-respecting permutation into
+/// `scratch.current`, reusing every buffer. With `signed`, inversions
+/// are drawn for invertible bits (one `gen_bool` per invertible bit,
+/// short-circuited exactly like the historical allocating version, so
+/// seed streams — and therefore committed results — are unchanged).
+fn draw_feasible(
+    problem: &AssignmentProblem,
+    rng: &mut StdRng,
+    scratch: &mut RestartScratch,
+    signed: bool,
+) {
+    let n = problem.n();
+    scratch.pool.clear();
+    scratch.pool.extend_from_slice(problem.free_lines());
+    for i in (1..scratch.pool.len()).rev() {
+        scratch.pool.swap(i, rng.gen_range(0..=i));
+    }
+    scratch.lines.clear();
+    let mut next_free = 0;
+    for bit in 0..n {
+        let line = problem.pin_of(bit).unwrap_or_else(|| {
+            let line = scratch.pool[next_free];
+            next_free += 1;
+            line
+        });
+        scratch.lines.push(line);
+    }
+    scratch.inverted.clear();
+    if signed {
+        for bit in 0..n {
+            scratch
+                .inverted
+                .push(problem.is_invertible(bit) && rng.gen_bool(0.5));
+        }
+    } else {
+        scratch.inverted.resize(n, false);
+    }
+    scratch
+        .current
+        .set_from_parts(&scratch.lines, &scratch.inverted)
+        .expect("shuffled permutation is valid");
 }
 
 /// Exhaustive search over every permutation and every feasible inversion
@@ -189,7 +397,7 @@ pub fn exhaustive(problem: &AssignmentProblem) -> Result<OptimizeResult, CoreErr
         return Err(CoreError::TooLargeForExhaustive { n, max: 8 });
     }
 
-    let invertible_bits: Vec<usize> = (0..n).filter(|&i| problem.is_invertible(i)).collect();
+    let invertible_bits = problem.invertible_bits();
     let mut best: Option<OptimizeResult> = None;
 
     // Heap's algorithm over the free bits' slot order; slot `s` places
@@ -290,15 +498,27 @@ pub fn anneal_with_telemetry(
     let observe = tel.is_enabled();
     let n = problem.n();
 
+    let flip_candidates = problem.invertible_bits();
+    let free_lines = problem.free_lines();
+    if free_lines.len() < 2 && flip_candidates.is_empty() {
+        // Everything is pinned and nothing may be inverted: the base
+        // assignment is the only feasible point — skip the calibration
+        // probe entirely (its spread would be degenerate anyway).
+        let a = problem.base_assignment();
+        let power = problem.power(&a);
+        return Ok(OptimizeResult { assignment: a, power });
+    }
+
     // Probe the landscape to calibrate the temperature scale. The probe
     // has its own seed stream (restarts use streams 1..=R), so the
     // calibration is the same however many workers run later.
     let mut probe_rng = StdRng::seed_from_u64(stream_seed(options.seed, 0));
+    let mut probe_scratch = RestartScratch::new(problem);
     let mut probe_min = f64::INFINITY;
     let mut probe_max = f64::NEG_INFINITY;
     for _ in 0..32.max(n) {
-        let a = random_feasible(problem, &mut probe_rng);
-        let p = problem.power(&a);
+        draw_feasible(problem, &mut probe_rng, &mut probe_scratch, true);
+        let p = problem.power(&probe_scratch.current);
         probe_min = probe_min.min(p);
         probe_max = probe_max.max(p);
     }
@@ -320,29 +540,21 @@ pub fn anneal_with_telemetry(
         );
     }
 
-    let flip_candidates: Vec<usize> = (0..n).filter(|&i| problem.is_invertible(i)).collect();
-    let free_lines = problem.free_lines();
-    if free_lines.len() < 2 && flip_candidates.is_empty() {
-        // Everything is pinned and nothing may be inverted: the base
-        // assignment is the only feasible point.
-        let a = problem.base_assignment();
-        let power = problem.power(&a);
-        return Ok(OptimizeResult { assignment: a, power });
-    }
-
     // Epoch granularity of the per-restart telemetry (≈32 reports).
     let epoch_len = (options.iterations / 32).max(1);
-    let run_restart = |restart: usize| -> OptimizeResult {
-        let rtel = tel.with_thread_label(&format!("r{restart}"));
+    let run_restart = |scratch: &mut RestartScratch, restart: usize| -> OptimizeResult {
+        let rtel = if observe {
+            tel.with_thread_label(&format!("r{restart}"))
+        } else {
+            TelemetryHandle::disabled()
+        };
         let mut rng = StdRng::seed_from_u64(stream_seed(options.seed, restart as u64 + 1));
-        let mut current = random_feasible(problem, &mut rng);
-        let mut current_power = problem.power(&current);
+        draw_feasible(problem, &mut rng, scratch, true);
+        let mut current_power = problem.power(&scratch.current);
         // The starting state seeds the restart-local best, so a best
         // exists even if every proposal is rejected.
-        let mut best = OptimizeResult {
-            assignment: current.clone(),
-            power: current_power,
-        };
+        scratch.best.clone_from(&scratch.current);
+        let mut best_power = current_power;
         let mut temperature = t_start;
         let mut accepts_since_resync = 0u32;
         // Per-epoch move mix, reset after each `anneal.epoch` event.
@@ -354,14 +566,14 @@ pub fn anneal_with_telemetry(
             let (swap_a, swap_b, flip_bit, delta);
             if flip {
                 let bit = flip_candidates[rng.gen_range(0..flip_candidates.len())];
-                delta = problem.flip_bit_delta(&current, bit);
+                delta = problem.flip_bit_delta(&scratch.current, bit);
                 flip_bit = Some(bit);
                 swap_a = 0;
                 swap_b = 0;
             } else {
                 flip_bit = None;
-                (swap_a, swap_b) = distinct_pair(&mut rng, &free_lines);
-                delta = problem.swap_lines_delta(&current, swap_a, swap_b);
+                (swap_a, swap_b) = distinct_pair(&mut rng, free_lines);
+                delta = problem.swap_lines_delta(&scratch.current, swap_a, swap_b);
             }
             if observe {
                 if flip {
@@ -372,8 +584,8 @@ pub fn anneal_with_telemetry(
             }
             if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
                 match flip_bit {
-                    Some(bit) => current.flip_bit(bit),
-                    None => current.swap_lines(swap_a, swap_b),
+                    Some(bit) => scratch.current.flip_bit(bit),
+                    None => scratch.current.swap_lines(swap_a, swap_b),
                 }
                 current_power += delta;
                 ep_accepts += 1;
@@ -381,14 +593,12 @@ pub fn anneal_with_telemetry(
                 // from the accumulated deltas.
                 accepts_since_resync += 1;
                 if accepts_since_resync >= 1024 {
-                    current_power = problem.power(&current);
+                    current_power = problem.power(&scratch.current);
                     accepts_since_resync = 0;
                 }
-                if current_power < best.power {
-                    best = OptimizeResult {
-                        assignment: current.clone(),
-                        power: current_power,
-                    };
+                if current_power < best_power {
+                    scratch.best.clone_from(&scratch.current);
+                    best_power = current_power;
                 }
             }
             temperature *= cooling;
@@ -401,7 +611,7 @@ pub fn anneal_with_telemetry(
                         ("iteration", Value::from(it + 1)),
                         ("temperature", Value::from(temperature)),
                         ("current_power", Value::from(current_power)),
-                        ("best_power", Value::from(best.power)),
+                        ("best_power", Value::from(best_power)),
                         (
                             "accept_rate",
                             Value::from(ep_accepts as f64 / proposals.max(1) as f64),
@@ -418,23 +628,32 @@ pub fn anneal_with_telemetry(
             }
         }
         rtel.add("anneal.restarts", 1);
-        best
+        // Exact power per restart: the tracked value carries
+        // accumulated-delta rounding, and comparing drifted values in
+        // the reduction could crown the wrong restart.
+        OptimizeResult {
+            assignment: scratch.best.clone(),
+            power: problem.power(&scratch.best),
+        }
     };
-    let mut best = reduce_min(fan_out(options.restarts, options.worker_count(), run_restart));
-    // Report the exact power of the winning assignment (the tracked
-    // value may carry accumulated-delta rounding).
-    best.power = problem.power(&best.assignment);
-    Ok(best)
+    Ok(reduce_min(fan_out(
+        options.restarts,
+        options.worker_count(),
+        || RestartScratch::new(problem),
+        run_restart,
+    )))
 }
 
 /// Simulated annealing over an *arbitrary* objective — the tool for
 /// multi-objective studies such as the power/crosstalk trade-off
 /// (`power + λ · crosstalk_activity`).
 ///
-/// Full objective evaluation per move (no incremental pricing), so use
-/// a smaller iteration budget than [`anneal`]. Moves are drawn from the
-/// same feasible set as [`anneal`]'s — swaps over the unpinned lines,
-/// flips of invertible bits — so the returned assignment satisfies the
+/// The closure is evaluated in full per candidate move; when an
+/// incremental formulation exists, use [`anneal_with_objective`] with
+/// an [`Objective`] implementation (e.g. [`PowerCrosstalkObjective`])
+/// for O(n) move pricing instead. Moves are drawn from the same
+/// feasible set as [`anneal`]'s — swaps over the unpinned lines, flips
+/// of invertible bits — so the returned assignment satisfies the
 /// problem's pin *and* inversion constraints. Restarts fan out over
 /// `options.threads` workers with the same per-restart seed streams as
 /// [`anneal`], so the result is bit-identical for every thread count
@@ -472,17 +691,63 @@ pub fn anneal_objective(
     objective: impl Fn(&SignedPerm) -> f64 + Sync,
     options: &AnnealOptions,
 ) -> Result<OptimizeResult, CoreError> {
+    anneal_with_objective(problem, &FnObjective(objective), options)
+}
+
+/// Simulated annealing over a pluggable [`Objective`] with incremental
+/// move pricing — the engine behind [`anneal_objective`].
+///
+/// Identical search semantics to [`anneal_objective`] (same seed
+/// streams, same move set, same schedule), but candidate moves are
+/// priced via [`Objective::delta_swap`]/[`Objective::delta_flip`]:
+/// objectives with O(n) deltas turn each iteration from O(n²) into
+/// O(n). The accumulated value is resynchronised against
+/// [`Objective::eval`] every 1024 accepts and each restart's final
+/// value is recomputed exactly before the cross-restart reduction.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyBudget`] if `iterations` or `restarts` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use tsv3d_core::{optimize, AssignmentProblem};
+/// use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+/// use tsv3d_stats::{BitStream, SwitchingStats};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cap = LinearCapModel::fit(&Extractor::new(
+///     TsvArray::new(2, 2, TsvGeometry::wide_2018())?,
+/// ))?;
+/// let s = BitStream::from_words(4, vec![0b0001, 0b1110, 0b0011, 0b1100])?;
+/// let problem = AssignmentProblem::new(SwitchingStats::from_stream(&s), cap)?;
+/// let objective = optimize::PowerCrosstalkObjective::new(&problem, 0.5);
+/// let best = optimize::anneal_with_objective(
+///     &problem,
+///     &objective,
+///     &optimize::AnnealOptions::default(),
+/// )?;
+/// assert!(problem.is_feasible(&best.assignment));
+/// # Ok(())
+/// # }
+/// ```
+pub fn anneal_with_objective<O: Objective>(
+    problem: &AssignmentProblem,
+    objective: &O,
+    options: &AnnealOptions,
+) -> Result<OptimizeResult, CoreError> {
     if options.iterations == 0 || options.restarts == 0 {
         return Err(CoreError::EmptyBudget);
     }
     let n = problem.n();
-    let flip_candidates: Vec<usize> = (0..n).filter(|&i| problem.is_invertible(i)).collect();
+    let flip_candidates = problem.invertible_bits();
     let free_lines = problem.free_lines();
     if free_lines.len() < 2 && flip_candidates.is_empty() {
         // Everything is pinned and nothing may be inverted: the base
         // assignment is the only feasible point.
         let a = problem.base_assignment();
-        let value = objective(&a);
+        let value = objective.eval(&a);
         return Ok(OptimizeResult {
             assignment: a,
             power: value,
@@ -491,10 +756,12 @@ pub fn anneal_objective(
 
     let seed = options.seed ^ 0x0B_1EC7;
     let mut probe_rng = StdRng::seed_from_u64(stream_seed(seed, 0));
+    let mut probe_scratch = RestartScratch::new(problem);
     let mut probe_min = f64::INFINITY;
     let mut probe_max = f64::NEG_INFINITY;
     for _ in 0..32.max(n) {
-        let v = objective(&random_feasible(problem, &mut probe_rng));
+        draw_feasible(problem, &mut probe_rng, &mut probe_scratch, true);
+        let v = objective.eval(&probe_scratch.current);
         probe_min = probe_min.min(v);
         probe_max = probe_max.max(v);
     }
@@ -502,55 +769,58 @@ pub fn anneal_objective(
     let t_start = 0.5 * spread;
     let cooling = (1e-5f64).powf(1.0 / options.iterations as f64);
 
-    let run_restart = |restart: usize| -> OptimizeResult {
+    let run_restart = |scratch: &mut RestartScratch, restart: usize| -> OptimizeResult {
         let mut rng = StdRng::seed_from_u64(stream_seed(seed, restart as u64 + 1));
-        let mut current = random_feasible(problem, &mut rng);
-        let mut current_value = objective(&current);
-        let mut best = OptimizeResult {
-            assignment: current.clone(),
-            power: current_value,
-        };
+        draw_feasible(problem, &mut rng, scratch, true);
+        let mut current_value = objective.eval(&scratch.current);
+        scratch.best.clone_from(&scratch.current);
+        let mut best_value = current_value;
         let mut temperature = t_start;
+        let mut accepts_since_resync = 0u32;
         for _ in 0..options.iterations {
             // Propose over the same feasible move set as `anneal`: swaps
             // stay on the unpinned lines, flips on invertible bits only.
             let flip = !flip_candidates.is_empty()
                 && (free_lines.len() < 2 || rng.gen_bool(0.3));
-            let (swap_a, swap_b, flip_bit);
+            let (swap_a, swap_b, flip_bit, delta);
             if flip {
                 let bit = flip_candidates[rng.gen_range(0..flip_candidates.len())];
-                current.flip_bit(bit);
+                delta = objective.delta_flip(&mut scratch.current, current_value, bit);
                 flip_bit = Some(bit);
                 swap_a = 0;
                 swap_b = 0;
             } else {
                 flip_bit = None;
-                (swap_a, swap_b) = distinct_pair(&mut rng, &free_lines);
-                current.swap_lines(swap_a, swap_b);
+                (swap_a, swap_b) = distinct_pair(&mut rng, free_lines);
+                delta = objective.delta_swap(&mut scratch.current, current_value, swap_a, swap_b);
             }
-            let candidate = objective(&current);
-            let delta = candidate - current_value;
             if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
-                current_value = candidate;
-                if current_value < best.power {
-                    best = OptimizeResult {
-                        assignment: current.clone(),
-                        power: current_value,
-                    };
-                }
-            } else {
                 match flip_bit {
-                    Some(bit) => current.flip_bit(bit),
-                    None => current.swap_lines(swap_a, swap_b),
+                    Some(bit) => scratch.current.flip_bit(bit),
+                    None => scratch.current.swap_lines(swap_a, swap_b),
+                }
+                current_value += delta;
+                accepts_since_resync += 1;
+                if accepts_since_resync >= 1024 {
+                    current_value = objective.eval(&scratch.current);
+                    accepts_since_resync = 0;
+                }
+                if current_value < best_value {
+                    scratch.best.clone_from(&scratch.current);
+                    best_value = current_value;
                 }
             }
             temperature *= cooling;
         }
-        best
+        OptimizeResult {
+            assignment: scratch.best.clone(),
+            power: objective.eval(&scratch.best),
+        }
     };
     Ok(reduce_min(fan_out(
         options.restarts,
         options.worker_count(),
+        || RestartScratch::new(problem),
         run_restart,
     )))
 }
@@ -558,47 +828,58 @@ pub fn anneal_objective(
 /// Deterministic greedy + 2-opt local search: repeatedly applies the
 /// single best swap or feasible flip until no move improves the power.
 ///
+/// Candidate moves are priced via the O(n) incremental deltas (one
+/// sweep is O(n³) instead of the old O(n⁴)); the applied move's power
+/// is then recomputed in full, so the reported power is exact and a
+/// sub-rounding-error "improvement" cannot loop forever.
+///
 /// Converges to a local optimum; on the small bundles of the paper it is
 /// usually within a percent of the annealed result and is fully
 /// reproducible without a seed.
 pub fn greedy_two_opt(problem: &AssignmentProblem) -> OptimizeResult {
-    let n = problem.n();
     let mut current = problem.base_assignment();
     let mut current_power = problem.power(&current);
     let free_lines = problem.free_lines();
     loop {
+        // Strictly-improving best move; scan order (swaps in line
+        // order, then flips in bit order) matches the historical
+        // full-recompute implementation, and strict `<` keeps the
+        // earliest candidate on ties.
         let mut best_move: Option<(f64, Option<usize>, (usize, usize))> = None;
         // Swaps (among unpinned lines only).
         for (ai, &a) in free_lines.iter().enumerate() {
             for &b in &free_lines[ai + 1..] {
-                current.swap_lines(a, b);
-                let p = problem.power(&current);
-                current.swap_lines(a, b);
-                if p < current_power && best_move.as_ref().is_none_or(|m| p < m.0) {
-                    best_move = Some((p, None, (a, b)));
+                let delta = problem.swap_lines_delta(&current, a, b);
+                if delta < 0.0 && best_move.as_ref().is_none_or(|m| delta < m.0) {
+                    best_move = Some((delta, None, (a, b)));
                 }
             }
         }
         // Flips.
-        for bit in (0..n).filter(|&i| problem.is_invertible(i)) {
-            current.flip_bit(bit);
-            let p = problem.power(&current);
-            current.flip_bit(bit);
-            if p < current_power && best_move.as_ref().is_none_or(|m| p < m.0) {
-                best_move = Some((p, Some(bit), (0, 0)));
+        for &bit in problem.invertible_bits() {
+            let delta = problem.flip_bit_delta(&current, bit);
+            if delta < 0.0 && best_move.as_ref().is_none_or(|m| delta < m.0) {
+                best_move = Some((delta, Some(bit), (0, 0)));
             }
         }
-        match best_move {
-            Some((p, Some(bit), _)) => {
-                current.flip_bit(bit);
-                current_power = p;
-            }
-            Some((p, None, (a, b))) => {
-                current.swap_lines(a, b);
-                current_power = p;
-            }
-            None => break,
+        let Some((_, flip_bit, (a, b))) = best_move else {
+            break;
+        };
+        match flip_bit {
+            Some(bit) => current.flip_bit(bit),
+            None => current.swap_lines(a, b),
         }
+        // Exact re-evaluation of the applied move: if the "improvement"
+        // was pure delta rounding, undo it and stop.
+        let p = problem.power(&current);
+        if p >= current_power {
+            match flip_bit {
+                Some(bit) => current.flip_bit(bit),
+                None => current.swap_lines(a, b),
+            }
+            break;
+        }
+        current_power = p;
     }
     OptimizeResult {
         assignment: current,
@@ -609,8 +890,12 @@ pub fn greedy_two_opt(problem: &AssignmentProblem) -> OptimizeResult {
 /// Simulated annealing towards the *highest* power, without inversions —
 /// the "worst-case random assignment" reference of Fig. 2.
 ///
-/// Restarts fan out over `options.threads` workers with per-restart
-/// seed streams, so the result is bit-identical for every thread count.
+/// Swaps are priced with [`AssignmentProblem::swap_lines_delta`] and
+/// the accumulated power follows the same drift discipline as
+/// [`anneal`]: resynchronised every 1024 accepts, with each restart's
+/// final power recomputed exactly before the reduction. Restarts fan
+/// out over `options.threads` workers with per-restart seed streams, so
+/// the result is bit-identical for every thread count.
 ///
 /// # Errors
 ///
@@ -623,55 +908,68 @@ pub fn worst_case(
         return Err(CoreError::EmptyBudget);
     }
     let n = problem.n();
+    let free_lines = problem.free_lines();
+    if free_lines.len() < 2 {
+        // Fewer than two free lines: no swap can change anything — skip
+        // the calibration probe entirely.
+        let a = problem.base_assignment();
+        let power = problem.power(&a);
+        return Ok(OptimizeResult { assignment: a, power });
+    }
     let seed = options.seed ^ 0xBAD_C0DE;
     let mut probe_rng = StdRng::seed_from_u64(stream_seed(seed, 0));
+    let mut probe_scratch = RestartScratch::new(problem);
     let mut probe_min = f64::INFINITY;
     let mut probe_max = f64::NEG_INFINITY;
     for _ in 0..32.max(n) {
-        let p = problem.power(&random_unsigned_feasible(problem, &mut probe_rng));
+        draw_feasible(problem, &mut probe_rng, &mut probe_scratch, false);
+        let p = problem.power(&probe_scratch.current);
         probe_min = probe_min.min(p);
         probe_max = probe_max.max(p);
     }
     let spread = (probe_max - probe_min).max(probe_max.abs() * 1e-6 + f64::MIN_POSITIVE);
     let t_start = 0.5 * spread;
     let cooling = (1e-5f64).powf(1.0 / options.iterations as f64);
-    let free_lines = problem.free_lines();
-    if free_lines.len() < 2 {
-        let a = problem.base_assignment();
-        let power = problem.power(&a);
-        return Ok(OptimizeResult { assignment: a, power });
-    }
 
-    let run_restart = |restart: usize| -> OptimizeResult {
+    let run_restart = |scratch: &mut RestartScratch, restart: usize| -> OptimizeResult {
         let mut rng = StdRng::seed_from_u64(stream_seed(seed, restart as u64 + 1));
-        let mut current = random_unsigned_feasible(problem, &mut rng);
-        let mut current_power = problem.power(&current);
-        let mut best = OptimizeResult {
-            assignment: current.clone(),
-            power: current_power,
-        };
+        draw_feasible(problem, &mut rng, scratch, false);
+        let mut current_power = problem.power(&scratch.current);
+        scratch.best.clone_from(&scratch.current);
+        let mut best_power = current_power;
         let mut temperature = t_start;
+        let mut accepts_since_resync = 0u32;
         for _ in 0..options.iterations {
-            let (a, b) = distinct_pair(&mut rng, &free_lines);
-            current.swap_lines(a, b);
-            let p = problem.power(&current);
-            let delta = current_power - p; // maximising
-            if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
-                current_power = p;
-                if current_power > best.power {
-                    best = OptimizeResult {
-                        assignment: current.clone(),
-                        power: current_power,
-                    };
+            let (a, b) = distinct_pair(&mut rng, free_lines);
+            // Maximising: a non-negative delta is a free accept, a
+            // power *drop* must win the Metropolis draw.
+            let delta = problem.swap_lines_delta(&scratch.current, a, b);
+            if delta >= 0.0 || rng.gen::<f64>() < (delta / temperature).exp() {
+                scratch.current.swap_lines(a, b);
+                current_power += delta;
+                accepts_since_resync += 1;
+                if accepts_since_resync >= 1024 {
+                    current_power = problem.power(&scratch.current);
+                    accepts_since_resync = 0;
                 }
-            } else {
-                current.swap_lines(a, b);
+                if current_power > best_power {
+                    scratch.best.clone_from(&scratch.current);
+                    best_power = current_power;
+                }
             }
             temperature *= cooling;
         }
-        best
+        OptimizeResult {
+            assignment: scratch.best.clone(),
+            power: problem.power(&scratch.best),
+        }
     };
-    let locals = fan_out(options.restarts, options.worker_count(), run_restart);
+    let locals = fan_out(
+        options.restarts,
+        options.worker_count(),
+        || RestartScratch::new(problem),
+        run_restart,
+    );
     // Restart-order reduction, strict `>`: earliest restart wins ties.
     Ok(locals
         .into_iter()
@@ -700,51 +998,14 @@ pub fn random_mean(
         return Err(CoreError::EmptyBudget);
     }
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = RestartScratch::new(problem);
     let total: f64 = (0..samples)
-        .map(|_| problem.power(&random_unsigned_feasible(problem, &mut rng)))
+        .map(|_| {
+            draw_feasible(problem, &mut rng, &mut scratch, false);
+            problem.power(&scratch.current)
+        })
         .sum();
     Ok(total / samples as f64)
-}
-
-/// Uniformly random pin-respecting permutation without inversions.
-fn random_unsigned_feasible(problem: &AssignmentProblem, rng: &mut StdRng) -> SignedPerm {
-    let n = problem.n();
-    let mut free_lines = problem.free_lines();
-    for i in (1..free_lines.len()).rev() {
-        free_lines.swap(i, rng.gen_range(0..=i));
-    }
-    let mut free_lines = free_lines.into_iter();
-    let line_of_bit: Vec<usize> = (0..n)
-        .map(|bit| {
-            problem
-                .pin_of(bit)
-                .unwrap_or_else(|| free_lines.next().expect("free lines match free bits"))
-        })
-        .collect();
-    SignedPerm::from_parts(line_of_bit, vec![false; n]).expect("valid permutation")
-}
-
-/// Uniformly random *feasible* signed permutation: pinned bits stay on
-/// their lines, the rest are shuffled over the free lines, inversions
-/// only on invertible bits.
-fn random_feasible(problem: &AssignmentProblem, rng: &mut StdRng) -> SignedPerm {
-    let n = problem.n();
-    let mut free_lines = problem.free_lines();
-    for i in (1..free_lines.len()).rev() {
-        free_lines.swap(i, rng.gen_range(0..=i));
-    }
-    let mut free_lines = free_lines.into_iter();
-    let line_of_bit: Vec<usize> = (0..n)
-        .map(|bit| {
-            problem
-                .pin_of(bit)
-                .unwrap_or_else(|| free_lines.next().expect("free lines match free bits"))
-        })
-        .collect();
-    let inverted: Vec<bool> = (0..n)
-        .map(|i| problem.is_invertible(i) && rng.gen_bool(0.5))
-        .collect();
-    SignedPerm::from_parts(line_of_bit, inverted).expect("shuffled permutation is valid")
 }
 
 #[cfg(test)]
@@ -919,6 +1180,78 @@ mod tests {
     }
 
     #[test]
+    fn incremental_objective_is_thread_count_invariant_and_exact() {
+        let p = gaussian_problem(2, 3);
+        let serial = AnnealOptions {
+            iterations: 5_000,
+            restarts: 3,
+            seed: 0x0DD,
+            threads: 1,
+        };
+        let objective = PowerCrosstalkObjective::new(&p, 0.25);
+        let o1 = anneal_with_objective(&p, &objective, &serial).unwrap();
+        let o4 = anneal_with_objective(
+            &p,
+            &objective,
+            &AnnealOptions { threads: 4, ..serial },
+        )
+        .unwrap();
+        assert_eq!(o1.assignment, o4.assignment);
+        assert_eq!(o1.power.to_bits(), o4.power.to_bits());
+        assert!(p.is_feasible(&o1.assignment));
+        // The reported value is the exact objective of the returned
+        // assignment, not an accumulated-delta approximation.
+        let exact = p.power(&o1.assignment) + 0.25 * p.crosstalk_activity(&o1.assignment);
+        assert_eq!(o1.power.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn incremental_power_objective_matches_closure_quality() {
+        // Same engine, two pricings of the same objective: trajectories
+        // may diverge at float-rounding level, but both must land within
+        // a whisker of the exhaustive optimum.
+        let p = gaussian_problem(2, 3);
+        let opts = AnnealOptions {
+            iterations: 20_000,
+            restarts: 3,
+            seed: 0x90D,
+            threads: 1,
+        };
+        let exact = exhaustive(&p).unwrap();
+        let incremental =
+            anneal_with_objective(&p, &PowerObjective::new(&p), &opts).unwrap();
+        let closure = anneal_objective(&p, |a| p.power(a), &opts).unwrap();
+        for (name, r) in [("incremental", &incremental), ("closure", &closure)] {
+            let rel = (r.power - exact.power) / exact.power.abs();
+            assert!(rel < 1e-6, "{name} is {rel:.3e} above the optimum");
+        }
+    }
+
+    #[test]
+    fn returned_power_is_exact_for_every_optimizer() {
+        // Regression (cross-restart selection): long accept streaks
+        // accumulate float drift in the tracked power; every optimizer
+        // must recompute each restart exactly before the reduction and
+        // report a power that is bit-identical to re-evaluating the
+        // returned assignment.
+        let p = gaussian_problem(3, 3);
+        let opts = AnnealOptions {
+            iterations: 30_000,
+            restarts: 3,
+            seed: 0xD81F7,
+            threads: 1,
+        };
+        let a = anneal(&p, &opts).unwrap();
+        assert_eq!(a.power.to_bits(), p.power(&a.assignment).to_bits());
+        let w = worst_case(&p, &opts).unwrap();
+        assert_eq!(w.power.to_bits(), p.power(&w.assignment).to_bits());
+        let o = anneal_objective(&p, |x| p.power(x), &opts).unwrap();
+        assert_eq!(o.power.to_bits(), p.power(&o.assignment).to_bits());
+        let g = greedy_two_opt(&p);
+        assert_eq!(g.power.to_bits(), p.power(&g.assignment).to_bits());
+    }
+
+    #[test]
     fn distinct_pair_never_proposes_a_self_swap() {
         let mut rng = StdRng::seed_from_u64(7);
         let lines = [2usize, 5, 9];
@@ -971,6 +1304,20 @@ mod pin_tests {
             .expect("problem")
             .with_pinned(vec![Some(4), None, None, None, None, Some(0)])
             .expect("valid pins")
+    }
+
+    fn fully_pinned_problem() -> AssignmentProblem {
+        let cap = LinearCapModel::fit(&Extractor::new(
+            TsvArray::new(2, 2, TsvGeometry::wide_2018()).unwrap(),
+        ))
+        .unwrap();
+        let stream = GaussianSource::new(4, 3.0).generate(1, 500).unwrap();
+        AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap)
+            .unwrap()
+            .with_pinned(vec![Some(3), Some(2), Some(1), Some(0)])
+            .unwrap()
+            .with_invertible(vec![false; 4])
+            .unwrap()
     }
 
     #[test]
@@ -1039,17 +1386,7 @@ mod pin_tests {
 
     #[test]
     fn fully_pinned_problem_returns_the_base_assignment() {
-        let cap = LinearCapModel::fit(&Extractor::new(
-            TsvArray::new(2, 2, TsvGeometry::wide_2018()).unwrap(),
-        ))
-        .unwrap();
-        let stream = GaussianSource::new(4, 3.0).generate(1, 500).unwrap();
-        let p = AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap)
-            .unwrap()
-            .with_pinned(vec![Some(3), Some(2), Some(1), Some(0)])
-            .unwrap()
-            .with_invertible(vec![false; 4])
-            .unwrap();
+        let p = fully_pinned_problem();
         let opts = AnnealOptions {
             iterations: 100,
             restarts: 1,
@@ -1058,6 +1395,41 @@ mod pin_tests {
         };
         let a = anneal(&p, &opts).unwrap();
         assert_eq!(a.assignment, p.base_assignment());
+        let w = worst_case(&p, &opts).unwrap();
+        assert_eq!(w.assignment, p.base_assignment());
+    }
+
+    #[test]
+    fn fully_pinned_problem_skips_the_calibration_probe() {
+        // Regression: the probe loop used to run (and emit a degenerate
+        // `anneal.calibrated` spread) before the fully-pinned
+        // short-circuit was consulted.
+        use std::sync::{Arc, Mutex};
+        use tsv3d_telemetry::{Event, Sink};
+
+        struct NameCapture(Arc<Mutex<Vec<String>>>);
+        impl Sink for NameCapture {
+            fn emit(&self, event: &Event<'_>) {
+                self.0.lock().unwrap().push(event.name.to_string());
+            }
+        }
+
+        let p = fully_pinned_problem();
+        let names = Arc::new(Mutex::new(Vec::new()));
+        let tel = TelemetryHandle::with_sink(Box::new(NameCapture(Arc::clone(&names))));
+        let opts = AnnealOptions {
+            iterations: 100,
+            restarts: 1,
+            seed: 1,
+            threads: 1,
+        };
+        let a = anneal_with_telemetry(&p, &opts, &tel).unwrap();
+        assert_eq!(a.assignment, p.base_assignment());
+        let names = names.lock().unwrap();
+        assert!(
+            !names.iter().any(|n| n == "anneal.calibrated"),
+            "calibration probe ran on a fully-pinned problem: {names:?}"
+        );
     }
 
     #[test]
@@ -1084,18 +1456,24 @@ mod pin_tests {
     }
 
     #[test]
+    fn incremental_objective_respects_pins() {
+        let p = pinned_problem();
+        let opts = AnnealOptions {
+            iterations: 2_000,
+            restarts: 2,
+            seed: 11,
+            threads: 1,
+        };
+        let objective = PowerCrosstalkObjective::new(&p, 0.5);
+        let best = anneal_with_objective(&p, &objective, &opts).unwrap();
+        assert!(p.is_feasible(&best.assignment), "{:?}", best.assignment);
+        assert_eq!(best.assignment.line_of_bit(5), 0);
+        assert_eq!(best.assignment.line_of_bit(0), 4);
+    }
+
+    #[test]
     fn fully_pinned_uninvertible_problem_short_circuits_anneal_objective() {
-        let cap = LinearCapModel::fit(&Extractor::new(
-            TsvArray::new(2, 2, TsvGeometry::wide_2018()).unwrap(),
-        ))
-        .unwrap();
-        let stream = GaussianSource::new(4, 3.0).generate(1, 500).unwrap();
-        let p = AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap)
-            .unwrap()
-            .with_pinned(vec![Some(3), Some(2), Some(1), Some(0)])
-            .unwrap()
-            .with_invertible(vec![false; 4])
-            .unwrap();
+        let p = fully_pinned_problem();
         let best = anneal_objective(&p, |a| p.power(a), &AnnealOptions::default()).unwrap();
         assert_eq!(best.assignment, p.base_assignment());
     }

@@ -54,6 +54,79 @@ pub struct AssignmentProblem {
     pinned: Vec<Option<usize>>,
     /// Cached bit-indexed epsilon vector.
     eps: Vec<f64>,
+    /// Flattened coefficient tables for the hot evaluation paths.
+    flat: FlatTables,
+    /// Cached movable line set (lines not claimed by a pin).
+    free_lines: Vec<usize>,
+    /// Cached invertible bit set.
+    invertible_bits: Vec<usize>,
+}
+
+/// Row-major copies of the model/statistics matrices the move-pricing
+/// loops read.
+///
+/// [`power`], the `*_delta` methods and [`crosstalk_activity`] read four
+/// coefficients per line pair; going through `Matrix` indexing and the
+/// stats accessors costs a cross-crate call per read (no LTO in this
+/// workspace), so the constructor copies them once into contiguous
+/// `Vec<f64>` tables. Values are byte-for-byte the matrix entries, so
+/// switching the readers over changes no arithmetic.
+///
+/// [`power`]: AssignmentProblem::power
+/// [`crosstalk_activity`]: AssignmentProblem::crosstalk_activity
+#[derive(Debug, Clone)]
+struct FlatTables {
+    /// Bundle size (rows/cols of the square tables).
+    n: usize,
+    /// Line-indexed rest capacitance `C_R`, row-major `n×n`.
+    c_r: Vec<f64>,
+    /// Line-indexed capacitance slope `ΔC`, row-major `n×n`.
+    delta_c: Vec<f64>,
+    /// Bit-indexed coupling switching `Tc`, row-major `n×n`.
+    tc: Vec<f64>,
+    /// Bit-indexed joint toggle probability, row-major `n×n`.
+    joint: Vec<f64>,
+    /// Bit-indexed self switching `Ts` diagonal.
+    ts: Vec<f64>,
+}
+
+impl FlatTables {
+    fn build(stats: &SwitchingStats, cap_model: &LinearCapModel) -> Self {
+        let n = stats.n();
+        let c_r_m = cap_model.c_r();
+        let delta_c_m = cap_model.delta_c();
+        let mut c_r = Vec::with_capacity(n * n);
+        let mut delta_c = Vec::with_capacity(n * n);
+        let mut tc = Vec::with_capacity(n * n);
+        let mut joint = Vec::with_capacity(n * n);
+        for j in 0..n {
+            for k in 0..n {
+                c_r.push(c_r_m[(j, k)]);
+                delta_c.push(delta_c_m[(j, k)]);
+                tc.push(stats.coupling_switching(j, k));
+                joint.push(stats.joint_switching(j, k));
+            }
+        }
+        let ts = (0..n).map(|b| stats.self_switching(b)).collect();
+        Self {
+            n,
+            c_r,
+            delta_c,
+            tc,
+            joint,
+            ts,
+        }
+    }
+}
+
+/// The `±1.0` sign encoded by an inversion flag.
+#[inline]
+fn sign_of(inverted: bool) -> f64 {
+    if inverted {
+        -1.0
+    } else {
+        1.0
+    }
 }
 
 impl AssignmentProblem {
@@ -72,13 +145,31 @@ impl AssignmentProblem {
         }
         let eps = stats.epsilons();
         let n = stats.n();
-        Ok(Self {
+        let flat = FlatTables::build(&stats, &cap_model);
+        let mut problem = Self {
             stats,
             cap_model,
             invertible: vec![true; n],
             pinned: vec![None; n],
             eps,
-        })
+            flat,
+            free_lines: Vec::new(),
+            invertible_bits: Vec::new(),
+        };
+        problem.recompute_move_sets();
+        Ok(problem)
+    }
+
+    /// Refreshes the cached free-line and invertible-bit sets after a
+    /// constraint change.
+    fn recompute_move_sets(&mut self) {
+        let n = self.n();
+        let mut taken = vec![false; n];
+        for &pin in self.pinned.iter().flatten() {
+            taken[pin] = true;
+        }
+        self.free_lines = (0..n).filter(|&l| !taken[l]).collect();
+        self.invertible_bits = (0..n).filter(|&i| self.invertible[i]).collect();
     }
 
     /// Restricts which bits may be inverted (`false` = inversion
@@ -96,6 +187,7 @@ impl AssignmentProblem {
             });
         }
         self.invertible = flags;
+        self.recompute_move_sets();
         Ok(self)
     }
 
@@ -126,6 +218,7 @@ impl AssignmentProblem {
             used[pin] = true;
         }
         self.pinned = pins;
+        self.recompute_move_sets();
         Ok(self)
     }
 
@@ -144,12 +237,15 @@ impl AssignmentProblem {
     }
 
     /// Lines not claimed by any pin (the optimisers' movable set).
-    pub fn free_lines(&self) -> Vec<usize> {
-        let mut taken = vec![false; self.n()];
-        for &pin in self.pinned.iter().flatten() {
-            taken[pin] = true;
-        }
-        (0..self.n()).filter(|&l| !taken[l]).collect()
+    /// Cached at construction, so calling this in a loop is free.
+    pub fn free_lines(&self) -> &[usize] {
+        &self.free_lines
+    }
+
+    /// Bits whose inversion flag the optimisers may toggle. Cached at
+    /// construction, so calling this in a loop is free.
+    pub fn invertible_bits(&self) -> &[usize] {
+        &self.invertible_bits
     }
 
     /// A feasible starting assignment: pinned bits on their lines, the
@@ -162,7 +258,7 @@ impl AssignmentProblem {
                 line_of_bit[bit] = line;
             }
         }
-        let mut free_lines = self.free_lines().into_iter();
+        let mut free_lines = self.free_lines().iter().copied();
         for slot in line_of_bit.iter_mut() {
             if *slot == usize::MAX {
                 *slot = free_lines.next().expect("free lines match free bits");
@@ -219,27 +315,28 @@ impl AssignmentProblem {
     /// Panics if the assignment size differs from the problem size.
     pub fn power(&self, assignment: &SignedPerm) -> f64 {
         assert_eq!(assignment.n(), self.n(), "assignment size mismatch");
-        let n = self.n();
-        let c_r = self.cap_model.c_r();
-        let delta_c = self.cap_model.delta_c();
+        let n = self.flat.n;
+        let bits = assignment.bits_of_lines();
+        let inverted = assignment.inversions();
         let mut p = 0.0;
         for j in 0..n {
-            let bit_j = assignment.bit_of_line(j);
-            let s_j = assignment.sign_of_bit(bit_j);
+            let bit_j = bits[j];
+            let s_j = sign_of(inverted[bit_j]);
             let eps_j = s_j * self.eps[bit_j];
-            let ts_j = self.stats.self_switching(bit_j);
-            for k in 0..n {
-                let bit_k = assignment.bit_of_line(k);
-                let s_k = assignment.sign_of_bit(bit_k);
+            let ts_j = self.flat.ts[bit_j];
+            let line_row = j * n;
+            let bit_row = bit_j * n;
+            for (k, &bit_k) in bits.iter().enumerate() {
+                let s_k = sign_of(inverted[bit_k]);
                 let eps_k = s_k * self.eps[bit_k];
                 // Eq. 9: C'_jk = C_R,jk + ΔC_jk (ε'_j + ε'_k).
-                let c = c_r[(j, k)] + delta_c[(j, k)] * (eps_j + eps_k);
+                let c = self.flat.c_r[line_row + k] + self.flat.delta_c[line_row + k] * (eps_j + eps_k);
                 if j == k {
                     // Diagonal of T' carries only the self switching.
                     p += ts_j * c;
                 } else {
                     // Off-diagonal of T' is Ts'_jj − Tc'_jk (Eq. 3/4).
-                    let tc = s_j * s_k * self.stats.coupling_switching(bit_j, bit_k);
+                    let tc = s_j * s_k * self.flat.tc[bit_row + bit_k];
                     p += (ts_j - tc) * c;
                 }
             }
@@ -255,15 +352,21 @@ impl AssignmentProblem {
 
     /// Cost of the diagonal entry of `line` when it carries `bit` with
     /// sign `s`.
+    #[inline]
     fn diag_cost(&self, line: usize, bit: usize, s: f64) -> f64 {
-        let c_r = self.cap_model.c_r();
-        let delta_c = self.cap_model.delta_c();
-        self.stats.self_switching(bit)
-            * (c_r[(line, line)] + 2.0 * delta_c[(line, line)] * s * self.eps[bit])
+        let diag = line * self.flat.n + line;
+        self.flat.ts[bit] * (self.flat.c_r[diag] + 2.0 * self.flat.delta_c[diag] * s * self.eps[bit])
     }
 
     /// Combined cost of the `(j,k)` and `(k,j)` entries for the given
-    /// occupants.
+    /// occupants. Reference form of the unrolled expressions inside
+    /// [`swap_lines_delta`] and [`flip_bit_delta`]; a test pins the
+    /// unrolled kernels to this bit for bit.
+    ///
+    /// [`swap_lines_delta`]: AssignmentProblem::swap_lines_delta
+    /// [`flip_bit_delta`]: AssignmentProblem::flip_bit_delta
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
     fn pair_cost(
         &self,
         line_j: usize,
@@ -273,13 +376,39 @@ impl AssignmentProblem {
         bit_k: usize,
         s_k: f64,
     ) -> f64 {
-        let c_r = self.cap_model.c_r();
-        let delta_c = self.cap_model.delta_c();
-        let c = c_r[(line_j, line_k)]
-            + delta_c[(line_j, line_k)] * (s_j * self.eps[bit_j] + s_k * self.eps[bit_k]);
-        let w = self.stats.self_switching(bit_j) + self.stats.self_switching(bit_k)
-            - 2.0 * s_j * s_k * self.stats.coupling_switching(bit_j, bit_k);
+        let n = self.flat.n;
+        let line_jk = line_j * n + line_k;
+        let c = self.flat.c_r[line_jk]
+            + self.flat.delta_c[line_jk] * (s_j * self.eps[bit_j] + s_k * self.eps[bit_k]);
+        let w = self.flat.ts[bit_j] + self.flat.ts[bit_k]
+            - 2.0 * s_j * s_k * self.flat.tc[bit_j * n + bit_k];
         w * c
+    }
+
+    /// The `(j,k)` crosstalk-activity term for explicit occupants:
+    /// positive coupling capacitance times the opposite-transition
+    /// probability (see [`crosstalk_activity`]).
+    ///
+    /// [`crosstalk_activity`]: AssignmentProblem::crosstalk_activity
+    #[inline]
+    fn xtalk_term(
+        &self,
+        line_j: usize,
+        line_k: usize,
+        bit_j: usize,
+        s_j: f64,
+        bit_k: usize,
+        s_k: f64,
+    ) -> f64 {
+        let n = self.flat.n;
+        let line_jk = line_j * n + line_k;
+        let bit_jk = bit_j * n + bit_k;
+        let c = self.flat.c_r[line_jk]
+            + self.flat.delta_c[line_jk] * (s_j * self.eps[bit_j] + s_k * self.eps[bit_k]);
+        let joint = self.flat.joint[bit_jk];
+        let tc = s_j * s_k * self.flat.tc[bit_jk];
+        let p_opposite = ((joint - tc) / 2.0).max(0.0);
+        c.max(0.0) * p_opposite
     }
 
     /// Power change of swapping the occupants of lines `x` and `y` —
@@ -300,22 +429,48 @@ impl AssignmentProblem {
         if x == y {
             return 0.0;
         }
-        let n = self.n();
-        let (bx, by) = (a.bit_of_line(x), a.bit_of_line(y));
-        let (sx, sy) = (a.sign_of_bit(bx), a.sign_of_bit(by));
+        let n = self.flat.n;
+        let bits = a.bits_of_lines();
+        let inverted = a.inversions();
+        let (bx, by) = (bits[x], bits[y]);
+        let (sx, sy) = (sign_of(inverted[bx]), sign_of(inverted[by]));
         let mut delta = 0.0;
         // Diagonals.
         delta += self.diag_cost(x, by, sy) - self.diag_cost(x, bx, sx);
         delta += self.diag_cost(y, bx, sx) - self.diag_cost(y, by, sy);
-        // Pairs with every third line.
-        for k in 0..n {
+        // Pairs with every third line. This is the annealer's hottest
+        // kernel, so the four `pair_cost` evaluations per third line
+        // are unrolled with the occupant-invariant factors hoisted out
+        // of the loop. Every arithmetic expression keeps `pair_cost`'s
+        // exact shape and order, so the result is bit-identical to the
+        // four-call form (the switching weight `w` depends only on the
+        // occupant pair, never on the lines, so each occupant's `w` is
+        // shared between its old and new line).
+        let e_by = sy * self.eps[by];
+        let e_bx = sx * self.eps[bx];
+        let ts_by = self.flat.ts[by];
+        let ts_bx = self.flat.ts[bx];
+        let two_sy = 2.0 * sy;
+        let two_sx = 2.0 * sx;
+        let crx = &self.flat.c_r[x * n..x * n + n];
+        let dcx = &self.flat.delta_c[x * n..x * n + n];
+        let cry = &self.flat.c_r[y * n..y * n + n];
+        let dcy = &self.flat.delta_c[y * n..y * n + n];
+        let tc_by = &self.flat.tc[by * n..by * n + n];
+        let tc_bx = &self.flat.tc[bx * n..bx * n + n];
+        for (k, &bk) in bits.iter().enumerate() {
             if k == x || k == y {
                 continue;
             }
-            let bk = a.bit_of_line(k);
-            let sk = a.sign_of_bit(bk);
-            delta += self.pair_cost(x, k, by, sy, bk, sk) - self.pair_cost(x, k, bx, sx, bk, sk);
-            delta += self.pair_cost(y, k, bx, sx, bk, sk) - self.pair_cost(y, k, by, sy, bk, sk);
+            let sk = sign_of(inverted[bk]);
+            let e_k = sk * self.eps[bk];
+            let ts_k = self.flat.ts[bk];
+            let w_by = ts_by + ts_k - two_sy * sk * tc_by[bk];
+            let w_bx = ts_bx + ts_k - two_sx * sk * tc_bx[bk];
+            delta += w_by * (crx[k] + dcx[k] * (e_by + e_k))
+                - w_bx * (crx[k] + dcx[k] * (e_bx + e_k));
+            delta += w_bx * (cry[k] + dcy[k] * (e_bx + e_k))
+                - w_by * (cry[k] + dcy[k] * (e_by + e_k));
         }
         // The (x, y) pair itself: the capacitance stays, the occupants
         // swap — the switching weight is symmetric in the occupants, so
@@ -339,19 +494,36 @@ impl AssignmentProblem {
     /// `bit` is out of range.
     pub fn flip_bit_delta(&self, a: &SignedPerm, bit: usize) -> f64 {
         assert_eq!(a.n(), self.n(), "assignment size mismatch");
-        let n = self.n();
+        let n = self.flat.n;
+        let bits = a.bits_of_lines();
+        let inverted = a.inversions();
         let line = a.line_of_bit(bit);
-        let s_old = a.sign_of_bit(bit);
+        let s_old = sign_of(inverted[bit]);
         let s_new = -s_old;
         let mut delta = self.diag_cost(line, bit, s_new) - self.diag_cost(line, bit, s_old);
-        for k in 0..n {
+        // Unrolled `pair_cost(new) − pair_cost(old)` with the
+        // bit-invariant factors hoisted; expression shapes match
+        // `pair_cost` exactly, so the value is bit-identical to the
+        // two-call form (see `swap_lines_delta`).
+        let e_new = s_new * self.eps[bit];
+        let e_old = s_old * self.eps[bit];
+        let ts_bit = self.flat.ts[bit];
+        let two_new = 2.0 * s_new;
+        let two_old = 2.0 * s_old;
+        let crl = &self.flat.c_r[line * n..line * n + n];
+        let dcl = &self.flat.delta_c[line * n..line * n + n];
+        let tcb = &self.flat.tc[bit * n..bit * n + n];
+        for (k, &bk) in bits.iter().enumerate() {
             if k == line {
                 continue;
             }
-            let bk = a.bit_of_line(k);
-            let sk = a.sign_of_bit(bk);
-            delta += self.pair_cost(line, k, bit, s_new, bk, sk)
-                - self.pair_cost(line, k, bit, s_old, bk, sk);
+            let sk = sign_of(inverted[bk]);
+            let e_k = sk * self.eps[bk];
+            let ts_k = self.flat.ts[bk];
+            let w_new = ts_bit + ts_k - two_new * sk * tcb[bk];
+            let w_old = ts_bit + ts_k - two_old * sk * tcb[bk];
+            delta += w_new * (crl[k] + dcl[k] * (e_new + e_k))
+                - w_old * (crl[k] + dcl[k] * (e_old + e_k));
         }
         delta
     }
@@ -375,27 +547,90 @@ impl AssignmentProblem {
     /// Panics if the assignment size differs from the problem size.
     pub fn crosstalk_activity(&self, assignment: &SignedPerm) -> f64 {
         assert_eq!(assignment.n(), self.n(), "assignment size mismatch");
-        let n = self.n();
-        let c_r = self.cap_model.c_r();
-        let delta_c = self.cap_model.delta_c();
+        let n = self.flat.n;
+        let bits = assignment.bits_of_lines();
+        let inverted = assignment.inversions();
         let mut x = 0.0;
         for j in 0..n {
-            let bit_j = assignment.bit_of_line(j);
-            let s_j = assignment.sign_of_bit(bit_j);
-            for k in (j + 1)..n {
-                let bit_k = assignment.bit_of_line(k);
-                let s_k = assignment.sign_of_bit(bit_k);
-                let c = c_r[(j, k)]
-                    + delta_c[(j, k)] * (s_j * self.eps[bit_j] + s_k * self.eps[bit_k]);
+            let bit_j = bits[j];
+            let s_j = sign_of(inverted[bit_j]);
+            for (k, &bit_k) in bits.iter().enumerate().skip(j + 1) {
+                let s_k = sign_of(inverted[bit_k]);
                 // With signs applied, Tc' = s_j·s_k·Tc while the joint
                 // toggle probability is sign-invariant.
-                let joint = self.stats.joint_switching(bit_j, bit_k);
-                let tc = s_j * s_k * self.stats.coupling_switching(bit_j, bit_k);
-                let p_opposite = ((joint - tc) / 2.0).max(0.0);
-                x += c.max(0.0) * p_opposite;
+                x += self.xtalk_term(j, k, bit_j, s_j, bit_k, s_k);
             }
         }
         x
+    }
+
+    /// Crosstalk-activity change of swapping the occupants of lines `x`
+    /// and `y` — the `O(n)` counterpart of [`swap_lines_delta`] for
+    /// [`crosstalk_activity`], used by the incremental power+crosstalk
+    /// annealing objective.
+    ///
+    /// Returns `crosstalk_activity(after swap) − crosstalk_activity(before)`
+    /// for the *current* assignment `a` (which is not modified).
+    ///
+    /// [`swap_lines_delta`]: AssignmentProblem::swap_lines_delta
+    /// [`crosstalk_activity`]: AssignmentProblem::crosstalk_activity
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment size differs from the problem size or
+    /// an index is out of range.
+    pub fn crosstalk_swap_delta(&self, a: &SignedPerm, x: usize, y: usize) -> f64 {
+        assert_eq!(a.n(), self.n(), "assignment size mismatch");
+        if x == y {
+            return 0.0;
+        }
+        let bits = a.bits_of_lines();
+        let inverted = a.inversions();
+        let (bx, by) = (bits[x], bits[y]);
+        let (sx, sy) = (sign_of(inverted[bx]), sign_of(inverted[by]));
+        let mut delta = 0.0;
+        for (k, &bk) in bits.iter().enumerate() {
+            if k == x || k == y {
+                continue;
+            }
+            let sk = sign_of(inverted[bk]);
+            delta += self.xtalk_term(x, k, by, sy, bk, sk) - self.xtalk_term(x, k, bx, sx, bk, sk);
+            delta += self.xtalk_term(y, k, bx, sx, bk, sk) - self.xtalk_term(y, k, by, sy, bk, sk);
+        }
+        // The (x, y) pair itself is invariant: the same occupant pair
+        // sits on the same line pair with the same signs before and
+        // after the swap, so its term cancels exactly.
+        delta
+    }
+
+    /// Crosstalk-activity change of flipping the inversion of `bit` —
+    /// the `O(n)` counterpart of [`flip_bit_delta`] for
+    /// [`crosstalk_activity`].
+    ///
+    /// [`flip_bit_delta`]: AssignmentProblem::flip_bit_delta
+    /// [`crosstalk_activity`]: AssignmentProblem::crosstalk_activity
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment size differs from the problem size or
+    /// `bit` is out of range.
+    pub fn crosstalk_flip_delta(&self, a: &SignedPerm, bit: usize) -> f64 {
+        assert_eq!(a.n(), self.n(), "assignment size mismatch");
+        let bits = a.bits_of_lines();
+        let inverted = a.inversions();
+        let line = a.line_of_bit(bit);
+        let s_old = sign_of(inverted[bit]);
+        let s_new = -s_old;
+        let mut delta = 0.0;
+        for (k, &bk) in bits.iter().enumerate() {
+            if k == line {
+                continue;
+            }
+            let sk = sign_of(inverted[bk]);
+            delta += self.xtalk_term(line, k, bit, s_new, bk, sk)
+                - self.xtalk_term(line, k, bit, s_old, bk, sk);
+        }
+        delta
     }
 
     /// Explicit matrix-form cross-check of [`power`]: materialises
@@ -458,6 +693,58 @@ mod tests {
             p.with_invertible(vec![true; 3]),
             Err(CoreError::FlagCountMismatch { got: 3, expected: 4 })
         ));
+    }
+
+    #[test]
+    fn unrolled_swap_and_flip_deltas_are_bit_identical_to_pair_cost() {
+        // `swap_lines_delta` / `flip_bit_delta` unroll `pair_cost` with
+        // hoisted occupant-invariant factors; this pins the unrolled
+        // kernels to the readable four-call reference bit for bit.
+        let p = problem_from_words(3, 3, vec![0x1AB, 0x0F3, 0x1C2, 0x02A, 0x155, 0x1FF, 0x080]);
+        let a = SignedPerm::from_parts(
+            vec![3, 1, 4, 0, 8, 2, 7, 5, 6],
+            vec![true, false, false, true, false, true, false, false, true],
+        )
+        .unwrap();
+        let bits = a.bits_of_lines().to_vec();
+        let inverted = a.inversions().to_vec();
+        for x in 0..9 {
+            for y in (x + 1)..9 {
+                let (bx, by) = (bits[x], bits[y]);
+                let (sx, sy) = (sign_of(inverted[bx]), sign_of(inverted[by]));
+                let mut reference = 0.0;
+                reference += p.diag_cost(x, by, sy) - p.diag_cost(x, bx, sx);
+                reference += p.diag_cost(y, bx, sx) - p.diag_cost(y, by, sy);
+                for (k, &bk) in bits.iter().enumerate() {
+                    if k == x || k == y {
+                        continue;
+                    }
+                    let sk = sign_of(inverted[bk]);
+                    reference += p.pair_cost(x, k, by, sy, bk, sk)
+                        - p.pair_cost(x, k, bx, sx, bk, sk);
+                    reference += p.pair_cost(y, k, bx, sx, bk, sk)
+                        - p.pair_cost(y, k, by, sy, bk, sk);
+                }
+                let unrolled = p.swap_lines_delta(&a, x, y);
+                assert_eq!(unrolled.to_bits(), reference.to_bits(), "swap ({x},{y})");
+            }
+        }
+        for bit in 0..9 {
+            let line = a.line_of_bit(bit);
+            let s_old = sign_of(inverted[bit]);
+            let s_new = -s_old;
+            let mut reference = p.diag_cost(line, bit, s_new) - p.diag_cost(line, bit, s_old);
+            for (k, &bk) in bits.iter().enumerate() {
+                if k == line {
+                    continue;
+                }
+                let sk = sign_of(inverted[bk]);
+                reference += p.pair_cost(line, k, bit, s_new, bk, sk)
+                    - p.pair_cost(line, k, bit, s_old, bk, sk);
+            }
+            let unrolled = p.flip_bit_delta(&a, bit);
+            assert_eq!(unrolled.to_bits(), reference.to_bits(), "flip {bit}");
+        }
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! instrumented anneal and asserts the ordered field names and
 //! [`Value`] variants byte-for-byte. Renaming or reordering a field
 //! must update this test — and the converge parser — in one commit.
+//!
+//! The restart label travels out of band on [`Event::thread`] (sinks
+//! serialise it as the trailing `thread` key, so the JSONL stream is
+//! unchanged from when it was an appended field).
 
 use std::sync::{Arc, Mutex};
 
@@ -16,18 +20,19 @@ use tsv3d_stats::gen::GaussianSource;
 use tsv3d_stats::SwitchingStats;
 use tsv3d_telemetry::{Event, Sink, TelemetryHandle, Value};
 
-/// One captured event: name plus its ordered fields, owned.
-type Captured = (String, Vec<(&'static str, Value)>);
+/// One captured event: name, ordered fields and thread label, owned.
+type Captured = (String, Vec<(&'static str, Value)>, Option<String>);
 
-/// Captures every event as an owned `(name, fields)` pair.
+/// Captures every event as an owned `(name, fields, thread)` triple.
 struct CaptureSink(Arc<Mutex<Vec<Captured>>>);
 
 impl Sink for CaptureSink {
     fn emit(&self, event: &Event<'_>) {
-        self.0
-            .lock()
-            .unwrap()
-            .push((event.name.to_string(), event.fields.to_vec()));
+        self.0.lock().unwrap().push((
+            event.name.to_string(),
+            event.fields.to_vec(),
+            event.thread.map(str::to_string),
+        ));
     }
 }
 
@@ -69,7 +74,7 @@ fn calibrated_event_pins_field_names_and_types() {
     let events = captured_events();
     let calibrated: Vec<_> = events
         .iter()
-        .filter(|(name, _)| name == "anneal.calibrated")
+        .filter(|(name, _, _)| name == "anneal.calibrated")
         .collect();
     assert_eq!(
         calibrated.len(),
@@ -104,9 +109,9 @@ fn calibrated_event_pins_field_names_and_types() {
             "{key} must be U64({expect}), got {value:?}"
         );
     }
-    // Calibration happens on the unlabelled handle — no thread field.
-    assert!(
-        !names(fields).contains(&"thread"),
+    // Calibration happens on the unlabelled handle — no thread label.
+    assert_eq!(
+        calibrated[0].2, None,
         "anneal.calibrated is emitted before restarts fan out"
     );
 }
@@ -116,7 +121,7 @@ fn epoch_events_pin_field_names_types_and_restart_labels() {
     let events = captured_events();
     let epochs: Vec<_> = events
         .iter()
-        .filter(|(name, _)| name == "anneal.epoch")
+        .filter(|(name, _, _)| name == "anneal.epoch")
         .collect();
     assert!(
         epochs.len() >= 2,
@@ -124,7 +129,7 @@ fn epoch_events_pin_field_names_types_and_restart_labels() {
     );
 
     let mut seen_labels = std::collections::BTreeSet::new();
-    for (_, fields) in &epochs {
+    for (_, fields, thread) in &epochs {
         assert_eq!(
             names(fields),
             [
@@ -135,8 +140,7 @@ fn epoch_events_pin_field_names_types_and_restart_labels() {
                 "best_power",
                 "accept_rate",
                 "swap_moves",
-                "flip_moves",
-                "thread"
+                "flip_moves"
             ],
             "field order is part of the trace interface"
         );
@@ -166,18 +170,16 @@ fn epoch_events_pin_field_names_types_and_restart_labels() {
                 other => panic!("{key} must be U64, got {other:?}"),
             }
         }
-        // The per-restart handle appends its label last, which is how
-        // `tsv3d converge` separates the r0…rN series.
-        match value_of("thread") {
-            Value::Str(label) => {
-                assert_eq!(
-                    label, &format!("r{restart}"),
-                    "thread label matches the restart field"
-                );
-                seen_labels.insert(label.clone());
-            }
-            other => panic!("thread must be Str, got {other:?}"),
-        }
+        // The per-restart handle stamps its label on the event's
+        // out-of-band `thread` slot (sinks serialise it last), which is
+        // how `tsv3d converge` separates the r0…rN series.
+        let label = thread.as_deref().expect("epoch events carry a thread label");
+        assert_eq!(
+            label,
+            format!("r{restart}"),
+            "thread label matches the restart field"
+        );
+        seen_labels.insert(label.to_string());
     }
     assert_eq!(
         seen_labels.into_iter().collect::<Vec<_>>(),
@@ -190,7 +192,7 @@ fn epoch_events_pin_field_names_types_and_restart_labels() {
     for want in 0u64..2 {
         let last = epochs
             .iter()
-            .rfind(|(_, fields)| fields.first().map(|(_, v)| v) == Some(&Value::U64(want)))
+            .rfind(|(_, fields, _)| fields.first().map(|(_, v)| v) == Some(&Value::U64(want)))
             .expect("each restart has epochs");
         let (_, iteration) = last.1.iter().find(|(k, _)| *k == "iteration").unwrap();
         assert_eq!(

@@ -296,4 +296,97 @@ proptest! {
             "before {before:.6e} + delta {delta:.6e} != after {after:.6e}"
         );
     }
+
+    #[test]
+    fn crosstalk_swap_delta_matches_full_recompute(p in problem(), a in signed_perm(4), x in 0usize..4, y in 0usize..4) {
+        let before = p.crosstalk_activity(&a);
+        let delta = p.crosstalk_swap_delta(&a, x, y);
+        let mut b = a.clone();
+        b.swap_lines(x, y);
+        let after = p.crosstalk_activity(&b);
+        prop_assert!(
+            (before + delta - after).abs() < 1e-9 * after.abs().max(1e-12),
+            "before {before:.6e} + delta {delta:.6e} != after {after:.6e}"
+        );
+    }
+
+    #[test]
+    fn crosstalk_flip_delta_matches_full_recompute(p in problem(), a in signed_perm(4), bit in 0usize..4) {
+        let before = p.crosstalk_activity(&a);
+        let delta = p.crosstalk_flip_delta(&a, bit);
+        let mut b = a.clone();
+        b.flip_bit(bit);
+        let after = p.crosstalk_activity(&b);
+        prop_assert!(
+            (before + delta - after).abs() < 1e-9 * after.abs().max(1e-12),
+            "before {before:.6e} + delta {delta:.6e} != after {after:.6e}"
+        );
+    }
+}
+
+/// The pre-incremental `greedy_two_opt`: every candidate move priced by
+/// mutate–`power()`–unmutate. Kept verbatim as the reference the
+/// delta-priced rewrite must reproduce move for move.
+fn greedy_two_opt_reference(problem: &AssignmentProblem) -> (SignedPerm, f64) {
+    let n = problem.n();
+    let mut current = problem.base_assignment();
+    let mut current_power = problem.power(&current);
+    let free_lines = problem.free_lines();
+    loop {
+        let mut best_move: Option<(f64, Option<usize>, (usize, usize))> = None;
+        for (ai, &a) in free_lines.iter().enumerate() {
+            for &b in &free_lines[ai + 1..] {
+                current.swap_lines(a, b);
+                let p = problem.power(&current);
+                current.swap_lines(a, b);
+                if p < current_power && best_move.as_ref().is_none_or(|m| p < m.0) {
+                    best_move = Some((p, None, (a, b)));
+                }
+            }
+        }
+        for bit in (0..n).filter(|&i| problem.is_invertible(i)) {
+            current.flip_bit(bit);
+            let p = problem.power(&current);
+            current.flip_bit(bit);
+            if p < current_power && best_move.as_ref().is_none_or(|m| p < m.0) {
+                best_move = Some((p, Some(bit), (0, 0)));
+            }
+        }
+        match best_move {
+            Some((p, Some(bit), _)) => {
+                current.flip_bit(bit);
+                current_power = p;
+            }
+            Some((p, None, (a, b))) => {
+                current.swap_lines(a, b);
+                current_power = p;
+            }
+            None => break,
+        }
+    }
+    (current, current_power)
+}
+
+proptest! {
+    #[test]
+    fn greedy_two_opt_matches_full_recompute_reference(p in problem()) {
+        let (ref_assignment, ref_power) = greedy_two_opt_reference(&p);
+        let fast = tsv3d_core::optimize::greedy_two_opt(&p);
+        prop_assert_eq!(&fast.assignment, &ref_assignment);
+        prop_assert_eq!(
+            fast.power.to_bits(), ref_power.to_bits(),
+            "delta-priced {:.6e} vs reference {:.6e}", fast.power, ref_power
+        );
+    }
+
+    #[test]
+    fn greedy_two_opt_matches_reference_on_pinned_problems(p in pinned_problem()) {
+        // Pins shrink the swap neighbourhood and inversion permissions
+        // gate the flips; the rewrite must walk the identical move
+        // sequence there too.
+        let (ref_assignment, ref_power) = greedy_two_opt_reference(&p);
+        let fast = tsv3d_core::optimize::greedy_two_opt(&p);
+        prop_assert_eq!(&fast.assignment, &ref_assignment);
+        prop_assert_eq!(fast.power.to_bits(), ref_power.to_bits());
+    }
 }

@@ -116,9 +116,11 @@ fn anneal_result_is_identical_while_metrics_are_scraped() {
     let server = MetricsServer::start("127.0.0.1:0", &tel, None).expect("bind on a free port");
     let addr = server.local_addr();
     let stop = Arc::new(AtomicBool::new(false));
+    let ok_total = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let scrapers: Vec<_> = (0..3)
         .map(|_| {
             let stop = Arc::clone(&stop);
+            let ok_total = Arc::clone(&ok_total);
             std::thread::spawn(move || {
                 let mut ok = 0usize;
                 while !stop.load(Ordering::Relaxed) {
@@ -131,12 +133,18 @@ fn anneal_result_is_identical_while_metrics_are_scraped() {
                     conn.read_to_string(&mut body).expect("read response");
                     assert!(body.starts_with("HTTP/1.1 200 OK"));
                     ok += 1;
+                    ok_total.fetch_add(1, Ordering::Relaxed);
                 }
                 ok
             })
         })
         .collect();
 
+    // The incrementally-priced anneal can outrun the first TCP round
+    // trip; wait for a successful scrape so the run is truly observed.
+    while ok_total.load(Ordering::Relaxed) == 0 {
+        std::thread::yield_now();
+    }
     let observed = anneal_with_telemetry(&p, &opts, &tel).unwrap();
 
     stop.store(true, Ordering::Relaxed);

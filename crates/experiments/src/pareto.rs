@@ -50,12 +50,12 @@ pub fn point(problem: &AssignmentProblem, lambda: f64, quick: bool) -> ParetoPoi
     } else {
         common::anneal_options()
     };
-    let best = optimize::anneal_objective(
-        problem,
-        |a| problem.power(a) + lambda * problem.crosstalk_activity(a),
-        &opts,
-    )
-    .expect("non-empty budget");
+    // Incrementally priced `P + λ·X`: each candidate move costs O(n)
+    // via the power and crosstalk deltas instead of a full O(n²)
+    // re-evaluation of the closure.
+    let objective = optimize::PowerCrosstalkObjective::new(problem, lambda);
+    let best =
+        optimize::anneal_with_objective(problem, &objective, &opts).expect("non-empty budget");
 
     // Baselines: mean power and mean crosstalk of random assignments.
     let mut rng_power = 0.0;

@@ -25,7 +25,7 @@ use crate::{Matrix, PermError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct SignedPerm {
     /// `line_of_bit[i]` = line carrying bit `i`.
     line_of_bit: Vec<usize>,
@@ -33,6 +33,25 @@ pub struct SignedPerm {
     inverted: Vec<bool>,
     /// Cached inverse mapping: `bit_of_line[j]` = bit on line `j`.
     bit_of_line: Vec<usize>,
+}
+
+impl Clone for SignedPerm {
+    fn clone(&self) -> Self {
+        Self {
+            line_of_bit: self.line_of_bit.clone(),
+            inverted: self.inverted.clone(),
+            bit_of_line: self.bit_of_line.clone(),
+        }
+    }
+
+    /// Copies `source` into `self` reusing the existing buffers, so a
+    /// same-size `clone_from` never allocates — the optimisers' inner
+    /// loops depend on this to keep their steady state allocation-free.
+    fn clone_from(&mut self, source: &Self) {
+        self.line_of_bit.clone_from(&source.line_of_bit);
+        self.inverted.clone_from(&source.inverted);
+        self.bit_of_line.clone_from(&source.bit_of_line);
+    }
 }
 
 impl SignedPerm {
@@ -85,6 +104,46 @@ impl SignedPerm {
         })
     }
 
+    /// Rebuilds this permutation in place from a line mapping and
+    /// inversion flags, reusing the existing buffers (no allocation when
+    /// the size is unchanged). Validates exactly like
+    /// [`from_parts`](Self::from_parts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError`] if the slices have different lengths, a
+    /// line index is out of range, or two bits target the same line; on
+    /// error `self` is left in an unspecified (but memory-safe) state.
+    pub fn set_from_parts(
+        &mut self,
+        line_of_bit: &[usize],
+        inverted: &[bool],
+    ) -> Result<(), PermError> {
+        let n = line_of_bit.len();
+        if inverted.len() != n {
+            return Err(PermError::LengthMismatch {
+                lines: n,
+                signs: inverted.len(),
+            });
+        }
+        self.bit_of_line.clear();
+        self.bit_of_line.resize(n, usize::MAX);
+        for (bit, &line) in line_of_bit.iter().enumerate() {
+            if line >= n {
+                return Err(PermError::LineOutOfRange { bit, line, n });
+            }
+            if self.bit_of_line[line] != usize::MAX {
+                return Err(PermError::DuplicateLine { line });
+            }
+            self.bit_of_line[line] = bit;
+        }
+        self.line_of_bit.clear();
+        self.line_of_bit.extend_from_slice(line_of_bit);
+        self.inverted.clear();
+        self.inverted.extend_from_slice(inverted);
+        Ok(())
+    }
+
     /// Number of bits/lines.
     pub fn n(&self) -> usize {
         self.line_of_bit.len()
@@ -134,6 +193,11 @@ impl SignedPerm {
     /// The full inversion-flag vector.
     pub fn inversions(&self) -> &[bool] {
         &self.inverted
+    }
+
+    /// The full inverse mapping, `bits_of_lines()[j]` = bit on line `j`.
+    pub fn bits_of_lines(&self) -> &[usize] {
+        &self.bit_of_line
     }
 
     /// Swaps the lines of the bits currently on lines `a` and `b`.
@@ -343,6 +407,27 @@ mod tests {
         for j in 0..3 {
             assert_eq!(p.line_of_bit(p.bit_of_line(j)), j);
         }
+    }
+
+    #[test]
+    fn set_from_parts_matches_from_parts_and_reuses_buffers() {
+        let mut p = SignedPerm::identity(3);
+        p.set_from_parts(&[1, 2, 0], &[false, false, true]).unwrap();
+        assert_eq!(p, example());
+        assert_eq!(p.bits_of_lines(), &[2, 0, 1]);
+        // The same validation failures as `from_parts`.
+        assert!(p.set_from_parts(&[0, 0, 1], &[false; 3]).is_err());
+        assert!(p.set_from_parts(&[0, 1, 9], &[false; 3]).is_err());
+        assert!(p.set_from_parts(&[0, 1], &[false; 3]).is_err());
+    }
+
+    #[test]
+    fn clone_from_copies_without_changing_equality() {
+        let src = example();
+        let mut dst = SignedPerm::identity(3);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.bits_of_lines(), src.bits_of_lines());
     }
 
     #[test]

@@ -316,27 +316,17 @@ impl TelemetryHandle {
     }
 
     /// Emits a structured event to the sink; a thread-labelled handle
-    /// appends its `thread` field.
+    /// stamps its label onto the event's out-of-band `thread` slot
+    /// (serialised by sinks as a trailing `thread` key), so labelled
+    /// emission allocates nothing.
     pub fn event(&self, name: &str, fields: &[(&'static str, Value)]) {
         if let Some(inner) = &self.inner {
-            let elapsed = inner.epoch.elapsed().as_secs_f64();
-            match &self.thread {
-                Some(label) => {
-                    let mut labelled = Vec::with_capacity(fields.len() + 1);
-                    labelled.extend_from_slice(fields);
-                    labelled.push(("thread", Value::Str(label.to_string())));
-                    inner.sink.emit(&Event {
-                        elapsed,
-                        name,
-                        fields: &labelled,
-                    });
-                }
-                None => inner.sink.emit(&Event {
-                    elapsed,
-                    name,
-                    fields,
-                }),
-            }
+            inner.sink.emit(&Event {
+                elapsed: inner.epoch.elapsed().as_secs_f64(),
+                name,
+                fields,
+                thread: self.thread.as_deref(),
+            });
         }
     }
 
@@ -561,13 +551,11 @@ impl Drop for Span {
                 fields.push(("alloc_count", Value::U64(delta.alloc_count)));
                 fields.push(("peak_delta", Value::U64(delta.peak_delta)));
             }
-            if let Some(label) = &span.thread {
-                fields.push(("thread", Value::Str(label.to_string())));
-            }
             span.registry.sink.emit(&Event {
                 elapsed: span.registry.epoch.elapsed().as_secs_f64(),
                 name: "span",
                 fields: &fields,
+                thread: span.thread.as_deref(),
             });
         }
     }
@@ -677,18 +665,19 @@ mod tests {
         assert_eq!(tel.counter_value("shared"), Some(2));
     }
 
-    /// One captured event: its name and owned fields.
-    type CapturedEvent = (String, Vec<(&'static str, Value)>);
+    /// One captured event: its name, owned fields, and thread label.
+    type CapturedEvent = (String, Vec<(&'static str, Value)>, Option<String>);
 
-    /// Captures emitted events as `(name, fields)` pairs.
+    /// Captures emitted events as `(name, fields, thread)` triples.
     struct CaptureSink(Mutex<Vec<CapturedEvent>>);
 
     impl Sink for CaptureSink {
         fn emit(&self, event: &Event<'_>) {
-            self.0
-                .lock()
-                .unwrap()
-                .push((event.name.to_string(), event.fields.to_vec()));
+            self.0.lock().unwrap().push((
+                event.name.to_string(),
+                event.fields.to_vec(),
+                event.thread.map(str::to_string),
+            ));
         }
     }
 
@@ -712,17 +701,13 @@ mod tests {
 
         let events = sink.0.lock().unwrap();
         assert_eq!(events[0].0, "plain");
-        assert!(events[0].1.iter().all(|(k, _)| *k != "thread"));
-        let thread_of = |i: usize| {
-            events[i].1.iter().find_map(|(k, v)| match (k, v) {
-                (&"thread", Value::Str(s)) => Some(s.clone()),
-                _ => None,
-            })
-        };
+        assert_eq!(events[0].2, None);
+        // The label rides the out-of-band slot, never the fields.
+        assert!(events.iter().all(|e| e.1.iter().all(|(k, _)| *k != "thread")));
         assert_eq!(events[1].0, "labelled");
-        assert_eq!(thread_of(1).as_deref(), Some("r1"));
+        assert_eq!(events[1].2.as_deref(), Some("r1"));
         assert_eq!(events[2].0, "span");
-        assert_eq!(thread_of(2).as_deref(), Some("r1"));
+        assert_eq!(events[2].2.as_deref(), Some("r1"));
     }
 
     #[test]

@@ -15,6 +15,12 @@ pub struct Event<'a> {
     pub name: &'a str,
     /// Ordered key/value payload.
     pub fields: &'a [(&'static str, Value)],
+    /// Worker label of a thread-labelled handle, if any. Carried out of
+    /// band rather than as a `fields` entry so labelled emitters build
+    /// no per-event field vector; sinks serialise it *after* the fields
+    /// (as a trailing `thread` key), keeping the rendered stream
+    /// identical to when it was an appended field.
+    pub thread: Option<&'a str>,
 }
 
 /// Destination of telemetry events.
@@ -67,6 +73,10 @@ impl Sink for StderrSink {
                 Value::Bool(v) => line.push_str(&v.to_string()),
                 Value::Str(v) => line.push_str(v),
             }
+        }
+        if let Some(label) = event.thread {
+            line.push_str(" thread=");
+            line.push_str(label);
         }
         eprintln!("{line}");
     }
@@ -139,6 +149,10 @@ impl Sink for JsonLinesSink {
                 Value::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
                 Value::Str(v) => push_json_str(&mut line, v),
             }
+        }
+        if let Some(label) = event.thread {
+            line.push_str(",\"thread\":");
+            push_json_str(&mut line, label);
         }
         line.push_str("}\n");
         let mut out = self.out.lock().expect("telemetry writer poisoned");

@@ -32,12 +32,17 @@ impl Write for SharedBuf {
 }
 
 fn emit(fields: &[(&'static str, Value)]) -> String {
+    emit_with_thread(fields, None)
+}
+
+fn emit_with_thread(fields: &[(&'static str, Value)], thread: Option<&str>) -> String {
     let buf = SharedBuf::new();
     let sink = JsonLinesSink::with_writer(Box::new(buf.clone()));
     sink.emit(&Event {
         elapsed: 0.25,
         name: "test.event",
         fields,
+        thread,
     });
     sink.flush();
     buf.contents()
@@ -169,6 +174,18 @@ fn non_finite_floats_become_null() {
 }
 
 #[test]
+fn thread_label_serialises_as_the_trailing_key() {
+    // The label moved from an appended field to `Event::thread`; the
+    // serialised stream must be byte-identical to when it was a field,
+    // i.e. a `thread` key *after* every payload field.
+    let out = emit_with_thread(&[("restart", Value::U64(1))], Some("r1"));
+    let pairs = parse_json_object(&out);
+    let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["t", "event", "restart", "thread"]);
+    assert_eq!(pairs[3].1, "\"r1\"");
+}
+
+#[test]
 fn handle_with_json_sink_streams_events_and_spans() {
     let buf = SharedBuf::new();
     let tel =
@@ -199,6 +216,7 @@ fn json_file_sink_writes_jsonl_file() {
             elapsed: 1.0,
             name: "done",
             fields: &[],
+            thread: None,
         });
     } // drop flushes
     let contents = std::fs::read_to_string(&path).unwrap();
