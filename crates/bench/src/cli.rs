@@ -18,8 +18,10 @@ use crate::history;
 use crate::registry;
 use crate::report::{self, BenchReport};
 use crate::trace;
+use crate::watch;
 use std::path::{Path, PathBuf};
 use tsv3d_telemetry::export::{MetricsServer, RunsJson};
+use tsv3d_telemetry::pulse::Pulse;
 use tsv3d_telemetry::{JsonLinesSink, NullSink, Sink, TelemetryHandle, Value};
 
 /// Usage text of `tsv3d bench`.
@@ -141,9 +143,12 @@ Usage: tsv3d serve [options]
 
 Starts a std-only HTTP listener exposing live metrics:
   /metrics   Prometheus text exposition format (counters, log2
-             histogram buckets, allocator gauges)
+             histogram buckets, allocator gauges, and the
+             tsv3d_run_progress_*/tsv3d_run_stalled pulse gauges)
   /healthz   liveness probe (`ok`)
   /runs      recent tsv3d-history/v1 run records as JSON
+  /progress  live per-restart progress as tsv3d-pulse/v1 JSON
+             (consumed by `tsv3d watch --addr`)
 
 The exporter answers every scrape from a registry snapshot and its
 only writes are its own serve.requests.* counters (per-endpoint plus a
@@ -162,6 +167,33 @@ Options:
                         growing registry
   --max-requests N      exit 0 after serving N requests (smoke tests;
                         default: serve until killed)
+";
+
+/// Usage text of `tsv3d watch`.
+pub const WATCH_USAGE: &str = "\
+Usage: tsv3d watch [snapshot.json] [options]
+
+Watches a long-running optimization: reads the tsv3d-pulse/v1 progress
+document from a saved snapshot file, a live `tsv3d serve` /progress
+endpoint, or a JSONL telemetry trace (progress is then derived from
+the anneal.epoch events), and renders a per-restart progress/ETA table
+with the watchdog's stall verdicts. Give exactly one source.
+
+Exit codes: 0 when every restart is live or done, 1 when any restart
+is stalled (or the source is unreachable/unreadable), 2 for usage
+errors and malformed documents.
+
+Options:
+  --addr HOST:PORT      scrape a live /progress endpoint
+  --trace FILE          derive progress from a JSONL telemetry trace
+  --stall-secs S        trace mode: a restart whose newest epoch is
+                        more than S trace-seconds older than the
+                        newest event counts as stalled (default 5)
+  --poll SECS           addr mode: re-scrape every SECS seconds until
+                        every restart is done (exit 0) or the
+                        watchdog flags one (exit 1)
+  --format json|text    output format (default text); json echoes one
+                        tsv3d-pulse/v1 object per rendering
 ";
 
 /// Usage text of `tsv3d explain`.
@@ -466,6 +498,10 @@ pub fn run_bench(args: &[String]) -> i32 {
                     .mem
                     .as_ref()
                     .map(|m| m.median_iter_bytes as f64),
+                // Bench cases summarise per-iteration timing; total
+                // wall time and stall counts belong to run records.
+                wall_s: None,
+                stalls: None,
                 threads: parsed.config.threads as u64,
             })
             .collect();
@@ -1179,8 +1215,12 @@ pub fn run_serve(args: &[String]) -> i32 {
         .unwrap_or_else(|| "127.0.0.1:9184".to_string());
 
     // The serve registry aggregates locally (NullSink): scrape state
-    // lives in the counters/histograms, not an event stream.
-    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    // lives in the counters/histograms, not an event stream. A pulse
+    // rides along so any annealing the handle observes (the --demo
+    // loop today, in-process optimizer work tomorrow) shows up on
+    // /progress and the tsv3d_run_* gauges.
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink))
+        .with_pulse(std::sync::Arc::new(Pulse::new()));
     let runs: RunsJson = {
         let path = history_path.clone();
         std::sync::Arc::new(move || match std::fs::read_to_string(&path) {
@@ -1198,7 +1238,10 @@ pub fn run_serve(args: &[String]) -> i32 {
     // Stdout is line-buffered even when piped: smoke tests parse the
     // resolved address (port 0 → real port) from this line.
     println!("serving metrics on http://{}/", server.local_addr());
-    println!("endpoints: /metrics /healthz /runs  (history: {})", history_path.display());
+    println!(
+        "endpoints: /metrics /healthz /runs /progress  (history: {})",
+        history_path.display()
+    );
 
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let demo_thread = demo.then(|| {
@@ -1240,6 +1283,148 @@ pub fn run_serve(args: &[String]) -> i32 {
     println!("served {} request(s); exiting", server.requests_served());
     server.shutdown();
     code
+}
+
+/// Entry point of `tsv3d watch`.
+///
+/// Returns the watch contract's exit code: 0 live/done, 1 stalled or
+/// unreachable source, 2 usage errors and malformed documents.
+pub fn run_watch(args: &[String]) -> i32 {
+    let mut snapshot: Option<PathBuf> = None;
+    let mut addr: Option<String> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut stall_secs = watch::DEFAULT_TRACE_STALL_SECS;
+    let mut poll_secs: Option<f64> = None;
+    let mut json_format = false;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let take_value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        let step = match key {
+            "--addr" => take_value().map(|v| {
+                addr = Some(v.clone());
+                2
+            }),
+            "--trace" => take_value().map(|v| {
+                trace_path = Some(PathBuf::from(v));
+                2
+            }),
+            "--stall-secs" => take_value()
+                .and_then(|v| {
+                    v.parse::<f64>()
+                        .map_err(|e| format!("--stall-secs: {e}"))
+                        .and_then(|s| {
+                            if s > 0.0 && s.is_finite() {
+                                Ok(s)
+                            } else {
+                                Err("--stall-secs must be positive".to_string())
+                            }
+                        })
+                })
+                .map(|s| {
+                    stall_secs = s;
+                    2
+                }),
+            "--poll" => take_value()
+                .and_then(|v| {
+                    v.parse::<f64>()
+                        .map_err(|e| format!("--poll: {e}"))
+                        .and_then(|s| {
+                            if s > 0.0 && s.is_finite() {
+                                Ok(s)
+                            } else {
+                                Err("--poll must be positive".to_string())
+                            }
+                        })
+                })
+                .map(|s| {
+                    poll_secs = Some(s);
+                    2
+                }),
+            "--format" => take_value().and_then(|v| match v.as_str() {
+                "json" => {
+                    json_format = true;
+                    Ok(2)
+                }
+                "text" => {
+                    json_format = false;
+                    Ok(2)
+                }
+                other => Err(format!("unknown format `{other}`")),
+            }),
+            other if !other.starts_with('-') && snapshot.is_none() => {
+                snapshot = Some(PathBuf::from(other));
+                Ok(1)
+            }
+            other => Err(format!("unknown watch option `{other}`")),
+        };
+        match step {
+            Ok(n) => i += n,
+            Err(message) => {
+                eprintln!("error: {message}\n{WATCH_USAGE}");
+                return 2;
+            }
+        }
+    }
+    let sources =
+        usize::from(snapshot.is_some()) + usize::from(addr.is_some()) + usize::from(trace_path.is_some());
+    if sources != 1 {
+        eprintln!(
+            "error: give exactly one source (a snapshot file, --addr or --trace)\n{WATCH_USAGE}"
+        );
+        return 2;
+    }
+    if poll_secs.is_some() && addr.is_none() {
+        eprintln!("error: --poll only applies to --addr mode\n{WATCH_USAGE}");
+        return 2;
+    }
+
+    // Loads one view of the source; the error side carries the exit
+    // code the failure maps to (1 operational, 2 malformed).
+    let load = || -> Result<watch::WatchReport, (i32, String)> {
+        if let Some(addr) = &addr {
+            let body = watch::fetch_progress(addr).map_err(|e| (1, e))?;
+            watch::parse_progress(&body, &format!("http://{addr}/progress"))
+                .map_err(|e| (2, e))
+        } else if let Some(path) = &trace_path {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| (1, format!("cannot read `{}`: {e}", path.display())))?;
+            watch::from_trace(&text, &path.display().to_string(), stall_secs)
+                .map_err(|e| (2, e))
+        } else {
+            let path = snapshot.as_ref().expect("one source is set");
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| (1, format!("cannot read `{}`: {e}", path.display())))?;
+            watch::parse_progress(&text, &path.display().to_string()).map_err(|e| (2, e))
+        }
+    };
+    loop {
+        let report = match load() {
+            Ok(report) => report,
+            Err((code, message)) => {
+                eprintln!("error: {message}");
+                return code;
+            }
+        };
+        print!(
+            "{}",
+            if json_format {
+                report.render_json()
+            } else {
+                report.render_table()
+            }
+        );
+        let code = report.exit_code();
+        match poll_secs {
+            Some(secs) if code == 0 && !report.all_done() => {
+                std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+            }
+            _ => return code,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -119,6 +119,10 @@ pub struct ConvergeData {
     pub lines: usize,
     /// Lines skipped as malformed.
     pub skipped: usize,
+    /// Well-formed events whose name this analysis does not consume
+    /// (span events, pulse samples, future emitters) — skipped and
+    /// counted, never misattributed.
+    pub other_events: usize,
 }
 
 impl Default for Calibration {
@@ -222,7 +226,7 @@ pub fn extract(trace: &ParsedTrace) -> ConvergeData {
                 data.run.case =
                     event.value.get("case").and_then(JsonValue::as_str).map(String::from);
             }
-            _ => {}
+            _ => data.other_events += 1,
         }
     }
     for (label, (restart, points)) in raw {
@@ -345,6 +349,8 @@ pub struct ConvergeReport {
     pub lines: usize,
     /// Lines skipped as malformed.
     pub skipped: usize,
+    /// Well-formed events with names this analysis does not consume.
+    pub other_events: usize,
 }
 
 /// Analyses extracted series into the convergence report.
@@ -446,6 +452,7 @@ pub fn analyze(data: &ConvergeData, epsilon: f64) -> ConvergeReport {
         run: data.run.clone(),
         lines: data.lines,
         skipped: data.skipped,
+        other_events: data.other_events,
     }
 }
 
@@ -459,6 +466,13 @@ pub fn render_report(report: &ConvergeReport) -> String {
         report.lines,
         report.skipped
     );
+    if report.other_events > 0 {
+        let _ = writeln!(
+            out,
+            "ignored: {} event(s) with names this analysis does not consume",
+            report.other_events
+        );
+    }
     if let Some(case) = &report.run.case {
         let _ = writeln!(out, "case: {case}");
     }
@@ -597,7 +611,8 @@ fn report_body_json(report: &ConvergeReport, file: &str) -> String {
     let mut w = ObjectWriter::new();
     w.str("file", file)
         .u64("lines", report.lines as u64)
-        .u64("skipped", report.skipped as u64);
+        .u64("skipped", report.skipped as u64)
+        .u64("other_events", report.other_events as u64);
     if let Some(cal) = &report.calibration {
         let mut c = ObjectWriter::new();
         c.f64("t_start", cal.t_start)
@@ -1060,6 +1075,50 @@ mod tests {
         let data = extract(&parse_jsonl(&text));
         assert_eq!(data.skipped, 1, "only the non-JSON line is a parse skip");
         assert_eq!(data.series.len(), 2, "field-less epochs are ignored");
+    }
+
+    #[test]
+    fn pulse_events_are_counted_and_leave_the_rollups_unchanged() {
+        // Interleave pulse-emitted event names (and one from the
+        // future) between every line of a clean trace.
+        let clean = two_restart_trace();
+        let mut mixed = String::new();
+        for line in clean.lines() {
+            mixed.push_str(line);
+            mixed.push('\n');
+            mixed.push_str(
+                "{\"t\":0.11,\"event\":\"pulse.sample\",\"thread\":\"r0\",\
+                 \"stack\":\"main;anneal.restart;anneal.epoch\"}\n",
+            );
+        }
+        mixed.push_str(
+            "{\"t\":0.9,\"event\":\"pulse.progress\",\"restart\":0,\"iters_done\":40}\n",
+        );
+
+        let clean_report = analyze(&extract(&parse_jsonl(&clean)), 0.01);
+        let mixed_report = analyze(&extract(&parse_jsonl(&mixed)), 0.01);
+        assert_eq!(clean_report.other_events, 0);
+        assert_eq!(mixed_report.other_events, 10, "9 samples + 1 progress");
+        assert_eq!(mixed_report.skipped, 0, "unknown names are not malformed");
+
+        // The descent analysis itself is byte-identical.
+        assert_eq!(
+            format!("{:?}", mixed_report.restarts),
+            format!("{:?}", clean_report.restarts)
+        );
+        assert_eq!(
+            format!("{:?}", mixed_report.global),
+            format!("{:?}", clean_report.global)
+        );
+        assert_eq!(mixed_report.calibration, clean_report.calibration);
+
+        // And the report says what it ignored.
+        let text = render_report(&mixed_report);
+        assert!(
+            text.contains("ignored: 10 event(s)"),
+            "{text}"
+        );
+        assert!(!render_report(&clean_report).contains("ignored:"));
     }
 
     #[test]

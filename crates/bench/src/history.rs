@@ -14,12 +14,16 @@
 //! ```json
 //! {"schema":"tsv3d-history/v1","kind":"bench","case":"anneal_quick_3x3",
 //!  "git_rev":"c26e2ca","unix_time_s":1754400000,"median_ns":1200000,
-//!  "p95_ns":1500000,"alloc_bytes_per_iter":4096,"threads":4}
+//!  "p95_ns":1500000,"alloc_bytes_per_iter":4096,"wall_s":2.5,
+//!  "stalls":0,"threads":4}
 //! ```
 //!
-//! `p95_ns` and `alloc_bytes_per_iter` are optional (experiment runs
-//! report a single wall time; allocation data needs the counting
-//! allocator). The parser follows the same robustness policy as trace
+//! `p95_ns`, `alloc_bytes_per_iter`, `wall_s` and `stalls` are
+//! optional (experiment runs report a single wall time; allocation
+//! data needs the counting allocator; total wall time and the stall
+//! count need a pulse attached). Records written before a field
+//! existed keep parsing — absent means "not measured", and the trend
+//! tables show `-`. The parser follows the same robustness policy as trace
 //! analysis: malformed or truncated lines — the expected failure mode
 //! of an append-only file under crashes — are **skipped and counted**,
 //! never fatal.
@@ -50,6 +54,12 @@ pub struct HistoryRecord {
     pub p95_ns: Option<f64>,
     /// Median allocated bytes per iteration, when measured.
     pub alloc_bytes_per_iter: Option<f64>,
+    /// Total run wall time in seconds, when the run measured one
+    /// (experiment runs with a pulse attached).
+    pub wall_s: Option<f64>,
+    /// Restarts the pulse watchdog flagged stalled at any point
+    /// during the run, when a pulse was attached.
+    pub stalls: Option<u64>,
     /// Worker-thread count the run was configured with.
     pub threads: u64,
 }
@@ -69,6 +79,12 @@ impl HistoryRecord {
         }
         if let Some(bytes) = self.alloc_bytes_per_iter {
             w.f64("alloc_bytes_per_iter", bytes);
+        }
+        if let Some(wall) = self.wall_s {
+            w.f64("wall_s", wall);
+        }
+        if let Some(stalls) = self.stalls {
+            w.u64("stalls", stalls);
         }
         w.u64("threads", self.threads);
         w.finish()
@@ -91,6 +107,8 @@ impl HistoryRecord {
             alloc_bytes_per_iter: value
                 .get("alloc_bytes_per_iter")
                 .and_then(JsonValue::as_f64),
+            wall_s: value.get("wall_s").and_then(JsonValue::as_f64),
+            stalls: value.get("stalls").and_then(JsonValue::as_u64),
             threads: value.get("threads").and_then(JsonValue::as_u64).unwrap_or(1),
         })
     }
@@ -267,8 +285,8 @@ pub fn render_table(rows: &[TrendRow], window: usize) -> String {
     }
     let _ = writeln!(
         out,
-        "{:<5} {:<32} {:>5} {:>14} {:>14} {:>9}  trend(vs last {})",
-        "kind", "case", "runs", "latest ns", "window ns", "delta", window
+        "{:<5} {:<32} {:>5} {:>14} {:>14} {:>9} {:>8} {:>6}  trend(vs last {})",
+        "kind", "case", "runs", "latest ns", "window ns", "delta", "wall s", "stalls", window
     );
     for row in rows {
         let (window_text, delta_text, verdict) = match row.status {
@@ -286,11 +304,19 @@ pub fn render_table(rows: &[TrendRow], window: usize) -> String {
                 },
             ),
         };
+        let wall_text = row
+            .latest
+            .wall_s
+            .map_or_else(|| "-".to_string(), |w| format!("{w:.1}"));
+        let stalls_text = row
+            .latest
+            .stalls
+            .map_or_else(|| "-".to_string(), |s| s.to_string());
         let _ = writeln!(
             out,
-            "{:<5} {:<32} {:>5} {:>14.0} {:>14} {:>9}  {}",
+            "{:<5} {:<32} {:>5} {:>14.0} {:>14} {:>9} {:>8} {:>6}  {}",
             row.kind, row.case, row.runs, row.latest.median_ns, window_text,
-            delta_text, verdict
+            delta_text, wall_text, stalls_text, verdict
         );
     }
     out
@@ -311,6 +337,11 @@ pub fn render_json(rows: &[TrendRow], ledger: &Ledger, window: usize) -> String 
                 .u64("unix_time_s", row.latest.unix_time_s)
                 .f64("window_median_ns", row.window_median_ns.unwrap_or(f64::NAN))
                 .f64("delta_pct", row.delta_pct.unwrap_or(f64::NAN))
+                .f64("wall_s", row.latest.wall_s.unwrap_or(f64::NAN))
+                .f64(
+                    "stalls",
+                    row.latest.stalls.map_or(f64::NAN, |s| s as f64),
+                )
                 .str(
                     "status",
                     match row.status {
@@ -357,6 +388,8 @@ mod tests {
             median_ns: median,
             p95_ns: Some(median * 1.2),
             alloc_bytes_per_iter: Some(4096.0),
+            wall_s: Some(2.5),
+            stalls: Some(0),
             threads: 4,
         }
     }
@@ -378,12 +411,57 @@ mod tests {
             median_ns: 2.5e9,
             p95_ns: None,
             alloc_bytes_per_iter: None,
+            wall_s: None,
+            stalls: None,
             threads: 1,
         };
         let line = original.to_json_line();
         assert!(!line.contains("p95_ns"), "{line}");
         assert!(!line.contains("alloc_bytes_per_iter"), "{line}");
+        assert!(!line.contains("wall_s"), "{line}");
+        assert!(!line.contains("stalls"), "{line}");
         assert_eq!(HistoryRecord::parse_line(&line).unwrap(), original);
+    }
+
+    #[test]
+    fn records_written_before_wall_and_stall_fields_still_parse() {
+        // A verbatim pre-pulse ledger line: no wall_s, no stalls.
+        let line = "{\"schema\":\"tsv3d-history/v1\",\"kind\":\"bench\",\
+                    \"case\":\"anneal_quick_3x3\",\"git_rev\":\"c26e2ca\",\
+                    \"unix_time_s\":1754400000,\"median_ns\":1200000,\
+                    \"p95_ns\":1500000,\"alloc_bytes_per_iter\":4096,\
+                    \"threads\":4}";
+        let parsed = HistoryRecord::parse_line(line).expect("old records parse");
+        assert_eq!(parsed.wall_s, None);
+        assert_eq!(parsed.stalls, None);
+        assert_eq!(parsed.median_ns, 1.2e6);
+        // And the trend table shows `-` for the unmeasured columns.
+        let mut ledger = Ledger::default();
+        for _ in 0..3 {
+            ledger.records.push(parsed.clone());
+        }
+        let table = render_table(&analyze(&ledger, 5, None), 5);
+        let row = table.lines().nth(1).expect("one data row");
+        assert!(row.contains(" - "), "{table}");
+    }
+
+    #[test]
+    fn wall_and_stall_fields_round_trip_and_render() {
+        let original = record("pulse_case", 9, 1e6);
+        let line = original.to_json_line();
+        assert!(line.contains("\"wall_s\":2.5"), "{line}");
+        assert!(line.contains("\"stalls\":0"), "{line}");
+        assert_eq!(HistoryRecord::parse_line(&line).unwrap(), original);
+        let mut ledger = Ledger::default();
+        for t in 1..=3 {
+            let mut r = record("pulse_case", t, 1e6);
+            r.stalls = Some(2);
+            ledger.records.push(r);
+        }
+        let table = render_table(&analyze(&ledger, 5, None), 5);
+        assert!(table.contains("2.5"), "{table}");
+        let row = table.lines().nth(1).expect("one data row");
+        assert!(row.contains(" 2  "), "stall count rendered:\n{table}");
     }
 
     #[test]

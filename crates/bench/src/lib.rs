@@ -39,6 +39,10 @@
 //! * [`svg`] — the shared deterministic-SVG primitives (document
 //!   skeleton, escaping, FNV-1a color keying) behind all three
 //!   renderers.
+//! * [`watch`] — the live-run watch surface (`tsv3d watch`): reads
+//!   the `tsv3d-pulse/v1` progress document from a snapshot file, a
+//!   live `/progress` endpoint or a JSONL trace, and renders
+//!   per-restart progress/ETA tables with stall verdicts.
 //!
 //! Everything is std-only: [`json`] is a small hand-rolled JSON
 //! writer/parser, so the subsystem adds no dependencies. The
@@ -64,3 +68,4 @@ pub mod registry;
 pub mod report;
 pub mod svg;
 pub mod trace;
+pub mod watch;

@@ -86,7 +86,7 @@ pub fn cases() -> Vec<BenchCase> {
         BenchCase {
             name: "anneal_par_equiv_4x4",
             area: "core",
-            about: "engine contract pin: serial and parallel anneal must return bit-identical results",
+            about: "engine contract pin: serial, parallel and pulse-observed anneal must return bit-identical results",
             setup: |cfg| {
                 let problem = gaussian_problem(4, 3_000.0, 0.4, 8_000, 42);
                 let threads = cfg.threads;
@@ -109,7 +109,30 @@ pub fn cases() -> Vec<BenchCase> {
                         p.power.to_bits(),
                         "parallel anneal power not bit-identical at threads={threads}"
                     );
-                    black_box(p.power);
+                    // Same contract with live progress cells attached:
+                    // the pulse observes, never perturbs.
+                    let pulse = std::sync::Arc::new(tsv3d_telemetry::pulse::Pulse::new());
+                    let observed = tel.with_pulse(std::sync::Arc::clone(&pulse));
+                    let o = optimize::anneal_with_telemetry(&problem, &parallel, &observed)
+                        .expect("anneal budget is non-empty");
+                    assert_eq!(
+                        s.assignment, o.assignment,
+                        "pulse-observed anneal diverged at threads={threads}"
+                    );
+                    assert_eq!(
+                        s.power.to_bits(),
+                        o.power.to_bits(),
+                        "pulse-observed anneal power not bit-identical at threads={threads}"
+                    );
+                    // A disabled handle drops the attach (with_pulse is
+                    // a no-op), so only assert closure when it took.
+                    if observed.pulse().is_some() {
+                        assert!(
+                            pulse.progress_snapshot().all_done(),
+                            "every restart closed its progress cell"
+                        );
+                    }
+                    black_box(o.power);
                 })
             },
         },

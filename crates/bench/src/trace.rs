@@ -529,6 +529,44 @@ mod tests {
     }
 
     #[test]
+    fn pulse_events_are_counted_but_never_touch_the_span_rollups() {
+        let mut clean = String::new();
+        for i in 1..=3u32 {
+            let end = f64::from(i);
+            clean.push_str(&format!(
+                "{{\"t\":{end},\"event\":\"span\",\"name\":\"work\",\"seconds\":0.1}}\n"
+            ));
+        }
+        // The same spans with pulse-emitted names (and an unknown
+        // future one) interleaved between every line.
+        let mut mixed = String::new();
+        for line in clean.lines() {
+            mixed.push_str(
+                "{\"t\":0.5,\"event\":\"pulse.sample\",\"stack\":\"main;work\"}\n",
+            );
+            mixed.push_str(line);
+            mixed.push('\n');
+        }
+        mixed.push_str("{\"t\":3.5,\"event\":\"pulse.progress\",\"restart\":0}\n");
+
+        let clean_summary = analyze_text(&clean);
+        let mixed_summary = analyze_text(&mixed);
+        assert_eq!(mixed_summary.skipped, 0, "unknown names are not malformed");
+        assert_eq!(mixed_summary.event_counts["pulse.sample"], 3);
+        assert_eq!(mixed_summary.event_counts["pulse.progress"], 1);
+        // Rollups and collapsed stacks are byte-identical to the
+        // clean twin — unknown events are skip-and-count only.
+        assert_eq!(
+            format!("{:?}", mixed_summary.spans),
+            format!("{:?}", clean_summary.spans)
+        );
+        assert_eq!(
+            format!("{:?}", mixed_summary.collapsed),
+            format!("{:?}", clean_summary.collapsed)
+        );
+    }
+
+    #[test]
     fn nesting_attributes_self_time_to_the_parent_remainder() {
         // outer: [0, 1.0]; inner: [0.2, 0.6] — emitted first (drops
         // first), exactly as the JsonLines sink writes them.

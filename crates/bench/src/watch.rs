@@ -1,0 +1,527 @@
+//! `tsv3d watch`: live per-restart progress, ETA and stall verdicts.
+//!
+//! The watch surface reads the `tsv3d-pulse/v1` progress document from
+//! one of three sources — a saved snapshot file, a live `tsv3d serve`
+//! `/progress` endpoint, or a JSONL telemetry trace (progress is then
+//! *derived* from the `anneal.epoch` events) — and renders a
+//! per-restart table or the same JSON back out. Exit-code contract
+//! (shared with the other subcommands): 0 when everything is live or
+//! done, 1 when the watchdog flags any restart stalled (or the source
+//! is unreadable), 2 for usage errors and malformed documents.
+//!
+//! ETA is the classic linear extrapolation — `elapsed × remaining /
+//! done` — computed per restart; it is a display aid, not a promise,
+//! and is omitted until a restart has reported at least one iteration.
+
+use crate::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag shared with the `/progress` endpoint (re-exported from
+/// the telemetry crate so the two can never drift apart).
+pub const WATCH_SCHEMA: &str = tsv3d_telemetry::pulse::PULSE_SCHEMA;
+
+/// Default trace-mode stall threshold, in trace seconds: a restart
+/// whose last `anneal.epoch` is older than this (relative to the
+/// newest event in the trace) without having finished is stalled.
+pub const DEFAULT_TRACE_STALL_SECS: f64 = 5.0;
+
+/// One restart's progress as the watch surface displays it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchRow {
+    /// Restart index.
+    pub restart: u64,
+    /// Iterations completed.
+    pub iters_done: u64,
+    /// Iterations planned (0 when the source never said).
+    pub iters_planned: u64,
+    /// Best energy so far; `None` before the first report.
+    pub best_power: Option<f64>,
+    /// Accepted moves so far.
+    pub accepts: u64,
+    /// `"idle"`, `"running"` or `"done"`.
+    pub state: String,
+    /// Watchdog verdict.
+    pub stalled: bool,
+    /// Estimated seconds to completion, when computable.
+    pub eta_s: Option<f64>,
+}
+
+impl WatchRow {
+    /// Completion percentage (0 when the plan is unknown).
+    pub fn percent(&self) -> f64 {
+        if self.iters_planned == 0 {
+            0.0
+        } else {
+            100.0 * self.iters_done as f64 / self.iters_planned as f64
+        }
+    }
+}
+
+/// The full watch view: clock state plus one row per restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchReport {
+    /// Where the document came from (path or URL), for display.
+    pub source: String,
+    /// Pulse tick the snapshot was taken at (0 in trace mode).
+    pub tick: u64,
+    /// Watchdog threshold the verdicts used (ticks, or trace seconds).
+    pub stall_after: u64,
+    /// Run uptime in seconds (trace mode: newest event time).
+    pub uptime_s: f64,
+    /// Per-restart rows, in restart order.
+    pub rows: Vec<WatchRow>,
+}
+
+impl WatchReport {
+    /// Count of stalled restarts.
+    pub fn stalled_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.stalled).count()
+    }
+
+    /// `true` once every restart reports done.
+    pub fn all_done(&self) -> bool {
+        !self.rows.is_empty() && self.rows.iter().all(|r| r.state == "done")
+    }
+
+    /// The subcommand's verdict under the 0/1/2 contract: 1 when the
+    /// watchdog flags anything, 0 otherwise (parse failures never
+    /// reach here — they are the caller's 2).
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.stalled_count() > 0)
+    }
+
+    /// Renders the per-restart progress/ETA table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "watch: {}", self.source);
+        let _ = writeln!(
+            out,
+            "tick {} · stall threshold {} · uptime {:.1}s",
+            self.tick, self.stall_after, self.uptime_s
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>7} {:>14} {:>9}  {:<8} {:>10}",
+            "restart", "done/planned", "%", "best_power", "accepts", "state", "eta"
+        );
+        for row in &self.rows {
+            let best = row
+                .best_power
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.6}"));
+            let eta = if row.stalled {
+                "STALLED".to_string()
+            } else if row.state == "done" {
+                "-".to_string()
+            } else {
+                row.eta_s
+                    .map_or_else(|| "?".to_string(), |s| format!("{s:.1}s"))
+            };
+            let _ = writeln!(
+                out,
+                "{:<8} {:>12} {:>6.1}% {:>14} {:>9}  {:<8} {:>10}",
+                format!("r{}", row.restart),
+                format!("{}/{}", row.iters_done, row.iters_planned),
+                row.percent(),
+                best,
+                row.accepts,
+                row.state,
+                eta
+            );
+        }
+        let running = self.rows.iter().filter(|r| r.state == "running").count();
+        let done = self.rows.iter().filter(|r| r.state == "done").count();
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} restart(s): {} running, {} done, {} stalled",
+            self.rows.len(),
+            running,
+            done,
+            self.stalled_count()
+        );
+        out
+    }
+
+    /// Renders the report as one `tsv3d-pulse/v1` JSON object — the
+    /// `/progress` document shape, plus the watch-side derived fields
+    /// (`source`, `eta_s`, `stalled_count`, `all_done`).
+    pub fn render_json(&self) -> String {
+        let mut rows = String::from("[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                rows.push(',');
+            }
+            let mut w = json::ObjectWriter::new();
+            w.u64("restart", row.restart)
+                .u64("iters_done", row.iters_done)
+                .u64("iters_planned", row.iters_planned)
+                .f64("best_power", row.best_power.unwrap_or(f64::NAN))
+                .u64("accepts", row.accepts)
+                .str("state", &row.state)
+                .raw("stalled", if row.stalled { "true" } else { "false" });
+            if let Some(eta) = row.eta_s {
+                w.f64("eta_s", eta);
+            }
+            rows.push_str(&w.finish());
+        }
+        rows.push(']');
+        let mut w = json::ObjectWriter::new();
+        w.str("schema", WATCH_SCHEMA)
+            .str("source", &self.source)
+            .u64("tick", self.tick)
+            .u64("stall_after", self.stall_after)
+            .f64("uptime_s", self.uptime_s)
+            .u64("stalled_count", self.stalled_count() as u64)
+            .raw("all_done", if self.all_done() { "true" } else { "false" })
+            .raw("restarts", &rows);
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+}
+
+/// Parses a `/progress` document (schema `tsv3d-pulse/v1`) into a
+/// report, computing per-restart ETAs from the document's uptime.
+///
+/// # Errors
+///
+/// A human-readable message when the body is not JSON, not an object,
+/// carries the wrong `schema` tag, or its `restarts` field is not an
+/// array — the caller maps these to exit code 2.
+pub fn parse_progress(body: &str, source: &str) -> Result<WatchReport, String> {
+    let doc = json::parse(body).map_err(|e| format!("malformed progress document: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "progress document has no `schema` field".to_string())?;
+    if schema != WATCH_SCHEMA {
+        return Err(format!(
+            "unsupported schema `{schema}` (expected `{WATCH_SCHEMA}`)"
+        ));
+    }
+    let uptime_s = doc
+        .get("uptime_s")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    let restarts = doc
+        .get("restarts")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "progress document has no `restarts` array".to_string())?;
+    let rows = restarts
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let field = |key: &str| entry.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+            let iters_done = field("iters_done");
+            let iters_planned = field("iters_planned");
+            let state = entry
+                .get("state")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("idle")
+                .to_string();
+            let eta_s = (state == "running" && iters_done > 0 && iters_planned > iters_done)
+                .then(|| uptime_s * (iters_planned - iters_done) as f64 / iters_done as f64);
+            WatchRow {
+                restart: entry
+                    .get("restart")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(i as u64),
+                iters_done,
+                iters_planned,
+                best_power: entry.get("best_power").and_then(JsonValue::as_f64),
+                accepts: field("accepts"),
+                state,
+                stalled: matches!(entry.get("stalled"), Some(JsonValue::Bool(true))),
+                eta_s,
+            }
+        })
+        .collect();
+    Ok(WatchReport {
+        source: source.to_string(),
+        tick: doc.get("tick").and_then(JsonValue::as_u64).unwrap_or(0),
+        stall_after: doc
+            .get("stall_after")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+        uptime_s,
+        rows,
+    })
+}
+
+/// Per-restart accumulator for trace-derived progress.
+#[derive(Debug, Default)]
+struct TraceRestart {
+    iters_done: u64,
+    best_power: Option<f64>,
+    accepts: u64,
+    last_t: f64,
+}
+
+/// Derives a watch report from a JSONL telemetry trace: `anneal.epoch`
+/// events carry per-restart iteration/best-power progress,
+/// `anneal.calibrated` the iteration plan, and a `run.done` event
+/// marks the whole run finished. Unknown and malformed lines are
+/// skipped (the pulse may interleave event names this parser has
+/// never heard of) — only a trace with *no* usable progress events is
+/// an error.
+///
+/// The stall rule is the trace-time analogue of the live watchdog: a
+/// restart that has not finished and whose newest epoch is more than
+/// `stall_secs` older than the newest event in the trace is stalled.
+///
+/// # Errors
+///
+/// A message when no line carries progress information — the caller
+/// maps it to exit code 2.
+pub fn from_trace(text: &str, source: &str, stall_secs: f64) -> Result<WatchReport, String> {
+    let mut restarts: BTreeMap<u64, TraceRestart> = BTreeMap::new();
+    let mut planned = 0u64;
+    let mut max_t = 0.0f64;
+    let mut run_done = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(doc) = json::parse(line) else {
+            continue;
+        };
+        let Some(event) = doc.get("event").and_then(JsonValue::as_str) else {
+            continue;
+        };
+        let t = doc.get("t").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        max_t = max_t.max(t);
+        match event {
+            "anneal.calibrated" => {
+                planned = doc
+                    .get("iterations")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(planned);
+            }
+            "anneal.epoch" => {
+                let Some(restart) = doc.get("restart").and_then(JsonValue::as_u64) else {
+                    continue;
+                };
+                let entry = restarts.entry(restart).or_default();
+                if let Some(it) = doc.get("iteration").and_then(JsonValue::as_u64) {
+                    entry.iters_done = entry.iters_done.max(it);
+                }
+                if let Some(best) = doc.get("best_power").and_then(JsonValue::as_f64) {
+                    entry.best_power = Some(best);
+                }
+                // The epoch reports its move mix and accept rate, not
+                // an absolute accept count — integrate it back.
+                let moves = doc.get("swap_moves").and_then(JsonValue::as_u64).unwrap_or(0)
+                    + doc.get("flip_moves").and_then(JsonValue::as_u64).unwrap_or(0);
+                if let Some(rate) = doc.get("accept_rate").and_then(JsonValue::as_f64) {
+                    entry.accepts += (rate * moves as f64).round() as u64;
+                }
+                entry.last_t = entry.last_t.max(t);
+            }
+            "run.done" => run_done = true,
+            _ => {}
+        }
+    }
+    if restarts.is_empty() {
+        return Err("trace contains no anneal.epoch progress events".to_string());
+    }
+    let rows = restarts
+        .into_iter()
+        .map(|(restart, acc)| {
+            let finished =
+                run_done || (planned > 0 && acc.iters_done >= planned);
+            let stalled = !finished && max_t - acc.last_t > stall_secs;
+            let eta_s = (!finished && acc.iters_done > 0 && planned > acc.iters_done)
+                .then(|| acc.last_t * (planned - acc.iters_done) as f64 / acc.iters_done as f64);
+            WatchRow {
+                restart,
+                iters_done: acc.iters_done,
+                iters_planned: planned,
+                best_power: acc.best_power,
+                accepts: acc.accepts,
+                state: if finished { "done" } else { "running" }.to_string(),
+                stalled,
+                eta_s,
+            }
+        })
+        .collect();
+    Ok(WatchReport {
+        source: source.to_string(),
+        tick: 0,
+        stall_after: stall_secs.ceil() as u64,
+        uptime_s: max_t,
+        rows,
+    })
+}
+
+/// Fetches the `/progress` body from a live exporter with a plain
+/// `std::net` GET (the same zero-dependency transport `tsv3d serve`
+/// answers with).
+///
+/// # Errors
+///
+/// Connection and read failures, and non-200 responses, as messages —
+/// the caller maps these to exit code 1 (an endpoint that is down is
+/// an operational failure, not a usage error).
+pub fn fetch_progress(addr: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    let request =
+        format!("GET /progress HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("cannot send request to `{addr}`: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read response from `{addr}`: {e}"))?;
+    let mut parts = response.splitn(2, "\r\n\r\n");
+    let head = parts.next().unwrap_or("");
+    let body = parts.next().unwrap_or("");
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("`{addr}` answered `{status}`"));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live_doc() -> String {
+        concat!(
+            "{\"schema\":\"tsv3d-pulse/v1\",\"tick\":8,\"stall_after\":40,",
+            "\"uptime_s\":10.0,\"restarts\":[",
+            "{\"restart\":0,\"iters_done\":250,\"iters_planned\":1000,",
+            "\"best_power\":0.5,\"accepts\":17,\"heartbeat_tick\":8,",
+            "\"improve_tick\":7,\"state\":\"running\",\"stalled\":false},",
+            "{\"restart\":1,\"iters_done\":1000,\"iters_planned\":1000,",
+            "\"best_power\":0.25,\"accepts\":40,\"heartbeat_tick\":8,",
+            "\"improve_tick\":8,\"state\":\"done\",\"stalled\":false}]}"
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn parses_a_live_document_with_etas() {
+        let report = parse_progress(&live_doc(), "test").expect("parses");
+        assert_eq!(report.tick, 8);
+        assert_eq!(report.rows.len(), 2);
+        let r0 = &report.rows[0];
+        assert_eq!(r0.iters_done, 250);
+        assert_eq!(r0.best_power, Some(0.5));
+        // 10 s for 250 of 1000 iterations → 30 s to go.
+        assert_eq!(r0.eta_s, Some(30.0));
+        assert_eq!(report.rows[1].state, "done");
+        assert_eq!(report.rows[1].eta_s, None);
+        assert_eq!(report.stalled_count(), 0);
+        assert!(!report.all_done());
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    #[test]
+    fn stalled_rows_drive_the_exit_code() {
+        let doc = live_doc().replace(
+            "\"state\":\"running\",\"stalled\":false",
+            "\"state\":\"running\",\"stalled\":true",
+        );
+        let report = parse_progress(&doc, "test").expect("parses");
+        assert_eq!(report.stalled_count(), 1);
+        assert_eq!(report.exit_code(), 1);
+        assert!(report.render_table().contains("STALLED"));
+    }
+
+    #[test]
+    fn wrong_schema_and_broken_json_are_errors() {
+        assert!(parse_progress("{\"schema\":\"other/v9\",\"restarts\":[]}", "t")
+            .unwrap_err()
+            .contains("unsupported schema"));
+        assert!(parse_progress("{not json", "t")
+            .unwrap_err()
+            .contains("malformed"));
+        assert!(parse_progress("{\"schema\":\"tsv3d-pulse/v1\"}", "t")
+            .unwrap_err()
+            .contains("restarts"));
+    }
+
+    #[test]
+    fn null_best_power_renders_as_a_dash() {
+        let doc = live_doc().replace("\"best_power\":0.5", "\"best_power\":null");
+        let report = parse_progress(&doc, "test").expect("parses");
+        assert_eq!(report.rows[0].best_power, None);
+        let table = report.render_table();
+        assert!(table.lines().any(|l| l.starts_with("r0") && l.contains(" - ")), "{table}");
+    }
+
+    #[test]
+    fn json_round_trip_keeps_the_schema_and_adds_derived_fields() {
+        let report = parse_progress(&live_doc(), "test").expect("parses");
+        let out = report.render_json();
+        let doc = json::parse(out.trim()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(WATCH_SCHEMA)
+        );
+        assert_eq!(doc.get("stalled_count").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(doc.get("all_done"), Some(&JsonValue::Bool(false)));
+        let rows = doc.get("restarts").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("eta_s").and_then(JsonValue::as_f64), Some(30.0));
+    }
+
+    fn epoch(t: f64, restart: u64, iteration: u64, best: f64) -> String {
+        format!(
+            "{{\"t\":{t},\"event\":\"anneal.epoch\",\"restart\":{restart},\
+             \"iteration\":{iteration},\"temperature\":0.1,\"current_power\":{best},\
+             \"best_power\":{best},\"accept_rate\":0.5,\"swap_moves\":8,\
+             \"flip_moves\":2,\"thread\":\"r{restart}\"}}"
+        )
+    }
+
+    #[test]
+    fn trace_mode_derives_progress_and_flags_silent_restarts() {
+        let trace = [
+            "{\"t\":0.0,\"event\":\"anneal.calibrated\",\"iterations\":100,\"restarts\":2}"
+                .to_string(),
+            epoch(1.0, 0, 50, 0.5),
+            "{\"t\":2.0,\"event\":\"pulse.sample\",\"stacks\":3}".to_string(),
+            epoch(9.0, 1, 90, 0.25),
+            "not json at all".to_string(),
+        ]
+        .join("\n");
+        let report = from_trace(&trace, "trace", 5.0).expect("derives");
+        assert_eq!(report.rows.len(), 2);
+        let r0 = &report.rows[0];
+        assert_eq!(r0.iters_done, 50);
+        assert_eq!(r0.iters_planned, 100);
+        assert_eq!(r0.accepts, 5);
+        // r0's last epoch is 8 s older than the newest event: stalled.
+        assert!(r0.stalled);
+        assert!(!report.rows[1].stalled);
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn a_run_done_event_marks_every_restart_finished() {
+        let trace = [
+            epoch(1.0, 0, 100, 0.5),
+            "{\"t\":20.0,\"event\":\"run.done\",\"wall_seconds\":20.0}".to_string(),
+        ]
+        .join("\n");
+        let report = from_trace(&trace, "trace", 5.0).expect("derives");
+        assert!(report.all_done());
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    #[test]
+    fn a_trace_without_progress_events_is_an_error() {
+        let err = from_trace("{\"t\":1.0,\"event\":\"bench.case\"}", "trace", 5.0)
+            .unwrap_err();
+        assert!(err.contains("no anneal.epoch"), "{err}");
+    }
+}

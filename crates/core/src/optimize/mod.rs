@@ -548,6 +548,15 @@ pub fn anneal_with_telemetry(
         } else {
             TelemetryHandle::disabled()
         };
+        // Live progress cell (tsv3d-pulse): a handful of relaxed atomic
+        // stores per epoch, written only when a pulse is attached. The
+        // cell is observational — it never feeds back into the RNG or
+        // the accept/reject decisions.
+        let cell = tel.pulse().map(|pulse| pulse.cell(restart));
+        if let Some(cell) = &cell {
+            cell.begin(options.iterations as u64);
+        }
+        let mut total_accepts = 0u64;
         let mut rng = StdRng::seed_from_u64(stream_seed(options.seed, restart as u64 + 1));
         draw_feasible(problem, &mut rng, scratch, true);
         let mut current_power = problem.power(&scratch.current);
@@ -624,8 +633,15 @@ pub fn anneal_with_telemetry(
                 rtel.add("anneal.accepts", ep_accepts);
                 rtel.add("anneal.swap_moves", ep_swaps);
                 rtel.add("anneal.flip_moves", ep_flips);
+                if let Some(cell) = &cell {
+                    total_accepts += ep_accepts;
+                    cell.beat(it as u64 + 1, best_power, total_accepts);
+                }
                 (ep_swaps, ep_flips, ep_accepts) = (0, 0, 0);
             }
+        }
+        if let Some(cell) = &cell {
+            cell.finish();
         }
         rtel.add("anneal.restarts", 1);
         // Exact power per restart: the tracked value carries

@@ -1,0 +1,155 @@
+//! Property test for the tsv3d-pulse determinism contract: attaching
+//! progress cells and a running span-stack sampler to the annealer
+//! must not change a single bit of its output.
+//!
+//! The pulse only *observes* the search — relaxed atomic stores at
+//! epoch boundaries, a sampler thread reading span stacks — so for a
+//! fixed seed the assignment, the power, and the emitted JSONL stream
+//! (timestamps scrubbed) are identical whether the pulse is on or
+//! off, at every worker-pool size.
+
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tsv3d_core::optimize::{anneal_with_telemetry, AnnealOptions};
+use tsv3d_core::AssignmentProblem;
+use tsv3d_model::{Extractor, LinearCapModel, TsvArray, TsvGeometry};
+use tsv3d_stats::gen::GaussianSource;
+use tsv3d_stats::SwitchingStats;
+use tsv3d_telemetry::pulse::{Pulse, Sampler};
+use tsv3d_telemetry::{JsonLinesSink, TelemetryHandle};
+
+fn problem(rows: usize, cols: usize, stream_seed: u64, correlation: f64) -> AssignmentProblem {
+    let n = rows * cols;
+    let cap = LinearCapModel::fit(&Extractor::new(
+        TsvArray::new(rows, cols, TsvGeometry::wide_2018()).expect("array"),
+    ))
+    .expect("fit");
+    let stream = GaussianSource::new(n, (1u64 << (n - 2)) as f64)
+        .with_correlation(correlation)
+        .generate(stream_seed, 2_000)
+        .expect("stream");
+    AssignmentProblem::new(SwitchingStats::from_stream(&stream), cap).expect("problem")
+}
+
+/// An in-memory JSONL capture target shared with the test body.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn capture_handle() -> (TelemetryHandle, Arc<Mutex<Vec<u8>>>) {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let sink = JsonLinesSink::with_writer(Box::new(SharedBuf(Arc::clone(&buf))));
+    (TelemetryHandle::with_sink(Box::new(sink)), buf)
+}
+
+/// Replaces the number after every `"key":` with `0`.
+fn scrub_key(line: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let mut out = String::new();
+    let mut rest = line;
+    while let Some(idx) = rest.find(&pat) {
+        let start = idx + pat.len();
+        out.push_str(&rest[..start]);
+        out.push('0');
+        let tail = &rest[start..];
+        let end = tail.find([',', '}']).unwrap_or(tail.len());
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The captured stream with the two wall-clock fields (`t` on every
+/// line, `seconds` on span closes) scrubbed. Everything else — event
+/// names, epoch payloads, thread labels — must match exactly.
+fn normalized(raw: &[u8]) -> Vec<String> {
+    String::from_utf8(raw.to_vec())
+        .expect("JSONL is UTF-8")
+        .lines()
+        .map(|line| scrub_key(&scrub_key(line, "t"), "seconds"))
+        .collect()
+}
+
+fn run_anneal(
+    p: &AssignmentProblem,
+    seed: u64,
+    threads: usize,
+    with_pulse: bool,
+) -> (tsv3d_matrix::SignedPerm, u64, Vec<String>) {
+    let (tel, buf) = capture_handle();
+    let opts = AnnealOptions {
+        iterations: 1_200,
+        restarts: 3,
+        seed,
+        threads,
+    };
+    let result = if with_pulse {
+        let pulse = Arc::new(Pulse::new());
+        let tel = tel.with_pulse(Arc::clone(&pulse));
+        // The sampler thread reads span stacks for the whole run.
+        let sampler = Sampler::start(Arc::clone(&pulse), Duration::from_millis(1));
+        let result = anneal_with_telemetry(p, &opts, &tel).expect("anneal");
+        // A small anneal can finish before the sampler thread is first
+        // scheduled; wait for one round so the run was truly sampled.
+        while sampler.profile().samples == 0 {
+            std::thread::yield_now();
+        }
+        let profile = sampler.stop();
+        assert!(profile.samples > 0, "the sampler took at least one round");
+        let snap = pulse.progress_snapshot();
+        assert!(snap.all_done(), "every restart finished its cell: {snap:?}");
+        assert_eq!(snap.restarts.len(), opts.restarts);
+        tel.flush();
+        result
+    } else {
+        let result = anneal_with_telemetry(p, &opts, &tel).expect("anneal");
+        tel.flush();
+        result
+    };
+    let lines = normalized(&buf.lock().unwrap());
+    (result.assignment.clone(), result.power.to_bits(), lines)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn pulse_and_sampler_never_perturb_the_anneal(
+        seed in any::<u64>(),
+        stream_seed in 1u64..500,
+        correlation in 0.0f64..0.5,
+    ) {
+        let p = problem(2, 3, stream_seed, correlation);
+        for threads in [1usize, 2, 8] {
+            let (off_assign, off_power, off_lines) = run_anneal(&p, seed, threads, false);
+            let (on_assign, on_power, on_lines) = run_anneal(&p, seed, threads, true);
+
+            // Bit-identical optimisation outcome.
+            prop_assert_eq!(&off_assign, &on_assign, "threads={}", threads);
+            prop_assert!(off_power == on_power, "threads={threads}");
+
+            // Identical emitted stream. Worker threads may interleave
+            // lines differently run-to-run, so compare the sorted
+            // multiset; a serial run must match line-for-line.
+            let mut off_sorted = off_lines.clone();
+            let mut on_sorted = on_lines.clone();
+            off_sorted.sort();
+            on_sorted.sort();
+            prop_assert_eq!(&off_sorted, &on_sorted, "threads={}", threads);
+            if threads == 1 {
+                prop_assert_eq!(&off_lines, &on_lines);
+            }
+        }
+    }
+}

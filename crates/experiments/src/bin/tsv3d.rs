@@ -17,7 +17,10 @@
 //!   explain   per-TSV power attribution: ranked contribution tables,
 //!             array heatmap SVG, --compare savings diff reports
 //!   history   analyze the cross-run ledger, gate on trend regressions
-//!   serve     HTTP listener: /metrics (Prometheus), /healthz, /runs
+//!   serve     HTTP listener: /metrics (Prometheus), /healthz, /runs,
+//!             /progress (live tsv3d-pulse/v1 per-restart progress)
+//!   watch     live progress/ETA tables with stall verdicts, from a
+//!             /progress endpoint, a snapshot file or a JSONL trace
 //!   help      print this usage summary
 //!
 //! Common options:
@@ -71,13 +74,17 @@ Commands:
   explain   per-TSV power attribution: ranked contribution tables,
             array heatmap SVG, --compare savings diff reports
   history   analyze the cross-run ledger, gate on trend regressions
-  serve     HTTP listener: /metrics (Prometheus), /healthz, /runs
+  serve     HTTP listener: /metrics (Prometheus), /healthz, /runs,
+            /progress (live tsv3d-pulse/v1 per-restart progress)
+  watch     live progress/ETA tables with stall verdicts, from a
+            /progress endpoint, a snapshot file or a JSONL trace
   help      print this usage summary
 
 Run `tsv3d bench --list` for the benchmark cases, `tsv3d converge
 --help` / `tsv3d explain --help` / `tsv3d history --help` /
-`tsv3d serve --help` for the observability surfaces, or see the module
-docs (crates/experiments/src/bin/tsv3d.rs) for every option.
+`tsv3d serve --help` / `tsv3d watch --help` for the observability
+surfaces, or see the module docs (crates/experiments/src/bin/tsv3d.rs)
+for every option.
 ";
 
 #[derive(Debug)]
@@ -464,6 +471,13 @@ fn main() {
                 return;
             }
             std::process::exit(tsv3d_bench::cli::run_serve(&args[1..]))
+        }
+        Some("watch") => {
+            if args.get(1).is_some_and(|a| a == "--help" || a == "-h") {
+                print!("{}", tsv3d_bench::cli::WATCH_USAGE);
+                return;
+            }
+            std::process::exit(tsv3d_bench::cli::run_watch(&args[1..]))
         }
         Some("help" | "--help" | "-h") => {
             print!("{USAGE}");

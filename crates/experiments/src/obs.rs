@@ -27,14 +27,34 @@
 //! `alloc_bytes`/`alloc_count`/`peak_delta` fields and `run.done`
 //! reports the process-wide peak. Disabled runs take a single relaxed
 //! atomic load per allocation and stay byte-identical.
+//!
+//! # Live progress (tsv3d-pulse)
+//!
+//! With telemetry enabled, a [`tsv3d_telemetry::pulse::Pulse`] is
+//! attached when either knob asks for one:
+//!
+//! | env var | behaviour |
+//! |---|---|
+//! | `TSV3D_PULSE=1` | progress cells + span-stack registry on |
+//! | `TSV3D_METRICS_ADDR` | implies the pulse (feeds `/progress` and the `tsv3d_run_*` gauges) |
+//! | `TSV3D_PULSE_STALL_TICKS=N` | watchdog threshold override (default 40 ticks of 250 ms) |
+//! | `TSV3D_PULSE_SAMPLE_MS=N` | background span-stack sampler every `N` ms |
+//!
+//! The sampler's collapsed profile lands next to the telemetry stream
+//! at [`finish`] time: `results/<binary>_pulse.folded` plus a
+//! sample-weighted flamegraph `results/<binary>_pulse.svg`. The pulse
+//! is observational only — optimizer results and telemetry streams
+//! stay bit-identical with it on or off.
 
 pub use tsv3d_telemetry::{Span, TelemetryHandle, Value};
 
 use std::path::PathBuf;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 use tsv3d_bench::history;
 use tsv3d_telemetry::alloc;
 use tsv3d_telemetry::export;
+use tsv3d_telemetry::pulse::{Pulse, Sampler};
 
 /// The process-wide counting allocator (see the module docs). Plain
 /// `System` passthrough until telemetry (or the bench harness) enables
@@ -55,6 +75,97 @@ struct RunContext {
 }
 
 static RUN_CONTEXT: OnceLock<RunContext> = OnceLock::new();
+
+/// The background span-stack sampler, when `TSV3D_PULSE_SAMPLE_MS`
+/// started one. [`finish`] takes it out to stop the thread and write
+/// the profile artifacts.
+static SAMPLER: OnceLock<Mutex<Option<Sampler>>> = OnceLock::new();
+
+/// `1`/`true`/`on`/`yes` (case-insensitive) count as set.
+fn env_truthy(var: &str) -> bool {
+    std::env::var(var).is_ok_and(|v| {
+        matches!(
+            v.to_ascii_lowercase().as_str(),
+            "1" | "true" | "on" | "yes"
+        )
+    })
+}
+
+/// Builds the run's pulse when the environment asks for one: either
+/// `TSV3D_PULSE` explicitly, or `TSV3D_METRICS_ADDR` implicitly (the
+/// exporter's `/progress` document and `tsv3d_run_*` gauges are empty
+/// without it).
+fn maybe_pulse() -> Option<Arc<Pulse>> {
+    let metrics_on = std::env::var("TSV3D_METRICS_ADDR").is_ok_and(|a| !a.is_empty());
+    if !env_truthy("TSV3D_PULSE") && !metrics_on {
+        return None;
+    }
+    let mut pulse = Pulse::new();
+    if let Some(ticks) = std::env::var("TSV3D_PULSE_STALL_TICKS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        pulse = pulse.with_stall_after(ticks);
+    }
+    Some(Arc::new(pulse))
+}
+
+/// Starts the span-stack sampler when `TSV3D_PULSE_SAMPLE_MS` parses
+/// to a positive period. The sampler thread only reads atomics and
+/// its own profile map — the workload never blocks on it.
+fn maybe_start_sampler(pulse: &Arc<Pulse>) {
+    let Some(ms) = std::env::var("TSV3D_PULSE_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+    else {
+        return;
+    };
+    SAMPLER.get_or_init(|| {
+        Mutex::new(Some(Sampler::start(
+            Arc::clone(pulse),
+            Duration::from_millis(ms),
+        )))
+    });
+}
+
+/// Stops the sampler (if one ran) and writes its collapsed profile to
+/// `results/<binary>_pulse.folded` plus a sample-weighted flamegraph
+/// SVG beside it. Returns quietly when no sampler was started.
+fn finish_sampler(binary: &str) {
+    let Some(sampler) = SAMPLER
+        .get()
+        .and_then(|slot| slot.lock().ok().and_then(|mut s| s.take()))
+    else {
+        return;
+    };
+    let profile = sampler.stop();
+    let folded = profile.render_folded();
+    let _ = std::fs::create_dir_all("results");
+    let folded_path = PathBuf::from(format!("results/{binary}_pulse.folded"));
+    let svg_path = PathBuf::from(format!("results/{binary}_pulse.svg"));
+    if let Err(err) = std::fs::write(&folded_path, &folded) {
+        eprintln!(
+            "warning: cannot write sampled profile to `{}`: {err}",
+            folded_path.display()
+        );
+        return;
+    }
+    let svg = tsv3d_bench::flamegraph::render_folded_svg(&folded);
+    if let Err(err) = std::fs::write(&svg_path, svg) {
+        eprintln!(
+            "warning: cannot write sampled flamegraph to `{}`: {err}",
+            svg_path.display()
+        );
+        return;
+    }
+    eprintln!(
+        "pulse: sampled profile ({} rounds) -> {} + {}",
+        profile.samples,
+        folded_path.display(),
+        svg_path.display()
+    );
+}
 
 /// The cross-run ledger path for experiment binaries: the opt-in
 /// `TSV3D_HISTORY` env var. Deliberately **no default** — `tsv3d bench`
@@ -129,8 +240,15 @@ pub fn for_binary(binary: &str) -> TelemetryHandle {
 
 /// [`for_binary`] with explicit run provenance (seed, thread count).
 pub fn for_binary_with(binary: &str, meta: RunMeta) -> TelemetryHandle {
-    let tel = TelemetryHandle::from_env(binary);
+    let mut tel = TelemetryHandle::from_env(binary);
     if tel.is_enabled() {
+        // Attach the pulse before the metrics server starts: the
+        // server clones this handle, and only a pulse-carrying clone
+        // can serve `/progress` and the `tsv3d_run_*` gauges.
+        if let Some(pulse) = maybe_pulse() {
+            tel = tel.with_pulse(Arc::clone(&pulse));
+            maybe_start_sampler(&pulse);
+        }
         let mode = std::env::var("TSV3D_TELEMETRY").unwrap_or_else(|_| "off".to_string());
         let threads = meta.threads.unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -189,7 +307,16 @@ pub fn finish(tel: &TelemetryHandle) {
     tel.event("run.done", &fields);
     eprintln!("{}", tel.summary());
     tel.flush();
+    if let Some(ctx) = RUN_CONTEXT.get() {
+        finish_sampler(&ctx.binary);
+    }
     if let (Some(path), Some(ctx)) = (history_path(), RUN_CONTEXT.get()) {
+        // A final watchdog pass so the ledger's stall count reflects
+        // the whole run, not just the last live snapshot.
+        let stalls = tel.pulse().map(|pulse| {
+            let _ = pulse.progress_snapshot();
+            pulse.peak_stalled()
+        });
         let record = history::HistoryRecord {
             kind: "run".to_string(),
             case: ctx.binary.clone(),
@@ -201,6 +328,8 @@ pub fn finish(tel: &TelemetryHandle) {
             median_ns: tel.elapsed_seconds() * 1e9,
             p95_ns: None,
             alloc_bytes_per_iter: None,
+            wall_s: Some(tel.elapsed_seconds()),
+            stalls,
             threads: ctx.threads,
         };
         if let Err(err) = history::append(&path, &[record]) {

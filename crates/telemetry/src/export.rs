@@ -25,6 +25,7 @@
 //! | `/metrics` | Prometheus text exposition format (version 0.0.4) |
 //! | `/healthz` | `ok` — liveness for scripts and CI smoke jobs |
 //! | `/runs`    | JSON array of recent run summaries (ledger-backed) |
+//! | `/progress` | `tsv3d-pulse/v1` JSON: live per-restart progress |
 //!
 //! Malformed request lines get `400`, non-GET methods `405`, unknown
 //! paths `404`; every response closes the connection.
@@ -41,6 +42,7 @@
 //! ```
 
 use crate::alloc::{self, AllocStats};
+use crate::pulse::{ProgressSnapshot, PULSE_SCHEMA};
 use crate::{Histogram, TelemetryHandle};
 use std::fmt::Write as _;
 use std::io::{Read, Write};
@@ -72,6 +74,10 @@ pub struct MetricsSnapshot {
     /// the same revision the history ledger records. Empty (the
     /// `Default`) suppresses the gauge.
     pub git_rev: String,
+    /// Live per-restart progress when the handle carries a
+    /// [`Pulse`](crate::pulse::Pulse) — rendered as the
+    /// `tsv3d_run_progress_*` / `tsv3d_run_stalled` gauges.
+    pub progress: Option<ProgressSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -86,6 +92,7 @@ impl MetricsSnapshot {
             alloc: alloc::is_active().then(alloc::snapshot),
             uptime_seconds: tel.elapsed_seconds(),
             git_rev: build_git_rev().to_string(),
+            progress: tel.pulse().map(|pulse| pulse.progress_snapshot()),
         }
     }
 }
@@ -174,12 +181,15 @@ fn fmt_f64(v: f64) -> String {
 ///   reports its upper edge `2^(exp+1)`), plus `_sum`/`_count`;
 /// * allocator stats → `tsv3d_alloc_*` counters and
 ///   `tsv3d_live_bytes`/`tsv3d_peak_bytes` gauges;
+/// * live progress (when a pulse is attached) →
+///   `tsv3d_run_progress_iterations{restart="N"}` and friends, plus
+///   the `tsv3d_run_stalled{restart="N"}` watchdog verdicts;
 /// * `tsv3d_uptime_seconds` gauge and (when the snapshot carries a
 ///   revision) the `tsv3d_build_info{git_rev="…"} 1` provenance gauge.
 ///
 /// Series order is fixed (uptime, build info, counters by name, gauges
-/// by name, histograms by name, allocator block), so two renders of
-/// equal snapshots are byte-identical.
+/// by name, histograms by name, allocator block, progress block), so
+/// two renders of equal snapshots are byte-identical.
 pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -243,7 +253,84 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
             let _ = writeln!(out, "{metric} {value}");
         }
     }
+    if let Some(progress) = snap.progress.as_ref().filter(|p| !p.restarts.is_empty()) {
+        type Series<'a> = (&'a str, &'a dyn Fn(&crate::pulse::RestartProgress) -> String);
+        let series: [Series; 5] = [
+            ("tsv3d_run_progress_iterations", &|r| r.iters_done.to_string()),
+            ("tsv3d_run_progress_iterations_planned", &|r| {
+                r.iters_planned.to_string()
+            }),
+            ("tsv3d_run_progress_best_power", &|r| fmt_f64(r.best_energy)),
+            ("tsv3d_run_progress_accepts", &|r| r.accepts.to_string()),
+            ("tsv3d_run_stalled", &|r| u64::from(r.stalled).to_string()),
+        ];
+        for (metric, value_of) in series {
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            for r in &progress.restarts {
+                let _ = writeln!(
+                    out,
+                    "{metric}{{restart=\"{}\"}} {}",
+                    r.restart,
+                    value_of(r)
+                );
+            }
+        }
+    }
     out
+}
+
+/// Renders a progress snapshot as the `/progress` JSON document
+/// (schema [`PULSE_SCHEMA`], `tsv3d-pulse/v1`) — the same shape
+/// `tsv3d watch --format json` echoes. `None` (no pulse attached)
+/// renders a valid document with an empty `restarts` array, so
+/// scrapers never need to special-case a pulse-less server.
+///
+/// Non-finite best powers (a restart before its first beat reports
+/// `+Inf`) serialize as `null`, keeping the body strict JSON.
+pub fn render_progress_json(progress: Option<&ProgressSnapshot>, uptime_seconds: f64) -> String {
+    let mut out = String::new();
+    let (tick, stall_after, restarts) = match progress {
+        Some(p) => (p.tick, p.stall_after, p.restarts.as_slice()),
+        None => (0, crate::pulse::DEFAULT_STALL_AFTER, &[][..]),
+    };
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{PULSE_SCHEMA}\",\"tick\":{tick},\"stall_after\":{stall_after},\
+         \"uptime_s\":{},\"restarts\":[",
+        json_f64(uptime_seconds)
+    );
+    for (i, r) in restarts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"restart\":{},\"iters_done\":{},\"iters_planned\":{},\"best_power\":{},\
+             \"accepts\":{},\"heartbeat_tick\":{},\"improve_tick\":{},\"state\":\"{}\",\
+             \"stalled\":{}}}",
+            r.restart,
+            r.iters_done,
+            r.iters_planned,
+            json_f64(r.best_energy),
+            r.accepts,
+            r.heartbeat_tick,
+            r.improve_tick,
+            r.state,
+            r.stalled
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// JSON number formatting: finite values use Rust's shortest-roundtrip
+/// `Display` (always a valid JSON number), non-finite become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Producer of the `/runs` JSON body — a closure so the zero-dependency
@@ -444,6 +531,13 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
                 .map_or_else(|| "[]\n".to_string(), |f| f());
             write_response(&mut stream, "200 OK", "application/json", &body);
         }
+        "/progress" => {
+            shared.tel.add("serve.requests.progress", 1);
+            let progress = shared.tel.pulse().map(|pulse| pulse.progress_snapshot());
+            let body =
+                render_progress_json(progress.as_ref(), shared.tel.elapsed_seconds());
+            write_response(&mut stream, "200 OK", "application/json", &body);
+        }
         _ => {
             shared.tel.add("serve.requests.bad", 1);
             write_response(&mut stream, "404 Not Found", "text/plain", "not found\n");
@@ -576,6 +670,81 @@ mod tests {
             "capture falls back to `unknown`, never empty"
         );
         assert_eq!(snap.git_rev, build_git_rev());
+    }
+
+    #[test]
+    fn progress_renders_labelled_gauges_after_the_alloc_block() {
+        use crate::pulse::{ManualTicks, Pulse, TickSource};
+        use std::sync::Arc;
+        let ticks = Arc::new(ManualTicks::new());
+        let pulse =
+            Arc::new(Pulse::with_ticks(Arc::clone(&ticks) as Arc<dyn TickSource>));
+        let c0 = pulse.cell(0);
+        c0.begin(1000);
+        c0.beat(250, 0.5, 17);
+        pulse.cell(1).begin(1000);
+        let snap = MetricsSnapshot {
+            progress: Some(pulse.progress_snapshot()),
+            ..MetricsSnapshot::default()
+        };
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE tsv3d_run_progress_iterations gauge"), "{text}");
+        assert!(
+            text.contains("tsv3d_run_progress_iterations{restart=\"0\"} 250"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tsv3d_run_progress_iterations_planned{restart=\"1\"} 1000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tsv3d_run_progress_best_power{restart=\"0\"} 0.5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tsv3d_run_progress_best_power{restart=\"1\"} +Inf"),
+            "{text}"
+        );
+        assert!(text.contains("tsv3d_run_stalled{restart=\"0\"} 0"), "{text}");
+    }
+
+    #[test]
+    fn no_pulse_means_no_progress_series() {
+        let text = render_prometheus(&MetricsSnapshot::default());
+        assert!(!text.contains("tsv3d_run_progress"), "{text}");
+        assert!(!text.contains("tsv3d_run_stalled"), "{text}");
+    }
+
+    #[test]
+    fn progress_json_without_a_pulse_is_a_valid_empty_document() {
+        let body = render_progress_json(None, 1.5);
+        assert_eq!(
+            body,
+            "{\"schema\":\"tsv3d-pulse/v1\",\"tick\":0,\"stall_after\":40,\
+             \"uptime_s\":1.5,\"restarts\":[]}\n"
+        );
+    }
+
+    #[test]
+    fn progress_json_serializes_restarts_with_null_for_unset_best() {
+        use crate::pulse::{ManualTicks, Pulse, TickSource};
+        use std::sync::Arc;
+        let ticks = Arc::new(ManualTicks::new());
+        let pulse =
+            Arc::new(Pulse::with_ticks(Arc::clone(&ticks) as Arc<dyn TickSource>));
+        let c0 = pulse.cell(0);
+        c0.begin(100);
+        ticks.advance(2);
+        c0.beat(10, 42.5, 3);
+        pulse.cell(1).begin(100); // never beats: best stays +Inf
+        let snap = pulse.progress_snapshot();
+        let body = render_progress_json(Some(&snap), 0.25);
+        assert!(body.starts_with("{\"schema\":\"tsv3d-pulse/v1\",\"tick\":2,"), "{body}");
+        assert!(body.contains("\"restart\":0"), "{body}");
+        assert!(body.contains("\"best_power\":42.5"), "{body}");
+        assert!(body.contains("\"best_power\":null"), "{body}");
+        assert!(body.contains("\"state\":\"running\""), "{body}");
+        assert!(body.ends_with("]}\n"), "{body}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use tsv3d_telemetry::alloc::AllocStats;
 use tsv3d_telemetry::export::{render_prometheus, MetricsSnapshot};
+use tsv3d_telemetry::pulse::{ProgressSnapshot, RestartProgress};
 use tsv3d_telemetry::Histogram;
 
 /// Builds the fixed snapshot the golden file describes. All values are
@@ -56,6 +57,36 @@ fn golden_snapshot() -> MetricsSnapshot {
         // A fixed revision: the golden file pins the label formatting,
         // not whatever HEAD the test machine happens to have.
         git_rev: "deadbee".to_string(),
+        // Two restarts pin the tsv3d-pulse progress block: one mid-run
+        // with a dyadic best power, one stalled and still at +Inf.
+        progress: Some(ProgressSnapshot {
+            tick: 48,
+            stall_after: 40,
+            restarts: vec![
+                RestartProgress {
+                    restart: 0,
+                    iters_done: 2500,
+                    iters_planned: 10000,
+                    best_energy: 0.25,
+                    accepts: 311,
+                    heartbeat_tick: 47,
+                    improve_tick: 44,
+                    state: "running",
+                    stalled: false,
+                },
+                RestartProgress {
+                    restart: 1,
+                    iters_done: 0,
+                    iters_planned: 10000,
+                    best_energy: f64::INFINITY,
+                    accepts: 0,
+                    heartbeat_tick: 2,
+                    improve_tick: 2,
+                    state: "running",
+                    stalled: true,
+                },
+            ],
+        }),
     }
 }
 

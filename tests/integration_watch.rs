@@ -1,0 +1,190 @@
+//! End-to-end tests of `tsv3d watch`: the 0/1/2 exit-code contract
+//! over snapshot files, JSONL traces and a live `tsv3d serve`
+//! `/progress` endpoint.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::Duration;
+
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/data")
+        .join(name)
+        .to_str()
+        .expect("fixture path is UTF-8")
+        .to_string()
+}
+
+fn watch(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tsv3d"))
+        .arg("watch")
+        .args(args)
+        .env_remove("TSV3D_TELEMETRY")
+        .env_remove("TSV3D_METRICS_ADDR")
+        .output()
+        .expect("tsv3d watch runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+#[test]
+fn live_snapshot_renders_a_table_and_exits_zero() {
+    let out = watch(&[&fixture("pulse_live.json")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout_of(&out);
+    assert!(text.contains("restart"), "{text}");
+    assert!(text.contains("r0"), "{text}");
+    assert!(text.contains("running"), "{text}");
+    assert!(text.contains("2 restart(s): 1 running, 1 done, 0 stalled"), "{text}");
+}
+
+#[test]
+fn format_json_echoes_the_pulse_schema_with_derived_fields() {
+    let out = watch(&[&fixture("pulse_live.json"), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout_of(&out);
+    assert!(text.starts_with("{\"schema\":\"tsv3d-pulse/v1\""), "{text}");
+    assert!(text.contains("\"stalled_count\":0"), "{text}");
+    assert!(text.contains("\"all_done\":false"), "{text}");
+    assert!(text.contains("\"eta_s\":30"), "{text}");
+}
+
+#[test]
+fn a_stalled_snapshot_exits_one() {
+    let out = watch(&[&fixture("pulse_stalled.json")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(stdout_of(&out).contains("STALLED"));
+}
+
+#[test]
+fn a_malformed_snapshot_exits_two() {
+    let out = watch(&[&fixture("pulse_malformed.json")]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("unsupported schema"), "{err}");
+}
+
+#[test]
+fn an_unreadable_snapshot_exits_one() {
+    let out = watch(&["/nonexistent/pulse.json"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // No source at all.
+    let none = watch(&[]);
+    assert_eq!(none.status.code(), Some(2), "{none:?}");
+    // Two sources at once.
+    let both = watch(&[&fixture("pulse_live.json"), "--trace", "x.jsonl"]);
+    assert_eq!(both.status.code(), Some(2), "{both:?}");
+    // --poll without --addr.
+    let poll = watch(&[&fixture("pulse_live.json"), "--poll", "1"]);
+    assert_eq!(poll.status.code(), Some(2), "{poll:?}");
+}
+
+#[test]
+fn trace_mode_skips_pulse_events_and_sees_the_finished_run() {
+    let out = watch(&["--trace", &fixture("pulse_trace_mixed.jsonl")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout_of(&out);
+    assert!(text.contains("100/100"), "{text}");
+    assert!(text.contains("2 restart(s): 0 running, 2 done, 0 stalled"), "{text}");
+}
+
+/// A serve child killed on drop (same shape as integration_serve.rs).
+struct ServeGuard {
+    child: Child,
+    addr: String,
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ServeGuard {
+    fn spawn(extra: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_tsv3d"))
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .args(extra)
+            .env_remove("TSV3D_TELEMETRY")
+            .env_remove("TSV3D_METRICS_ADDR")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("tsv3d serve spawns");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut reader = BufReader::new(stdout);
+        let addr = loop {
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).expect("stdout is readable");
+            assert!(n > 0, "serve announces its address before EOF");
+            if let Some(rest) = line.trim_end().strip_prefix("serving metrics on http://") {
+                break rest.trim_end_matches('/').to_string();
+            }
+        };
+        ServeGuard {
+            child,
+            addr,
+            _stdout: reader,
+        }
+    }
+
+    fn get(&self, path: &str) -> String {
+        let mut conn = TcpStream::connect(&self.addr).expect("connect to serve");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .expect("request written");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("response read");
+        response
+    }
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn watch_reads_a_live_serve_progress_endpoint() {
+    let serve = ServeGuard::spawn(&["--demo"]);
+
+    // The demo annealer registers its progress cells on first use;
+    // poll /progress until restarts appear.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let response = serve.get("/progress");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("tsv3d-pulse/v1"), "{response}");
+        if response.contains("\"restart\":0") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "demo progress never appeared:\n{response}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let out = watch(&["--addr", &serve.addr, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout_of(&out);
+    assert!(text.starts_with("{\"schema\":\"tsv3d-pulse/v1\""), "{text}");
+    assert!(text.contains("\"restart\":0"), "{text}");
+    assert!(text.contains("\"stalled_count\":0"), "{text}");
+}
+
+#[test]
+fn watch_against_a_dead_endpoint_exits_one() {
+    // Bind-then-drop to get a port nothing listens on.
+    let port = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr").port()
+    };
+    let out = watch(&["--addr", &format!("127.0.0.1:{port}")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
