@@ -1,6 +1,6 @@
 //! Implementation of the `tsv3d bench`, `tsv3d trace`, `tsv3d
-//! converge`, `tsv3d history`, `tsv3d serve` and `tsv3d explain`
-//! subcommands.
+//! converge`, `tsv3d history`, `tsv3d serve`, `tsv3d explain` and
+//! `tsv3d dash` subcommands.
 //!
 //! The multiplexer binary in `tsv3d-experiments` forwards its argument
 //! tail here; everything returns an exit code instead of calling
@@ -9,7 +9,9 @@
 //! Exit codes: `0` success, `1` failure (I/O, a gated regression, or a
 //! failed bind), `2` usage error.
 
+use crate::analytics;
 use crate::converge;
+use crate::dash;
 use crate::explain;
 use crate::flamegraph;
 use crate::gate;
@@ -20,7 +22,7 @@ use crate::report::{self, BenchReport};
 use crate::trace;
 use crate::watch;
 use std::path::{Path, PathBuf};
-use tsv3d_telemetry::export::{MetricsServer, RunsJson};
+use tsv3d_telemetry::export::{self, DashHtml, MetricsServer, RunsJson};
 use tsv3d_telemetry::pulse::Pulse;
 use tsv3d_telemetry::{JsonLinesSink, NullSink, Sink, TelemetryHandle, Value};
 
@@ -134,7 +136,18 @@ Options:
                         cases with fewer than 2 prior records are
                         reported as `insufficient window` and never
                         fail the gate
-  --format json|text    output format (default text)
+  --detect              changepoint mode: scan each case's full wall
+                        and alloc series with a two-window median
+                        split + rank-significance guard and report
+                        steady / improved@rev / regressed@rev; series
+                        with fewer than 5 records are `insufficient`
+                        and never flagged
+  --detect-pct PCT      changepoint effect-size threshold, percent
+                        (default 10; implies --detect)
+  --gate-detect         exit 1 if --detect flags any regression
+                        changepoint (implies --detect)
+  --format json|text    output format (default text); with --detect,
+                        json emits one tsv3d-history-detect/v1 object
 ";
 
 /// Usage text of `tsv3d serve`.
@@ -149,19 +162,28 @@ Starts a std-only HTTP listener exposing live metrics:
   /runs      recent tsv3d-history/v1 run records as JSON
   /progress  live per-restart progress as tsv3d-pulse/v1 JSON
              (consumed by `tsv3d watch --addr`)
+  /dash      the `tsv3d dash` HTML dashboard rendered live from the
+             bench artifacts, the ledger, and an in-process /metrics
+             snapshot
 
-The exporter answers every scrape from a registry snapshot and its
-only writes are its own serve.requests.* counters (per-endpoint plus a
-4xx/bad-request counter, visible on the next /metrics scrape), so
-serving never perturbs measured results. The bound address is printed
-on stdout (useful with port 0).
+Every endpoint also answers HEAD with the same status, Content-Type
+and Content-Length as GET and an empty body. The exporter answers
+every scrape from a registry snapshot and its only writes are its own
+serve.requests.* counters (per-endpoint plus a 4xx/bad-request
+counter, visible on the next /metrics scrape), so serving never
+perturbs measured results. The bound address is printed on stdout
+(useful with port 0).
 
 Options:
   --addr HOST:PORT      bind address (default 127.0.0.1:9184, or the
                         TSV3D_METRICS_ADDR env var; port 0 picks a
                         free port)
-  --history FILE        ledger backing /runs (default
-                        results/history.jsonl; missing file serves [])
+  --history FILE        ledger backing /runs and the /dash trend
+                        sections (default results/history.jsonl;
+                        missing file serves [])
+  --bench-dir DIR       bench artifacts backing the /dash case table
+                        (default results/bench; missing dir serves an
+                        empty table)
   --demo                run the anneal_quick_3x3 workload in a loop on
                         a background thread so /metrics shows a live,
                         growing registry
@@ -194,6 +216,51 @@ Options:
                         watchdog flags one (exit 1)
   --format json|text    output format (default text); json echoes one
                         tsv3d-pulse/v1 object per rendering
+";
+
+/// Usage text of `tsv3d dash`.
+pub const DASH_USAGE: &str = "\
+Usage: tsv3d dash [options]
+
+Renders the unified observability dashboard: one self-contained HTML
+page (inline CSS, inline SVGs, no scripts, no external assets) fusing
+the BENCH_<case>.json artifacts, the history ledger's trailing-window
+trends and changepoint verdicts, an optional flamegraph trace, an
+optional convergence trace, the built-in attribution heatmap, the
+committed experiment artifacts, and optional live scrapes — plus a
+machine-readable tsv3d-dash/v1 JSON index with --format json.
+
+The page is a pure function of its inputs: no wall clock, no current
+git revision — byte-identical across repeated runs and for every
+--threads value. Malformed artifacts and ledger lines are skipped and
+counted, never fatal; missing *default* inputs degrade to empty
+sections, while an explicitly-given file that cannot be read is an
+error (exit 1).
+
+Options:
+  --bench-dir DIR       bench artifact directory to scan for
+                        BENCH_*.json (default results/bench)
+  --history FILE        cross-run ledger (default results/history.jsonl)
+  --trace FILE          telemetry JSONL trace for the flamegraph panel
+  --converge FILE       anneal.epoch JSONL trace for the convergence
+                        panel
+  --artifacts DIR       directory of committed experiment .txt
+                        artifacts to list (default results)
+  --live ADDR           also scrape /metrics and /progress from a live
+                        `tsv3d serve` into the page (the one
+                        non-reproducible section, by design)
+  --out FILE            HTML output path (default
+                        results/dashboard.html)
+  --window K            trailing records in the trend window
+                        (default 5)
+  --detect-pct PCT      changepoint effect-size threshold, percent
+                        (default 10)
+  --threads N           ingestion worker threads (default 1; the
+                        output is byte-identical for every N)
+  --format json|text    output format (default text); text prints a
+                        one-line summary after writing the HTML, json
+                        emits the tsv3d-dash/v1 index on stdout (the
+                        HTML is written either way)
 ";
 
 /// Usage text of `tsv3d explain`.
@@ -1059,6 +1126,9 @@ pub fn run_history(args: &[String]) -> i32 {
     let mut window: usize = 5;
     let mut case_filter: Option<String> = None;
     let mut gate_pct: Option<f64> = None;
+    let mut detect = false;
+    let mut detect_pct = analytics::DEFAULT_DETECT_PCT;
+    let mut gate_detect = false;
     let mut json_format = false;
     let mut i = 0;
     while i < args.len() {
@@ -1082,6 +1152,28 @@ pub fn run_history(args: &[String]) -> i32 {
                 case_filter = Some(v.clone());
                 2
             }),
+            "--detect" => {
+                detect = true;
+                Ok(1)
+            }
+            "--detect-pct" => match take_value()
+                .and_then(|v| v.parse::<f64>().map_err(|e| format!("--detect-pct: {e}")))
+            {
+                Ok(pct) if pct.is_finite() && pct >= 0.0 => {
+                    detect = true;
+                    detect_pct = pct;
+                    Ok(2)
+                }
+                Ok(_) => {
+                    Err("--detect-pct must be a non-negative percentage".to_string())
+                }
+                Err(message) => Err(message),
+            },
+            "--gate-detect" => {
+                detect = true;
+                gate_detect = true;
+                Ok(1)
+            }
             "--gate-trend" => match take_value()
                 .and_then(|v| v.parse::<f64>().map_err(|e| format!("--gate-trend: {e}")))
             {
@@ -1141,6 +1233,35 @@ pub fn run_history(args: &[String]) -> i32 {
             ledger.skipped, ledger.lines
         );
     }
+    if detect {
+        let reports = analytics::detect(&ledger, detect_pct);
+        if json_format {
+            println!("{}", analytics::render_json(&reports, &ledger, detect_pct));
+        } else {
+            println!(
+                "ledger: {} ({} record(s))",
+                path.display(),
+                ledger.records.len()
+            );
+            print!("{}", analytics::render_table(&reports, detect_pct));
+        }
+        if gate_detect {
+            let regressed: Vec<String> = reports
+                .iter()
+                .filter(|r| r.regressed())
+                .map(|r| format!("{}/{}", r.kind, r.case))
+                .collect();
+            if !regressed.is_empty() {
+                eprintln!(
+                    "error: {} case(s) show a regression changepoint: {}",
+                    regressed.len(),
+                    regressed.join(", ")
+                );
+                return 1;
+            }
+        }
+        return 0;
+    }
     let rows = history::analyze(&ledger, window, gate_pct);
     if json_format {
         println!("{}", history::render_json(&rows, &ledger, window));
@@ -1166,10 +1287,244 @@ pub fn run_history(args: &[String]) -> i32 {
     0
 }
 
+/// Scans `dir` for `BENCH_*.json` artifacts and reads them in sorted
+/// filename order — the ingestion order the dashboard's determinism
+/// contract pins. An unreadable directory yields the error; files
+/// that vanish between the scan and the read are silently dropped
+/// (the parse-level skip-and-count handles malformed content).
+fn collect_bench_files(dir: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    Ok(names
+        .into_iter()
+        .filter_map(|name| {
+            std::fs::read_to_string(dir.join(&name)).ok().map(|text| (name, text))
+        })
+        .collect())
+}
+
+/// Reads the committed experiment `.txt` artifacts from `dir`, sorted
+/// by filename.
+fn collect_artifact_files(dir: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| entry.file_type().map(|t| t.is_file()).unwrap_or(false))
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.ends_with(".txt"))
+        .collect();
+    names.sort();
+    Ok(names
+        .into_iter()
+        .filter_map(|name| {
+            std::fs::read_to_string(dir.join(&name)).ok().map(|text| (name, text))
+        })
+        .collect())
+}
+
+/// Runs `tsv3d dash` with the argument tail after the subcommand.
+pub fn run_dash(args: &[String]) -> i32 {
+    let mut bench_dir = PathBuf::from("results/bench");
+    let mut history_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut converge_path: Option<PathBuf> = None;
+    let mut artifacts_dir = PathBuf::from("results");
+    let mut live_addr: Option<String> = None;
+    let mut out = PathBuf::from("results/dashboard.html");
+    let mut opts = dash::DashOptions::default();
+    let mut json_format = false;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let take_value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        let step = match key {
+            "--bench-dir" => take_value().map(|v| {
+                bench_dir = PathBuf::from(v);
+                2
+            }),
+            "--history" => take_value().map(|v| {
+                history_path = Some(PathBuf::from(v));
+                2
+            }),
+            "--trace" => take_value().map(|v| {
+                trace_path = Some(PathBuf::from(v));
+                2
+            }),
+            "--converge" => take_value().map(|v| {
+                converge_path = Some(PathBuf::from(v));
+                2
+            }),
+            "--artifacts" => take_value().map(|v| {
+                artifacts_dir = PathBuf::from(v);
+                2
+            }),
+            "--live" => take_value().map(|v| {
+                live_addr = Some(v.clone());
+                2
+            }),
+            "--out" => take_value().map(|v| {
+                out = PathBuf::from(v);
+                2
+            }),
+            "--window" => match take_value()
+                .and_then(|v| v.parse::<usize>().map_err(|e| format!("--window: {e}")))
+            {
+                Ok(0) => Err("--window must be at least 1".to_string()),
+                Ok(k) => {
+                    opts.window = k;
+                    Ok(2)
+                }
+                Err(message) => Err(message),
+            },
+            "--detect-pct" => match take_value()
+                .and_then(|v| v.parse::<f64>().map_err(|e| format!("--detect-pct: {e}")))
+            {
+                Ok(pct) if pct.is_finite() && pct >= 0.0 => {
+                    opts.detect_pct = pct;
+                    Ok(2)
+                }
+                Ok(_) => {
+                    Err("--detect-pct must be a non-negative percentage".to_string())
+                }
+                Err(message) => Err(message),
+            },
+            "--threads" => match take_value()
+                .and_then(|v| v.parse::<usize>().map_err(|e| format!("--threads: {e}")))
+            {
+                Ok(0) => Err("--threads must be at least 1".to_string()),
+                Ok(n) => {
+                    opts.threads = n;
+                    Ok(2)
+                }
+                Err(message) => Err(message),
+            },
+            "--format" => match take_value().map(String::as_str) {
+                Ok("json") => {
+                    json_format = true;
+                    Ok(2)
+                }
+                Ok("text") => {
+                    json_format = false;
+                    Ok(2)
+                }
+                Ok(other) => Err(format!("--format must be `json` or `text`, got `{other}`")),
+                Err(message) => Err(message),
+            },
+            other => Err(format!("unknown dash option `{other}`")),
+        };
+        match step {
+            Ok(n) => i += n,
+            Err(message) => {
+                eprintln!("error: {message}\n{DASH_USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    let mut sources = dash::DashSources {
+        bench_dir: bench_dir.display().to_string(),
+        ..dash::DashSources::default()
+    };
+    // Missing *default* inputs degrade to empty sections; an
+    // explicitly-named file that cannot be read is an error.
+    match collect_bench_files(&bench_dir) {
+        Ok(files) => sources.bench_files = files,
+        Err(e) => eprintln!(
+            "warning: cannot read bench dir `{}`: {e}; bench section will be empty",
+            bench_dir.display()
+        ),
+    }
+    let ledger_path =
+        history_path.clone().unwrap_or_else(|| PathBuf::from("results/history.jsonl"));
+    match std::fs::read_to_string(&ledger_path) {
+        Ok(text) => sources.history = Some((ledger_path.display().to_string(), text)),
+        Err(e) => {
+            if history_path.is_some() {
+                eprintln!("error: cannot read `{}`: {e}", ledger_path.display());
+                return 1;
+            }
+        }
+    }
+    if let Some(path) = &trace_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => sources.trace = Some((path.display().to_string(), text)),
+            Err(e) => {
+                eprintln!("error: cannot read `{}`: {e}", path.display());
+                return 1;
+            }
+        }
+    }
+    if let Some(path) = &converge_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => sources.converge = Some((path.display().to_string(), text)),
+            Err(e) => {
+                eprintln!("error: cannot read `{}`: {e}", path.display());
+                return 1;
+            }
+        }
+    }
+    match collect_artifact_files(&artifacts_dir) {
+        Ok(files) => sources.artifacts = files,
+        Err(e) => eprintln!(
+            "warning: cannot read artifacts dir `{}`: {e}; artifact section will be empty",
+            artifacts_dir.display()
+        ),
+    }
+    if let Some(addr) = &live_addr {
+        for endpoint in ["/metrics", "/progress"] {
+            match watch::fetch_path(addr, endpoint) {
+                Ok(body) => sources
+                    .live
+                    .push((format!("http://{addr}{endpoint}"), body)),
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return 1;
+                }
+            }
+        }
+    }
+
+    let data = dash::build(&sources, &opts);
+    let html = dash::render_html(&data);
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create `{}`: {e}", parent.display());
+                return 1;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &html) {
+        eprintln!("error: cannot write `{}`: {e}", out.display());
+        return 1;
+    }
+    if json_format {
+        print!("{}", dash::render_json(&data));
+    } else {
+        println!("wrote {} ({} bytes)", out.display(), html.len());
+        println!(
+            "bench: {} artifact(s), {} skipped; ledger: {} record(s), {} line(s) skipped; regressed: {}",
+            data.bench.len(),
+            data.bench_skipped.len(),
+            data.ledger.records.len(),
+            data.ledger.skipped,
+            data.verdicts.iter().filter(|v| v.regressed()).count()
+        );
+    }
+    0
+}
+
 /// Runs `tsv3d serve` with the argument tail after the subcommand.
 pub fn run_serve(args: &[String]) -> i32 {
     let mut addr: Option<String> = None;
     let mut history_path = PathBuf::from("results/history.jsonl");
+    let mut bench_dir = PathBuf::from("results/bench");
     let mut demo = false;
     let mut max_requests: Option<u64> = None;
     let mut i = 0;
@@ -1186,6 +1541,10 @@ pub fn run_serve(args: &[String]) -> i32 {
             }),
             "--history" => take_value().map(|v| {
                 history_path = PathBuf::from(v);
+                2
+            }),
+            "--bench-dir" => take_value().map(|v| {
+                bench_dir = PathBuf::from(v);
                 2
             }),
             "--demo" => {
@@ -1228,18 +1587,45 @@ pub fn run_serve(args: &[String]) -> i32 {
             Err(_) => "[]\n".to_string(),
         })
     };
-    let server = match MetricsServer::start(addr.as_str(), &tel, Some(runs)) {
-        Ok(s) => s,
-        Err(message) => {
-            eprintln!("error: cannot bind `{addr}`: {message}");
-            return 1;
-        }
+    // /dash renders the same dashboard `tsv3d dash` writes to disk,
+    // re-reading the bench dir and ledger per request so the page
+    // tracks artifacts landing while the server runs; the live section
+    // comes from an in-process registry snapshot instead of a
+    // self-scrape.
+    let dash_html: DashHtml = {
+        let bench_dir = bench_dir.clone();
+        let history_path = history_path.clone();
+        let tel = tel.clone();
+        std::sync::Arc::new(move || {
+            let mut sources = dash::DashSources {
+                bench_dir: bench_dir.display().to_string(),
+                ..dash::DashSources::default()
+            };
+            sources.bench_files = collect_bench_files(&bench_dir).unwrap_or_default();
+            if let Ok(text) = std::fs::read_to_string(&history_path) {
+                sources.history = Some((history_path.display().to_string(), text));
+            }
+            let snapshot = export::MetricsSnapshot::capture(&tel);
+            sources.live.push((
+                "in-process /metrics snapshot".to_string(),
+                export::render_prometheus(&snapshot),
+            ));
+            dash::render_html(&dash::build(&sources, &dash::DashOptions::default()))
+        })
     };
+    let server =
+        match MetricsServer::start_with(addr.as_str(), &tel, Some(runs), Some(dash_html)) {
+            Ok(s) => s,
+            Err(message) => {
+                eprintln!("error: cannot bind `{addr}`: {message}");
+                return 1;
+            }
+        };
     // Stdout is line-buffered even when piped: smoke tests parse the
     // resolved address (port 0 → real port) from this line.
     println!("serving metrics on http://{}/", server.local_addr());
     println!(
-        "endpoints: /metrics /healthz /runs /progress  (history: {})",
+        "endpoints: /metrics /healthz /runs /progress /dash  (history: {})",
         history_path.display()
     );
 
@@ -1430,6 +1816,65 @@ pub fn run_watch(args: &[String]) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_analysis_usage_advertises_the_format_flag() {
+        // The --format json|text contract is part of every analysis
+        // subcommand's surface; bench reports through its artifact
+        // schema and serve through its endpoints, so they are exempt.
+        for (name, usage) in [
+            ("trace", TRACE_USAGE),
+            ("converge", CONVERGE_USAGE),
+            ("history", HISTORY_USAGE),
+            ("watch", WATCH_USAGE),
+            ("explain", EXPLAIN_USAGE),
+            ("dash", DASH_USAGE),
+        ] {
+            assert!(
+                usage.contains("--format json|text"),
+                "{name} usage must advertise --format json|text"
+            );
+        }
+    }
+
+    #[test]
+    fn history_detect_flags_parse_and_gate() {
+        let dir = std::env::temp_dir().join(format!(
+            "tsv3d_history_detect_cli_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ledger = dir.join("ledger.jsonl");
+        let mut lines = String::new();
+        for (i, ns) in [500000u64, 505000, 495000, 502000, 1000000].iter().enumerate() {
+            lines.push_str(&format!(
+                "{{\"schema\":\"tsv3d-history/v1\",\"kind\":\"bench\",\
+                 \"case\":\"jumpy\",\"git_rev\":\"rev{i}\",\"unix_time_s\":{},\
+                 \"median_ns\":{ns},\"threads\":1}}\n",
+                1000 + i
+            ));
+        }
+        std::fs::write(&ledger, lines).unwrap();
+        let path = ledger.display().to_string();
+        let to_args = |tail: &[&str]| -> Vec<String> {
+            std::iter::once(path.clone())
+                .chain(tail.iter().map(|s| s.to_string()))
+                .collect()
+        };
+        // Detect without the gate reports and exits 0 …
+        assert_eq!(run_history(&to_args(&["--detect"])), 0);
+        // … the gate turns the regression changepoint into exit 1 …
+        assert_eq!(run_history(&to_args(&["--gate-detect"])), 1);
+        // … and a sky-high threshold sees no changepoint at all.
+        assert_eq!(
+            run_history(&to_args(&["--gate-detect", "--detect-pct", "500"])),
+            0
+        );
+        // Bad threshold values are usage errors.
+        assert_eq!(run_history(&to_args(&["--detect-pct", "-3"])), 2);
+        assert_eq!(run_history(&to_args(&["--detect-pct"])), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn bench_arg_parsing_covers_the_surface() {

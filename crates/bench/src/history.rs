@@ -214,6 +214,24 @@ fn median_of(mut values: Vec<f64>) -> f64 {
     }
 }
 
+/// Groups ledger records by `(kind, case)`, preserving append order
+/// within each group. The `BTreeMap` keying gives every consumer
+/// (trend rows, changepoint analytics, dashboard sparklines) the same
+/// stable group ordering.
+pub fn group_records(
+    ledger: &Ledger,
+) -> std::collections::BTreeMap<(String, String), Vec<&HistoryRecord>> {
+    let mut groups: std::collections::BTreeMap<(String, String), Vec<&HistoryRecord>> =
+        std::collections::BTreeMap::new();
+    for record in &ledger.records {
+        groups
+            .entry((record.kind.clone(), record.case.clone()))
+            .or_default()
+            .push(record);
+    }
+    groups
+}
+
 /// Analyzes a ledger into per-group trend rows, sorted by
 /// `(kind, case)` for stable output.
 ///
@@ -225,14 +243,7 @@ fn median_of(mut values: Vec<f64>) -> f64 {
 /// `None` (informational listing) still computes deltas but marks
 /// every judged row [`TrendStatus::Ok`].
 pub fn analyze(ledger: &Ledger, window: usize, gate_pct: Option<f64>) -> Vec<TrendRow> {
-    use std::collections::BTreeMap;
-    let mut groups: BTreeMap<(String, String), Vec<&HistoryRecord>> = BTreeMap::new();
-    for record in &ledger.records {
-        groups
-            .entry((record.kind.clone(), record.case.clone()))
-            .or_default()
-            .push(record);
-    }
+    let groups = group_records(ledger);
     let mut rows = Vec::with_capacity(groups.len());
     for ((kind, case), records) in groups {
         let latest = records.last().expect("group is non-empty");

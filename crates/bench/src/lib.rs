@@ -36,6 +36,17 @@
 //!   contribution tables from [`tsv3d_core::attribution`], array
 //!   heatmap SVGs, and assignment `--compare` diff reports showing
 //!   where an optimised assignment's savings come from.
+//! * [`analytics`] — cross-run changepoint detection over the ledger
+//!   (`tsv3d history --detect`): a sliding two-window median split
+//!   with a rank-based significance guard, yielding per-case
+//!   steady / improved@rev / regressed@rev verdicts and a CI gate
+//!   (`--gate-detect`).
+//! * [`dash`] — the unified observability dashboard (`tsv3d dash`):
+//!   one self-contained, byte-deterministic HTML page (and a
+//!   `tsv3d-dash/v1` JSON index) fusing bench artifacts, ledger
+//!   trends + changepoint verdicts, the flamegraph, the convergence
+//!   plot, the attribution heatmap and optional live scrapes; also
+//!   served live from `tsv3d serve` at `/dash`.
 //! * [`svg`] — the shared deterministic-SVG primitives (document
 //!   skeleton, escaping, FNV-1a color keying) behind all three
 //!   renderers.
@@ -56,8 +67,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod cli;
 pub mod converge;
+pub mod dash;
 pub mod explain;
 pub mod flamegraph;
 pub mod gate;

@@ -56,6 +56,53 @@ pub fn document_open(width: f64, height: f64) -> String {
     out
 }
 
+/// A self-contained inline sparkline: one `<svg>` element (no XML
+/// declaration, so it embeds directly in HTML) drawing `values` as a
+/// polyline with a dot on the latest point. Coordinates are fixed to
+/// two decimals and the geometry is a pure function of the inputs, so
+/// the markup is byte-deterministic. With fewer than two points only
+/// the frame is drawn.
+pub fn sparkline(values: &[f64], width: f64, height: f64, stroke: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg class="spark" width="{width}" height="{height}" viewBox="0 0 {width} {height}" xmlns="http://www.w3.org/2000/svg">"#
+    );
+    let pad = 2.0;
+    if values.len() >= 2 {
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = max - min;
+        let step = (width - 2.0 * pad) / (values.len() - 1) as f64;
+        let points: Vec<String> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let x = pad + step * i as f64;
+                let y = if span > 0.0 {
+                    // Larger value → higher on the plot (smaller y).
+                    pad + (height - 2.0 * pad) * (1.0 - (v - min) / span)
+                } else {
+                    height / 2.0
+                };
+                format!("{x:.2},{y:.2}")
+            })
+            .collect();
+        let _ = write!(
+            out,
+            r#"<polyline fill="none" stroke="{stroke}" stroke-width="1.5" points="{}"/>"#,
+            points.join(" ")
+        );
+        if let Some(last) = points.last() {
+            let (x, y) = last.split_once(',').expect("point is x,y");
+            let _ = write!(out, r#"<circle cx="{x}" cy="{y}" r="2" fill="{stroke}"/>"#);
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +131,31 @@ mod tests {
         assert!(head.ends_with("<rect x=\"0\" y=\"0\" width=\"1200\" height=\"392\" fill=\"#f8f8f8\"/>\n"));
         // Non-integral sizes keep the plain Display formatting.
         assert!(document_open(10.5, 20.0).contains(r#"width="10.5" height="20""#));
+    }
+
+    #[test]
+    fn sparkline_is_deterministic_and_self_contained() {
+        let values = [1.0, 3.0, 2.0, 5.0];
+        let a = sparkline(&values, 120.0, 24.0, "#336699");
+        let b = sparkline(&values, 120.0, 24.0, "#336699");
+        assert_eq!(a, b);
+        assert!(a.starts_with("<svg"), "no XML declaration: {a}");
+        assert!(a.ends_with("</svg>"));
+        assert!(a.contains("<polyline"));
+        assert!(a.contains("<circle"), "latest-point dot: {a}");
+        // Extremes map to the padded frame: max 5.0 at y=2, min 1.0 at y=22.
+        assert!(a.contains(",2.00"), "{a}");
+        assert!(a.contains(",22.00"), "{a}");
+    }
+
+    #[test]
+    fn sparkline_degenerate_inputs_draw_only_the_frame() {
+        let empty = sparkline(&[], 120.0, 24.0, "#336699");
+        assert!(!empty.contains("polyline"));
+        let single = sparkline(&[4.2], 120.0, 24.0, "#336699");
+        assert!(!single.contains("polyline"));
+        // A flat series still draws, centred.
+        let flat = sparkline(&[2.0, 2.0, 2.0], 120.0, 24.0, "#336699");
+        assert!(flat.contains(",12.00"), "{flat}");
     }
 }

@@ -366,12 +366,24 @@ pub fn from_trace(text: &str, source: &str, stall_secs: f64) -> Result<WatchRepo
 /// the caller maps these to exit code 1 (an endpoint that is down is
 /// an operational failure, not a usage error).
 pub fn fetch_progress(addr: &str) -> Result<String, String> {
+    fetch_path(addr, "/progress")
+}
+
+/// Fetches an arbitrary path from a live exporter over the same
+/// zero-dependency transport as [`fetch_progress`]. `tsv3d dash
+/// --live` uses this to scrape `/metrics` and `/progress` into the
+/// dashboard's live section.
+///
+/// # Errors
+///
+/// Connection and read failures, and non-200 responses, as messages.
+pub fn fetch_path(addr: &str, path: &str) -> Result<String, String> {
     use std::io::{Read as _, Write as _};
     let mut stream = std::net::TcpStream::connect(addr)
         .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
     let request =
-        format!("GET /progress HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
     stream
         .write_all(request.as_bytes())
         .map_err(|e| format!("cannot send request to `{addr}`: {e}"))?;

@@ -17,10 +17,17 @@
 //!   explain   per-TSV power attribution: ranked contribution tables,
 //!             array heatmap SVG, --compare savings diff reports
 //!   history   analyze the cross-run ledger, gate on trend regressions
+//!             (--detect runs the changepoint detector, --gate-detect
+//!             gates on regression changepoints)
 //!   serve     HTTP listener: /metrics (Prometheus), /healthz, /runs,
-//!             /progress (live tsv3d-pulse/v1 per-restart progress)
+//!             /progress (live tsv3d-pulse/v1 per-restart progress),
+//!             /dash (live HTML dashboard)
 //!   watch     live progress/ETA tables with stall verdicts, from a
 //!             /progress endpoint, a snapshot file or a JSONL trace
+//!   dash      render the unified observability dashboard: one
+//!             self-contained, byte-deterministic HTML page fusing
+//!             bench artifacts, ledger trends + changepoint verdicts,
+//!             flamegraph/convergence/attribution figures
 //!   help      print this usage summary
 //!
 //! Common options:
@@ -74,17 +81,22 @@ Commands:
   explain   per-TSV power attribution: ranked contribution tables,
             array heatmap SVG, --compare savings diff reports
   history   analyze the cross-run ledger, gate on trend regressions
+            (--detect/--gate-detect: changepoint verdicts)
   serve     HTTP listener: /metrics (Prometheus), /healthz, /runs,
-            /progress (live tsv3d-pulse/v1 per-restart progress)
+            /progress (live tsv3d-pulse/v1 per-restart progress),
+            /dash (live HTML dashboard)
   watch     live progress/ETA tables with stall verdicts, from a
             /progress endpoint, a snapshot file or a JSONL trace
+  dash      render the unified observability dashboard (one
+            self-contained, byte-deterministic HTML page + a
+            tsv3d-dash/v1 JSON index)
   help      print this usage summary
 
 Run `tsv3d bench --list` for the benchmark cases, `tsv3d converge
 --help` / `tsv3d explain --help` / `tsv3d history --help` /
-`tsv3d serve --help` / `tsv3d watch --help` for the observability
-surfaces, or see the module docs (crates/experiments/src/bin/tsv3d.rs)
-for every option.
+`tsv3d serve --help` / `tsv3d watch --help` / `tsv3d dash --help` for
+the observability surfaces, or see the module docs
+(crates/experiments/src/bin/tsv3d.rs) for every option.
 ";
 
 #[derive(Debug)]
@@ -478,6 +490,13 @@ fn main() {
                 return;
             }
             std::process::exit(tsv3d_bench::cli::run_watch(&args[1..]))
+        }
+        Some("dash") => {
+            if args.get(1).is_some_and(|a| a == "--help" || a == "-h") {
+                print!("{}", tsv3d_bench::cli::DASH_USAGE);
+                return;
+            }
+            std::process::exit(tsv3d_bench::cli::run_dash(&args[1..]))
         }
         Some("help" | "--help" | "-h") => {
             print!("{USAGE}");

@@ -26,9 +26,14 @@
 //! | `/healthz` | `ok` — liveness for scripts and CI smoke jobs |
 //! | `/runs`    | JSON array of recent run summaries (ledger-backed) |
 //! | `/progress` | `tsv3d-pulse/v1` JSON: live per-restart progress |
+//! | `/dash`    | live HTML dashboard (when a renderer is attached) |
 //!
-//! Malformed request lines get `400`, non-GET methods `405`, unknown
-//! paths `404`; every response closes the connection.
+//! Every endpoint answers `HEAD` with the same status and headers as
+//! `GET` (including an accurate `Content-Length`) and an empty body —
+//! the probe shape load balancers and uptime checks use. Every
+//! response carries `Content-Length`. Malformed request lines get
+//! `400`, methods other than `GET`/`HEAD` get `405`, unknown paths
+//! `404`; every response closes the connection.
 //!
 //! # Examples
 //!
@@ -338,9 +343,17 @@ fn json_f64(v: f64) -> String {
 /// injects one that reads `results/history.jsonl`.
 pub type RunsJson = Arc<dyn Fn() -> String + Send + Sync>;
 
+/// Producer of the `/dash` HTML body — the same injection pattern as
+/// [`RunsJson`]: the CLI layer supplies a closure that renders the
+/// `tsv3d dash` dashboard from a fresh in-process snapshot plus the
+/// ledger, and this crate stays ignorant of the renderer. Without one,
+/// `/dash` answers `404`.
+pub type DashHtml = Arc<dyn Fn() -> String + Send + Sync>;
+
 struct ServerShared {
     tel: TelemetryHandle,
     runs: Option<RunsJson>,
+    dash: Option<DashHtml>,
     stop: AtomicBool,
     requests: AtomicU64,
 }
@@ -382,11 +395,26 @@ impl MetricsServer {
         tel: &TelemetryHandle,
         runs: Option<RunsJson>,
     ) -> std::io::Result<Self> {
+        Self::start_with(addr, tel, runs, None)
+    }
+
+    /// [`start`](Self::start) plus an optional `/dash` HTML renderer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (`EADDRINUSE`, bad address, …).
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        tel: &TelemetryHandle,
+        runs: Option<RunsJson>,
+        dash: Option<DashHtml>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
             tel: tel.clone(),
             runs,
+            dash,
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
         });
@@ -463,7 +491,16 @@ fn read_request_line(stream: &mut TcpStream) -> Option<String> {
     Some(String::from_utf8_lossy(&buf[..end]).trim_end().to_string())
 }
 
-fn write_response(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+/// Writes one full response. `head_only` (a `HEAD` request) sends the
+/// identical status line and headers — `Content-Length` still counts
+/// the body a `GET` would have returned — but omits the body itself.
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+    head_only: bool,
+) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
     let head = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
@@ -471,7 +508,9 @@ fn write_response(stream: &mut TcpStream, status: &str, content_type: &str, body
         body.len()
     );
     let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    if !head_only {
+        let _ = stream.write_all(body.as_bytes());
+    }
     let _ = stream.flush();
 }
 
@@ -479,7 +518,7 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
     shared.requests.fetch_add(1, Relaxed);
     let Some(line) = read_request_line(&mut stream) else {
         shared.tel.add("serve.requests.bad", 1);
-        write_response(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
+        write_response(&mut stream, "400 Bad Request", "text/plain", "bad request\n", false);
         return;
     };
     // Request line: METHOD SP request-target SP HTTP-version.
@@ -489,39 +528,42 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
         (Some(m), Some(t), Some(v), None) if v.starts_with("HTTP/") => (m, t, v),
         _ => {
             shared.tel.add("serve.requests.bad", 1);
-            write_response(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
+            write_response(&mut stream, "400 Bad Request", "text/plain", "bad request\n", false);
             return;
         }
     };
     let _ = version;
-    if method != "GET" {
+    if method != "GET" && method != "HEAD" {
         shared.tel.add("serve.requests.bad", 1);
         write_response(
             &mut stream,
             "405 Method Not Allowed",
             "text/plain",
-            "only GET is supported\n",
+            "only GET and HEAD are supported\n",
+            false,
         );
         return;
     }
+    let head_only = method == "HEAD";
     // Strip any query string; the endpoints take no parameters.
     let path = target.split('?').next().unwrap_or(target);
-    match path {
+    // Resolve status/type/body first, then write once — GET and HEAD
+    // share the exact computation, so a HEAD's Content-Length always
+    // matches the body the GET would have carried.
+    let (status, content_type, body) = match path {
         "/metrics" => {
             // Count before capturing so the exporter observes itself:
             // this very scrape appears in the body it returns.
             shared.tel.add("serve.requests.metrics", 1);
-            let body = render_prometheus(&MetricsSnapshot::capture(&shared.tel));
-            write_response(
-                &mut stream,
+            (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
-                &body,
-            );
+                render_prometheus(&MetricsSnapshot::capture(&shared.tel)),
+            )
         }
         "/healthz" => {
             shared.tel.add("serve.requests.healthz", 1);
-            write_response(&mut stream, "200 OK", "text/plain", "ok\n");
+            ("200 OK", "text/plain", "ok\n".to_string())
         }
         "/runs" => {
             shared.tel.add("serve.requests.runs", 1);
@@ -529,20 +571,37 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
                 .runs
                 .as_ref()
                 .map_or_else(|| "[]\n".to_string(), |f| f());
-            write_response(&mut stream, "200 OK", "application/json", &body);
+            ("200 OK", "application/json", body)
         }
         "/progress" => {
             shared.tel.add("serve.requests.progress", 1);
             let progress = shared.tel.pulse().map(|pulse| pulse.progress_snapshot());
-            let body =
-                render_progress_json(progress.as_ref(), shared.tel.elapsed_seconds());
-            write_response(&mut stream, "200 OK", "application/json", &body);
+            (
+                "200 OK",
+                "application/json",
+                render_progress_json(progress.as_ref(), shared.tel.elapsed_seconds()),
+            )
         }
+        "/dash" => match shared.dash.as_ref() {
+            Some(render) => {
+                shared.tel.add("serve.requests.dash", 1);
+                ("200 OK", "text/html; charset=utf-8", render())
+            }
+            None => {
+                shared.tel.add("serve.requests.bad", 1);
+                (
+                    "404 Not Found",
+                    "text/plain",
+                    "no dashboard renderer attached\n".to_string(),
+                )
+            }
+        },
         _ => {
             shared.tel.add("serve.requests.bad", 1);
-            write_response(&mut stream, "404 Not Found", "text/plain", "not found\n");
+            ("404 Not Found", "text/plain", "not found\n".to_string())
         }
-    }
+    };
+    write_response(&mut stream, status, content_type, &body, head_only);
 }
 
 #[cfg(test)]

@@ -1,17 +1,23 @@
 //! Socket-level tests of the `export::MetricsServer` HTTP listener:
-//! endpoint routing, the malformed-input contract (400/404/405), and
-//! concurrent scrapes against a live registry.
+//! endpoint routing, the HEAD and Content-Length contract, the
+//! malformed-input contract (400/404/405), and concurrent scrapes
+//! against a live registry.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use tsv3d_telemetry::export::{MetricsServer, RunsJson};
+use tsv3d_telemetry::export::{DashHtml, MetricsServer, RunsJson};
 use tsv3d_telemetry::{NullSink, TelemetryHandle};
 
 fn start(tel: &TelemetryHandle, runs: Option<RunsJson>) -> MetricsServer {
     MetricsServer::start("127.0.0.1:0", tel, runs).expect("bind an ephemeral port")
+}
+
+fn start_with_dash(tel: &TelemetryHandle, dash: DashHtml) -> MetricsServer {
+    MetricsServer::start_with("127.0.0.1:0", tel, None, Some(dash))
+        .expect("bind an ephemeral port")
 }
 
 /// Sends raw bytes and returns the full response text.
@@ -33,11 +39,32 @@ fn get(server: &MetricsServer, path: &str) -> String {
     )
 }
 
+fn head(server: &MetricsServer, path: &str) -> String {
+    raw_request(
+        server,
+        format!("HEAD {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes(),
+    )
+}
+
 fn body_of(response: &str) -> &str {
     response
         .split_once("\r\n\r\n")
         .map(|(_, body)| body)
         .unwrap_or("")
+}
+
+fn content_length_of(response: &str) -> usize {
+    response
+        .lines()
+        .find_map(|line| line.strip_prefix("Content-Length: "))
+        .unwrap_or_else(|| panic!("Content-Length header missing:\n{response}"))
+        .trim()
+        .parse()
+        .expect("numeric Content-Length")
+}
+
+fn status_line_of(response: &str) -> &str {
+    response.lines().next().unwrap_or("")
 }
 
 #[test]
@@ -183,6 +210,86 @@ fn runs_endpoint_defaults_to_empty_array() {
     let server = start(&tel, None);
     let response = get(&server, "/runs");
     assert_eq!(body_of(&response), "[]\n");
+    server.shutdown();
+}
+
+#[test]
+fn every_response_carries_an_accurate_content_length() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    for path in ["/metrics", "/healthz", "/runs", "/progress", "/nope"] {
+        let response = get(&server, path);
+        assert_eq!(
+            content_length_of(&response),
+            body_of(&response).len(),
+            "GET {path}:\n{response}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn head_mirrors_get_headers_with_an_empty_body() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let runs: RunsJson = Arc::new(|| "[{\"case\":\"demo\"}]\n".to_string());
+    let server = start(&tel, Some(runs));
+    // Stable-body endpoints: HEAD advertises exactly the length GET
+    // would send, and sends nothing.
+    for path in ["/healthz", "/runs", "/nope"] {
+        let got = get(&server, path);
+        let probed = head(&server, path);
+        assert_eq!(
+            status_line_of(&probed),
+            status_line_of(&got),
+            "HEAD {path} status"
+        );
+        assert_eq!(body_of(&probed), "", "HEAD {path} must send no body");
+        assert_eq!(
+            content_length_of(&probed),
+            body_of(&got).len(),
+            "HEAD {path} Content-Length:\n{probed}"
+        );
+    }
+    // /metrics self-counts before capturing and /progress embeds the
+    // live uptime, so their body lengths can drift between requests;
+    // the shape contract still holds.
+    for path in ["/metrics", "/progress"] {
+        let probed = head(&server, path);
+        assert!(probed.starts_with("HTTP/1.1 200 OK"), "{probed}");
+        assert_eq!(body_of(&probed), "", "HEAD {path} must send no body");
+        assert!(content_length_of(&probed) > 0, "{probed}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn dash_endpoint_uses_the_injected_renderer() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let dash: DashHtml = Arc::new(|| "<!DOCTYPE html>\n<html>dash</html>\n".to_string());
+    let server = start_with_dash(&tel, dash);
+    let response = get(&server, "/dash");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("text/html; charset=utf-8"), "{response}");
+    assert_eq!(body_of(&response), "<!DOCTYPE html>\n<html>dash</html>\n");
+    // HEAD probes the same renderer.
+    let probed = head(&server, "/dash");
+    assert!(probed.starts_with("HTTP/1.1 200 OK"), "{probed}");
+    assert_eq!(body_of(&probed), "");
+    assert_eq!(
+        content_length_of(&probed),
+        "<!DOCTYPE html>\n<html>dash</html>\n".len()
+    );
+    assert_eq!(tel.counter_value("serve.requests.dash"), Some(2));
+    server.shutdown();
+}
+
+#[test]
+fn dash_without_a_renderer_is_404() {
+    let tel = TelemetryHandle::with_sink(Box::new(NullSink));
+    let server = start(&tel, None);
+    let response = get(&server, "/dash");
+    assert!(response.starts_with("HTTP/1.1 404 Not Found"), "{response}");
+    assert!(response.contains("no dashboard renderer attached"), "{response}");
     server.shutdown();
 }
 

@@ -1,7 +1,9 @@
 //! End-to-end tests of `tsv3d history` against the committed fixture
 //! ledgers in `tests/data/`: trend tables, the `--gate-trend` exit
-//! contract (0 pass / 1 regressed / 2 usage), and the skip-and-count
-//! robustness policy for malformed ledger lines.
+//! contract (0 pass / 1 regressed / 2 usage), pre-pulse ledger
+//! back-compat, the `--detect` changepoint mode with its `--gate-detect`
+//! CI gate, and the skip-and-count robustness policy for malformed
+//! ledger lines.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -136,6 +138,134 @@ fn json_format_emits_a_machine_readable_report() {
         .collect();
     assert!(statuses.contains(&"regressed"), "{statuses:?}");
     assert!(statuses.contains(&"ok"), "{statuses:?}");
+}
+
+#[test]
+fn prepulse_records_parse_trend_and_gate_without_skips() {
+    // The fixture ledger predates the pulse fields: no record carries
+    // wall_s or stalls. Every line must parse (no skip-and-count) and
+    // participate fully in trends and gating.
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_prepulse.jsonl"),
+        "--gate-trend",
+        "10",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    let err = stderr(&out);
+    assert!(
+        !err.contains("skipped"),
+        "pre-pulse records must not be skipped:\n{err}"
+    );
+    let text = stdout(&out);
+    // The table renders '-' for the absent pulse columns…
+    assert!(text.contains("10 record(s)"), "{text}");
+    assert!(text.contains("codec_hamming_w16"), "{text}");
+    // …the steady case stays green, and the regression in equally
+    // pre-pulse records still trips the gate.
+    assert!(text.contains(" ok"), "{text}");
+    assert!(text.contains("REGRESSED"), "{text}");
+    assert!(err.contains("anneal_inc_delta_6x6"), "{err}");
+
+    // Filtered to the steady case, the same pre-pulse ledger gates 0.
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_prepulse.jsonl"),
+        "--case",
+        "codec_hamming",
+        "--gate-trend",
+        "10",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn detect_flags_the_regressed_fixture_and_clears_the_steady_one() {
+    // The steady fixture: every series is steady or insufficient, so
+    // even the gated detect run exits 0.
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_steady.jsonl"),
+        "--detect",
+        "--gate-detect",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("steady"), "{text}");
+    assert!(!text.contains("REGRESSED"), "{text}");
+
+    // The regressed fixture: the gray_encode series jumps 2x at its
+    // last record (rev eeee555) — flagged at the exact revision, while
+    // the 4-point mna series stays insufficient and never gates.
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_regressed.jsonl"),
+        "--detect",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "detect without gate reports only");
+    let text = stdout(&out);
+    assert!(text.contains("REGRESSED@eeee555"), "{text}");
+    assert!(text.contains("insufficient"), "{text}");
+
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_regressed.jsonl"),
+        "--gate-detect",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    assert!(
+        stderr(&out).contains("regression changepoint")
+            && stderr(&out).contains("gray_encode_w16_4k"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn detect_json_emits_the_pinned_detect_schema() {
+    use tsv3d_bench::json::{self, JsonValue};
+
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_regressed.jsonl"),
+        "--detect",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let value = json::parse(&stdout(&out)).expect("stdout is one JSON document");
+    assert_eq!(
+        value.get("schema").and_then(JsonValue::as_str),
+        Some("tsv3d-history-detect/v1")
+    );
+    assert_eq!(value.get("regressed").and_then(JsonValue::as_u64), Some(1));
+    let cases = match value.get("cases") {
+        Some(JsonValue::Array(items)) => items,
+        other => panic!("cases must be an array, got {other:?}"),
+    };
+    let gray = cases
+        .iter()
+        .find(|c| c.get("case").and_then(JsonValue::as_str) == Some("gray_encode_w16_4k"))
+        .expect("gray case present");
+    let wall = gray.get("wall_ns").expect("wall series");
+    assert_eq!(
+        wall.get("verdict").and_then(JsonValue::as_str),
+        Some("regressed")
+    );
+    assert_eq!(
+        wall.get("git_rev").and_then(JsonValue::as_str),
+        Some("eeee555")
+    );
+
+    // Bad detect thresholds are usage errors under the 0/1/2 contract.
+    let out = tsv3d(&[
+        "history",
+        &fixture("history_regressed.jsonl"),
+        "--detect-pct",
+        "-5",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("Usage: tsv3d history"));
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! End-to-end tests of `tsv3d serve`: spawn the real binary on an
-//! ephemeral port, scrape `/metrics`, `/healthz` and `/runs` over raw
-//! TCP, and verify the `--max-requests` smoke-test exit path.
+//! ephemeral port, scrape `/metrics`, `/healthz`, `/runs` and `/dash`
+//! over raw TCP (GET and HEAD), and verify the `--max-requests`
+//! smoke-test exit path.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -49,15 +50,20 @@ impl ServeGuard {
         }
     }
 
-    /// One raw HTTP GET; returns the full response (head + body).
-    fn get(&self, path: &str) -> String {
+    /// One raw HTTP request; returns the full response (head + body).
+    fn request(&self, method: &str, path: &str) -> String {
         let mut conn = TcpStream::connect(&self.addr).expect("connect to serve");
         conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        conn.write_all(format!("{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
             .expect("request written");
         let mut response = String::new();
         conn.read_to_string(&mut response).expect("response read");
         response
+    }
+
+    /// One raw HTTP GET; returns the full response (head + body).
+    fn get(&self, path: &str) -> String {
+        self.request("GET", path)
     }
 
     /// Waits for the child and returns its exit code.
@@ -151,6 +157,51 @@ fn serve_demo_exposes_a_live_growing_registry() {
         count_of(&second) >= count_of(&first),
         "counters are monotone across scrapes"
     );
+}
+
+#[test]
+fn serve_dash_renders_the_live_dashboard() {
+    let serve = ServeGuard::spawn(&[
+        "--max-requests",
+        "2",
+        "--history",
+        &fixture("history_steady.jsonl"),
+    ]);
+    let dash = serve.get("/dash");
+    assert!(dash.starts_with("HTTP/1.1 200 OK"), "{dash}");
+    assert!(dash.contains("text/html; charset=utf-8"), "{dash}");
+    assert!(dash.contains("<!DOCTYPE html>"), "{dash}");
+    // The live page fuses the ledger fixture and an in-process
+    // registry snapshot — the serve counters are visible in the live
+    // section because /dash counts itself before rendering.
+    assert!(dash.contains("anneal_quick_3x3"), "{dash}");
+    assert!(dash.contains("tsv3d_serve_requests_dash_total"), "{dash}");
+    // No scripts, no external assets: the self-containment contract
+    // holds for the served page too.
+    assert!(!dash.contains("<script"), "{dash}");
+    assert!(!dash.contains("<link"), "{dash}");
+    let head = serve.request("HEAD", "/dash");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("Content-Length: "), "{head}");
+    let body = head.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("x");
+    assert_eq!(body, "", "HEAD sends headers only:\n{head}");
+    assert_eq!(serve.wait(), 0);
+}
+
+#[test]
+fn serve_answers_head_on_every_endpoint() {
+    let serve = ServeGuard::spawn(&["--max-requests", "4"]);
+    for path in ["/metrics", "/healthz", "/runs", "/progress"] {
+        let response = serve.request("HEAD", path);
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK"),
+            "HEAD {path}:\n{response}"
+        );
+        assert!(response.contains("Content-Length: "), "{response}");
+        let body = response.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("x");
+        assert_eq!(body, "", "HEAD {path} sends headers only:\n{response}");
+    }
+    assert_eq!(serve.wait(), 0);
 }
 
 #[test]
